@@ -1,0 +1,139 @@
+// Ablations (ours; motivated by §3.2 and §4.2-4.3 design choices):
+//
+//   A. Bi-level on/off — how much does harvesting k and k+1 per DISC pass
+//      buy (the paper uses bi-level "as the version for experiments")?
+//   B. Dynamic γ sweep — how sensitive is Dynamic DISC-all to the
+//      partition/DISC switch threshold?
+//   C. Strategy census — every algorithm in the library (incl. GSP, SPADE,
+//      SPAM) on one moderate workload, as a Table 5 companion.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "disc/benchlib/report.h"
+#include "disc/benchlib/workload.h"
+#include "disc/common/flags.h"
+#include "disc/common/table.h"
+#include "disc/common/timer.h"
+#include "disc/core/disc_all.h"
+#include "disc/core/dynamic_disc_all.h"
+
+using namespace disc;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const std::uint32_t ncust = static_cast<std::uint32_t>(
+      flags.GetInt("ncust", full ? 10000 : 2000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  // Workload: the Figure 9 shape scaled to container size.
+  QuestParams params = Fig9Params(ncust);
+  params.seed = seed;
+  const SequenceDatabase db = GenerateQuestDatabase(params);
+  const double minsup = flags.GetDouble("minsup", 0.0125);
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), minsup);
+
+  PrintBanner("Ablation A: bi-level vs plain DISC passes",
+              DescribeDatabase(db) + ", minsup=" + std::to_string(minsup),
+              !full);
+  {
+    TablePrinter table({"variant", "time (s)", "#patterns",
+                        "disc iterations"});
+    for (const bool bilevel : {true, false}) {
+      DiscAll::Config config;
+      config.bilevel = bilevel;
+      DiscAll miner(config);
+      Timer timer;
+      const PatternSet result = miner.Mine(db, options);
+      table.AddRow({bilevel ? "bi-level" : "plain",
+                    TablePrinter::Num(timer.Seconds()),
+                    std::to_string(result.size()),
+                    std::to_string(miner.last_stats().disc_iterations)});
+    }
+    table.Print();
+  }
+
+  PrintBanner("Ablation B: Dynamic DISC-all gamma sweep",
+              "gamma < NRR switches a partition to DISC; gamma=0 -> pure "
+              "DISC after level 0, gamma>1 -> pure pattern growth",
+              !full);
+  {
+    TablePrinter table({"gamma", "time (s)", "partitions split",
+                        "partitions to DISC", "#patterns"});
+    for (const double gamma : {0.0, 0.25, 0.5, 0.75, 0.9, 1.01}) {
+      DynamicDiscAll::Config config;
+      config.gamma = gamma;
+      DynamicDiscAll miner(config);
+      Timer timer;
+      const PatternSet result = miner.Mine(db, options);
+      table.AddRow({TablePrinter::Num(gamma, 2),
+                    TablePrinter::Num(timer.Seconds()),
+                    std::to_string(miner.last_stats().partitions_split),
+                    std::to_string(miner.last_stats().partitions_to_disc),
+                    std::to_string(result.size())});
+    }
+    table.Print();
+  }
+
+  PrintBanner("Ablation C: locative AVL tree vs full re-sorting",
+              "the k-sorted database indexed by the paper's AVL vs naively "
+              "re-sorted after every advance batch",
+              !full);
+  {
+    TablePrinter table({"k-sorted index", "time (s)", "#patterns"});
+    for (const bool use_avl : {true, false}) {
+      DiscAll::Config config;
+      config.use_avl = use_avl;
+      DiscAll miner(config);
+      Timer timer;
+      const PatternSet result = miner.Mine(db, options);
+      table.AddRow({use_avl ? "locative AVL" : "re-sort",
+                    TablePrinter::Num(timer.Seconds()),
+                    std::to_string(result.size())});
+    }
+    table.Print();
+  }
+
+  PrintBanner("Ablation D: partition depth (multi-level partitioning, §3.1)",
+              "fixed number of partitioning levels before switching to "
+              "DISC; 0 = pure DISC, 2 = the paper's two-level scheme",
+              !full);
+  {
+    TablePrinter table({"levels", "time (s)", "#patterns"});
+    for (const std::int32_t levels : {0, 1, 2, 3, 4, 8}) {
+      DynamicDiscAll::Config config;
+      config.fixed_levels = levels;
+      DynamicDiscAll miner(config);
+      Timer timer;
+      const PatternSet result = miner.Mine(db, options);
+      table.AddRow({std::to_string(levels),
+                    TablePrinter::Num(timer.Seconds()),
+                    std::to_string(result.size())});
+    }
+    table.Print();
+  }
+
+  PrintBanner("Ablation E: strategy census (Table 5 companion)",
+              "all miners, one workload; GSP/SPADE/SPAM run a smaller "
+              "database (they are not the paper's baselines)",
+              !full);
+  {
+    QuestParams small_params = Fig9Params(full ? 2000 : 500);
+    small_params.seed = seed;
+    const SequenceDatabase small_db = GenerateQuestDatabase(small_params);
+    MineOptions small_options;
+    small_options.min_support_count =
+        MineOptions::CountForFraction(small_db.size(), 0.02);
+    TablePrinter table({"algorithm", "time (s)", "#patterns"});
+    for (const std::string& name : AllMinerNames()) {
+      const MineTiming t =
+          TimeMine(CreateMiner(name).get(), small_db, small_options);
+      table.AddRow({name, TablePrinter::Num(t.seconds),
+                    std::to_string(t.num_patterns)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 10 — "Comparisons on different θ's": runtime of Dynamic DISC-all,
+// DISC-all, PrefixSpan and Pseudo as the average number of transactions
+// per customer grows from 10 to 40 (minimum support 0.005). The paper's
+// headline: Dynamic DISC-all wins everywhere; static DISC-all loses its
+// lead at high θ where the deeper-level NRR stays low and partitioning
+// would still pay.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "disc/benchlib/report.h"
+#include "disc/benchlib/workload.h"
+#include "disc/common/flags.h"
+#include "disc/common/table.h"
+
+using namespace disc;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const std::uint32_t ncust = static_cast<std::uint32_t>(
+      flags.GetInt("ncust", full ? 50000 : 2000));
+  // Scaled default uses a higher relative support: at 2K customers the
+  // paper's 0.005 leaves delta = 10, which floods the dense high-theta
+  // databases with hundreds of thousands of patterns.
+  const double minsup = flags.GetDouble("minsup", full ? 0.005 : 0.02);
+  std::vector<double> thetas = full
+                                   ? std::vector<double>{10, 15, 20, 25, 30,
+                                                         35, 40}
+                                   : std::vector<double>{10, 20, 30, 40};
+  if (flags.Has("thetas")) {
+    thetas.clear();
+    const std::string spec = flags.GetString("thetas", "");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      thetas.push_back(std::stod(spec.substr(pos)));
+      const std::size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  PrintBanner("Figure 10: runtime vs theta (minsup = " +
+                  std::to_string(minsup) + ")",
+              "Quest tlen=2.5 nitems=1K seq.patlen=4, ncust=" +
+                  std::to_string(ncust),
+              !full);
+
+  TablePrinter table({"theta", "dynamic (s)", "disc-all (s)",
+                      "prefixspan (s)", "pseudo (s)", "#patterns"});
+  for (const double theta : thetas) {
+    QuestParams params = ThetaParams(ncust, theta);
+    params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+    const SequenceDatabase db = GenerateQuestDatabase(params);
+    MineOptions options;
+    options.min_support_count =
+        MineOptions::CountForFraction(db.size(), minsup);
+    const MineTiming dyn_t =
+        TimeMine(CreateMiner("dynamic-disc-all").get(), db, options);
+    const MineTiming disc_t =
+        TimeMine(CreateMiner("disc-all").get(), db, options);
+    const MineTiming ps_t =
+        TimeMine(CreateMiner("prefixspan").get(), db, options);
+    const MineTiming pseudo_t =
+        TimeMine(CreateMiner("pseudo").get(), db, options);
+    table.AddRow({TablePrinter::Num(theta, 0),
+                  TablePrinter::Num(dyn_t.seconds),
+                  TablePrinter::Num(disc_t.seconds),
+                  TablePrinter::Num(ps_t.seconds),
+                  TablePrinter::Num(pseudo_t.seconds),
+                  std::to_string(dyn_t.num_patterns)});
+    std::printf("  [theta %.0f] done (%zu patterns)\n", theta,
+                dyn_t.num_patterns);
+    std::fflush(stdout);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 8 — "Comparisons on database sizes": runtime of DISC-all vs
+// PrefixSpan vs Pseudo as the number of customers grows, Quest setting of
+// Table 11 (slen 10, tlen 2.5, nitems 1K, seq.patlen 4), minimum support
+// 0.0025.
+//
+// Paper sweep: 50K..500K customers. Default here is scaled down for a
+// single-core container; pass --full for the paper sizes, or
+// --sizes=a,b,c / --minsup=F to customize.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "disc/benchlib/report.h"
+#include "disc/benchlib/workload.h"
+#include "disc/common/flags.h"
+#include "disc/common/table.h"
+
+using namespace disc;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  std::vector<std::uint32_t> sizes =
+      full ? std::vector<std::uint32_t>{50000, 100000, 200000, 300000,
+                                        400000, 500000}
+           : std::vector<std::uint32_t>{2000, 5000, 10000, 20000};
+  if (flags.Has("sizes")) {
+    sizes.clear();
+    const std::string spec = flags.GetString("sizes", "");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      sizes.push_back(static_cast<std::uint32_t>(std::stoul(spec.substr(pos))));
+      const std::size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  const double minsup = flags.GetDouble("minsup", 0.0025);
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  PrintBanner("Figure 8: runtime vs database size (minsup = " +
+                  std::to_string(minsup) + ")",
+              "Quest slen=10 tlen=2.5 nitems=1K seq.patlen=4; algorithms: "
+              "disc-all (bi-level), prefixspan, pseudo",
+              !full);
+
+  TablePrinter table({"ncust", "delta", "disc-all (s)", "prefixspan (s)",
+                      "pseudo (s)", "#patterns", "maxlen"});
+  for (const std::uint32_t ncust : sizes) {
+    QuestParams params = Fig8Params(ncust);
+    params.seed = seed;
+    const SequenceDatabase db = GenerateQuestDatabase(params);
+    MineOptions options;
+    options.min_support_count =
+        MineOptions::CountForFraction(db.size(), minsup);
+    const MineTiming disc_t =
+        TimeMine(CreateMiner("disc-all").get(), db, options);
+    const MineTiming ps_t =
+        TimeMine(CreateMiner("prefixspan").get(), db, options);
+    const MineTiming pseudo_t =
+        TimeMine(CreateMiner("pseudo").get(), db, options);
+    table.AddRow({std::to_string(ncust),
+                  std::to_string(options.min_support_count),
+                  TablePrinter::Num(disc_t.seconds),
+                  TablePrinter::Num(ps_t.seconds),
+                  TablePrinter::Num(pseudo_t.seconds),
+                  std::to_string(disc_t.num_patterns),
+                  std::to_string(disc_t.max_length)});
+    std::printf("  [%s] done: %s\n", std::to_string(ncust).c_str(),
+                DescribeDatabase(db).c_str());
+    std::fflush(stdout);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the library's hot primitives:
+// comparative order, containment, extension scan, Apriori-KMS, the
+// locative AVL tree, the counting array, and Quest generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "disc/core/counting_array.h"
+#include "disc/core/kms.h"
+#include "disc/core/locative_avl.h"
+#include "disc/gen/quest.h"
+#include "disc/order/compare.h"
+#include "disc/seq/containment.h"
+#include "disc/seq/extension.h"
+
+namespace disc {
+namespace {
+
+SequenceDatabase MicroDb() {
+  QuestParams p;
+  p.ncust = 2000;
+  p.nitems = 200;
+  p.slen = 8;
+  p.tlen = 3;
+  p.npats = 200;
+  p.nlits = 400;
+  return GenerateQuestDatabase(p);
+}
+
+void BM_CompareSequences(benchmark::State& state) {
+  const SequenceDatabase db = MicroDb();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Sequence& a = db[i % db.size()];
+    const Sequence& b = db[(i * 7 + 1) % db.size()];
+    benchmark::DoNotOptimize(CompareSequences(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_CompareSequences);
+
+void BM_Containment(benchmark::State& state) {
+  const SequenceDatabase db = MicroDb();
+  Sequence pattern;
+  pattern.AppendNewItemset(3);
+  pattern.AppendNewItemset(8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Contains(db[i % db.size()], pattern));
+    ++i;
+  }
+}
+BENCHMARK(BM_Containment);
+
+void BM_ScanExtensions(benchmark::State& state) {
+  const SequenceDatabase db = MicroDb();
+  Sequence pattern;
+  pattern.AppendNewItemset(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanExtensions(db[i % db.size()], pattern));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScanExtensions);
+
+void BM_AprioriKms(benchmark::State& state) {
+  const SequenceDatabase db = MicroDb();
+  std::vector<Sequence> list;
+  for (Item x = 1; x <= 20; ++x) {
+    Sequence s;
+    s.AppendNewItemset(x);
+    list.push_back(s);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AprioriKms(db[i % db.size()], list));
+    ++i;
+  }
+}
+BENCHMARK(BM_AprioriKms);
+
+void BM_LocativeAvlInsertSelect(benchmark::State& state) {
+  const SequenceDatabase db = MicroDb();
+  for (auto _ : state) {
+    LocativeAvlTree tree;
+    for (std::uint32_t h = 0; h < 512; ++h) {
+      tree.Insert(db[h % db.size()].Prefix(3), h);
+    }
+    benchmark::DoNotOptimize(tree.SelectKey(tree.size() / 2));
+    std::vector<std::uint32_t> out;
+    tree.PopMinBucket(&out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LocativeAvlInsertSelect);
+
+void BM_CountingArray(benchmark::State& state) {
+  CountingArray counts(1000);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    counts.Add((i * 37) % 1000 + 1,
+               (i & 1) ? ExtType::kItemset : ExtType::kSequence, i % 64);
+    if (++i % 4096 == 0) counts.Reset();
+  }
+}
+BENCHMARK(BM_CountingArray);
+
+void BM_QuestGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    QuestParams p;
+    p.ncust = static_cast<std::uint32_t>(state.range(0));
+    p.nitems = 500;
+    benchmark::DoNotOptimize(GenerateQuestDatabase(p));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuestGenerate)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace disc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Weighted DNA-fragment mining — the paper's second §5 application ("in
+// DNA sequence analysis, some genes may be more important than the others
+// in a particular disease"). Fragments are sequences of codon-class
+// symbols; each fragment carries a disease-association weight, and a motif
+// matters when the total weight of the fragments containing it passes a
+// threshold — even if its plain occurrence count is unremarkable.
+//
+//   $ ./dna_motifs [--fragments=4000] [--min-weight=2000]
+//
+// Demonstrates disc::MineWeighted against plain counting: the demo plants
+// a motif that is RARE but concentrated in high-weight fragments, and a
+// DECOY that is common but spread over low-weight ones; weighted mining
+// ranks the planted motif first while plain support prefers the decoy.
+#include <cstdio>
+#include <vector>
+
+#include "disc/common/flags.h"
+#include "disc/common/rng.h"
+#include "disc/core/weighted.h"
+#include "disc/seq/parse.h"
+
+namespace {
+
+// Symbols 1..12: four bases x three codon positions, rendered as a1,c2,...
+std::string Render(const disc::Sequence& s) {
+  static const char* kBase = "acgt";
+  std::string out;
+  for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+    if (t > 0) out += '-';
+    for (const disc::Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+      out += kBase[(*p - 1) % 4];
+      out += static_cast<char>('1' + (*p - 1) / 4);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const disc::Flags flags = disc::Flags::Parse(argc, argv);
+  const std::uint32_t fragments =
+      static_cast<std::uint32_t>(flags.GetInt("fragments", 4000));
+  disc::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 11)));
+
+  const disc::Sequence motif = disc::ParseSequence("(2)(7)(12)");  // planted
+  const disc::Sequence decoy = disc::ParseSequence("(1)(5)(9)");   // common
+
+  disc::SequenceDatabase db;
+  std::vector<double> weights;
+  std::uint32_t motif_count = 0;
+  std::uint32_t decoy_count = 0;
+  for (std::uint32_t i = 0; i < fragments; ++i) {
+    // Disease association: a small high-weight cohort (weight ~ 20) and a
+    // large background (weight ~ 0.2).
+    const bool diseased = rng.NextBounded(20) == 0;
+    const double weight = diseased ? 15.0 + rng.NextDouble() * 10.0
+                                   : 0.1 + rng.NextDouble() * 0.2;
+    std::vector<disc::Itemset> symbols;
+    const std::uint32_t len =
+        8 + static_cast<std::uint32_t>(rng.NextBounded(6));
+    for (std::uint32_t j = 0; j < len; ++j) {
+      symbols.push_back(
+          disc::Itemset({static_cast<disc::Item>(rng.NextBounded(12)) + 1}));
+    }
+    // Plant: the motif goes into most diseased fragments; the decoy into a
+    // slice of the background.
+    auto plant = [&symbols, &rng](const disc::Sequence& pattern) {
+      std::uint32_t at = static_cast<std::uint32_t>(
+          rng.NextBounded(symbols.size() - pattern.Length() + 1));
+      for (std::uint32_t t = 0; t < pattern.NumTransactions(); ++t) {
+        symbols[at + t] = pattern.TxnItemset(t);
+      }
+    };
+    if (diseased && rng.NextBounded(10) < 8) {
+      plant(motif);
+      ++motif_count;
+    } else if (!diseased && rng.NextBounded(10) < 3) {
+      plant(decoy);
+      ++decoy_count;
+    }
+    db.Add(disc::Sequence(symbols));
+    weights.push_back(weight);
+  }
+  std::printf("%u fragments; planted motif in %u (high-weight), decoy in %u "
+              "(background)\n",
+              fragments, motif_count, decoy_count);
+
+  disc::WeightedOptions options;
+  options.weights = weights;
+  options.min_weight = flags.GetDouble("min-weight", 2000.0);
+  options.max_length = 3;
+  const disc::WeightedPatternSet mined = disc::MineWeighted(db, options);
+
+  std::printf("\nweighted-frequent 3-motifs (weight >= %.0f):\n",
+              options.min_weight);
+  int shown = 0;
+  for (const auto& [p, w] : mined) {
+    if (p.Length() != 3) continue;
+    const double plain = disc::WeightedSupport(
+        db, std::vector<double>(db.size(), 1.0), p);
+    std::printf("  %-12s weight %8.1f   (plain support %.0f)\n",
+                Render(p).c_str(), w, plain);
+    ++shown;
+  }
+  if (shown == 0) std::printf("  (none; lower --min-weight)\n");
+
+  const double motif_w = disc::WeightedSupport(db, weights, motif);
+  const double decoy_w = disc::WeightedSupport(db, weights, decoy);
+  std::printf("\nplanted motif %s: weight %.1f — %s the threshold\n",
+              Render(motif).c_str(), motif_w,
+              motif_w >= options.min_weight ? "passes" : "misses");
+  std::printf("decoy %s: weight %.1f despite being far more common — "
+              "weighting suppresses it\n",
+              Render(decoy).c_str(), decoy_w);
+  return 0;
+}

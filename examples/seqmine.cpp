@@ -1,0 +1,94 @@
+// seqmine — the command-line face of the library: mine an SPMF sequence
+// database with any of the seven algorithms, write SPMF-format patterns,
+// and report summary statistics.
+//
+//   $ ./seqmine input.spmf [--algo=disc-all] [--minsup=0.01 | --delta=25]
+//               [--max-length=N] [--top-k=K] [--maximal] [--closed]
+//               [--out=patterns.spmf] [--quiet]
+//
+// Uses the umbrella header, exercising the full public API.
+#include <cstdio>
+
+#include "disc/disc.h"
+#include "disc/common/flags.h"
+#include "disc/common/timer.h"
+
+int main(int argc, char** argv) {
+  const disc::Flags flags = disc::Flags::Parse(argc, argv);
+  if (flags.positional().empty()) {
+    std::fprintf(
+        stderr,
+        "usage: seqmine <input.spmf> [--algo=NAME] [--minsup=F | --delta=N]\n"
+        "               [--max-length=N] [--top-k=K] [--maximal] [--closed]\n"
+        "               [--out=FILE] [--quiet]\n"
+        "algorithms:");
+    for (const std::string& name : disc::AllMinerNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  disc::Timer total;
+  const disc::SequenceDatabase db =
+      disc::LoadSpmf(flags.positional()[0]);
+  const bool quiet = flags.GetBool("quiet", false);
+  if (!quiet) {
+    std::printf("loaded %zu sequences (%llu items, %u distinct) in %.2fs\n",
+                db.size(),
+                static_cast<unsigned long long>(db.TotalItems()),
+                db.max_item(), total.Seconds());
+  }
+
+  const std::string algo = flags.GetString("algo", "disc-all");
+  disc::PatternSet patterns;
+  disc::Timer mine_timer;
+  if (flags.Has("top-k")) {
+    disc::TopKOptions topk;
+    topk.k = static_cast<std::size_t>(flags.GetInt("top-k", 10));
+    topk.max_length =
+        static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
+    topk.algorithm = algo;
+    patterns = disc::MineTopK(db, topk);
+  } else {
+    disc::MineOptions options;
+    if (flags.Has("delta")) {
+      options.min_support_count =
+          static_cast<std::uint32_t>(flags.GetInt("delta", 2));
+    } else {
+      options.min_support_count = disc::MineOptions::CountForFraction(
+          db.size(), flags.GetDouble("minsup", 0.01));
+    }
+    options.max_length =
+        static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
+    patterns = disc::CreateMiner(algo)->Mine(db, options);
+  }
+  const double mine_s = mine_timer.Seconds();
+
+  if (flags.GetBool("maximal", false)) {
+    patterns = disc::MaximalPatterns(patterns);
+  } else if (flags.GetBool("closed", false)) {
+    patterns = disc::ClosedPatterns(patterns);
+  }
+
+  if (!quiet) {
+    const disc::PatternSummary summary = disc::Summarize(patterns);
+    std::printf(
+        "%s: %zu patterns (%zu maximal, %zu closed), max length %u, max "
+        "support %u, %.3fs\n",
+        algo.c_str(), summary.total, summary.maximal, summary.closed,
+        summary.max_length, summary.max_support, mine_s);
+  }
+
+  if (flags.Has("out")) {
+    const std::string out_path = flags.GetString("out", "");
+    if (!disc::SavePatterns(patterns, out_path)) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    if (!quiet) std::printf("wrote %s\n", out_path.c_str());
+  } else if (quiet) {
+    std::fputs(disc::ToSpmfPatternString(patterns).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// GSP (Srikant & Agrawal, EDBT 1996): the classic bottom-up
+// generate-and-test miner. Frequent (k-1)-sequences are joined (drop-first
+// of one equals drop-last of the other), candidates are pruned by the
+// anti-monotone property (every delete-one-item (k-1)-subsequence must be
+// frequent), and survivors are support-counted by a database scan.
+//
+// Implemented for completeness and as an independent correctness oracle; it
+// is the slowest miner here (as in the literature) and the paper's
+// evaluation accordingly benchmarks against PrefixSpan instead.
+#ifndef DISC_ALGO_GSP_H_
+#define DISC_ALGO_GSP_H_
+
+#include "disc/algo/miner.h"
+
+namespace disc {
+
+/// GSP frequent-sequence miner. See file comment.
+class Gsp : public Miner {
+ public:
+  PatternSet Mine(const SequenceDatabase& db,
+                  const MineOptions& options) override;
+
+  std::string name() const override { return "gsp"; }
+};
+
+}  // namespace disc
+
+#endif  // DISC_ALGO_GSP_H_

@@ -1,0 +1,98 @@
+#include "disc/algo/hash_tree.h"
+
+#include "disc/common/check.h"
+#include "disc/seq/containment.h"
+
+namespace disc {
+
+CandidateHashTree::CandidateHashTree(const std::vector<Sequence>* candidates,
+                                     std::uint32_t fanout,
+                                     std::uint32_t leaf_capacity)
+    : candidates_(candidates),
+      fanout_(fanout),
+      leaf_capacity_(leaf_capacity),
+      root_(std::make_unique<Node>()) {
+  DISC_CHECK(candidates_ != nullptr);
+  DISC_CHECK(fanout_ >= 2 && fanout_ <= 64);  // bucket bitmask width
+  DISC_CHECK(leaf_capacity_ >= 1);
+  if (!candidates_->empty()) {
+    candidate_length_ = (*candidates_)[0].Length();
+  }
+  for (std::uint32_t id = 0; id < candidates_->size(); ++id) {
+    DISC_CHECK_MSG((*candidates_)[id].Length() == candidate_length_,
+                   "hash tree requires equal-length candidates");
+    Insert(root_.get(), 0, id);
+  }
+}
+
+void CandidateHashTree::Insert(Node* node, std::uint32_t depth,
+                               std::uint32_t id) {
+  if (!node->leaf) {
+    const Item x = (*candidates_)[id].ItemAt(depth);
+    auto& child = node->children[Bucket(x)];
+    if (child == nullptr) {
+      child = std::make_unique<Node>();
+      ++num_nodes_;
+    }
+    Insert(child.get(), depth + 1, id);
+    return;
+  }
+  node->candidate_ids.push_back(id);
+  // Split a full leaf while there are items left to hash on.
+  if (node->candidate_ids.size() > leaf_capacity_ &&
+      depth < candidate_length_) {
+    Split(node, depth);
+  }
+}
+
+void CandidateHashTree::Split(Node* node, std::uint32_t depth) {
+  std::vector<std::uint32_t> ids = std::move(node->candidate_ids);
+  node->candidate_ids.clear();
+  node->leaf = false;
+  node->children.resize(fanout_);
+  for (const std::uint32_t id : ids) Insert(node, depth, id);
+}
+
+void CandidateHashTree::CountSupports(const Sequence& s,
+                                      std::vector<std::uint32_t>* counts)
+    const {
+  DISC_CHECK(counts->size() == candidates_->size());
+  if (candidates_->empty() || s.Length() < candidate_length_) return;
+  std::vector<std::uint8_t> tested(candidates_->size(), 0);
+  Visit(root_.get(), 0, s, 0, counts, &tested);
+}
+
+void CandidateHashTree::Visit(const Node* node, std::uint32_t depth,
+                              const Sequence& s, std::uint32_t from_pos,
+                              std::vector<std::uint32_t>* counts,
+                              std::vector<std::uint8_t>* tested) const {
+  if (node->leaf) {
+    // Exact verification; `tested` guards against multi-path revisits.
+    for (const std::uint32_t id : node->candidate_ids) {
+      if ((*tested)[id]) continue;
+      (*tested)[id] = 1;
+      if (Contains(s, (*candidates_)[id])) ++(*counts)[id];
+    }
+    return;
+  }
+  // Branch on the remaining items of s, but visit each hash bucket only
+  // once — at the earliest position producing it. An earlier branch point
+  // dominates any later one (its remaining suffix is a superset), so this
+  // stays complete while bounding the traversal to one visit per child.
+  const std::uint32_t remaining = candidate_length_ - depth;
+  if (s.Length() < from_pos + remaining) return;
+  const std::uint32_t last_start = s.Length() - remaining;
+  std::uint64_t visited = 0;
+  const std::uint64_t full =
+      fanout_ >= 64 ? ~0ull : (1ull << fanout_) - 1;
+  for (std::uint32_t p = from_pos; p <= last_start; ++p) {
+    const std::uint32_t b = Bucket(s.ItemAt(p));
+    if ((visited >> b) & 1u) continue;
+    visited |= 1ull << b;
+    const Node* child = node->children[b].get();
+    if (child != nullptr) Visit(child, depth + 1, s, p + 1, counts, tested);
+    if (visited == full) break;  // all buckets seen
+  }
+}
+
+}  // namespace disc

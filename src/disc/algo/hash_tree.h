@@ -1,0 +1,66 @@
+// Candidate hash tree for GSP support counting (Srikant & Agrawal, EDBT
+// 1996 §3.2.1, inherited from Apriori). Candidates are stored at leaves;
+// interior nodes hash on the d-th flattened item. Counting a customer
+// sequence walks the tree once per distinct item chain instead of testing
+// every candidate, which is what makes level-wise counting viable on
+// non-trivial candidate sets.
+//
+// This implementation hashes on candidate items (depth d hashes item d) and
+// visits, for a customer sequence, exactly the subtrees reachable by some
+// item subsequence of it — a superset of the candidates that can be
+// contained, each then verified with the exact containment test.
+#ifndef DISC_ALGO_HASH_TREE_H_
+#define DISC_ALGO_HASH_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "disc/seq/sequence.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// Hash tree over equal-length candidate sequences. See file comment.
+class CandidateHashTree {
+ public:
+  /// Builds the tree over `candidates` (borrowed; must outlive the tree).
+  /// `fanout` is the hash width of interior nodes; `leaf_capacity` is the
+  /// split threshold.
+  explicit CandidateHashTree(const std::vector<Sequence>* candidates,
+                             std::uint32_t fanout = 16,
+                             std::uint32_t leaf_capacity = 8);
+
+  /// Adds 1 to `counts[i]` for every candidate i contained in `s`.
+  /// `counts` must have one slot per candidate.
+  void CountSupports(const Sequence& s,
+                     std::vector<std::uint32_t>* counts) const;
+
+  /// Number of tree nodes (instrumentation/testing).
+  std::size_t NumNodes() const { return num_nodes_; }
+
+ private:
+  struct Node {
+    // Interior: children by hash bucket (may be null). Leaf: candidate ids.
+    std::vector<std::unique_ptr<Node>> children;
+    std::vector<std::uint32_t> candidate_ids;
+    bool leaf = true;
+  };
+
+  std::uint32_t Bucket(Item x) const { return x % fanout_; }
+  void Insert(Node* node, std::uint32_t depth, std::uint32_t id);
+  void Split(Node* node, std::uint32_t depth);
+  void Visit(const Node* node, std::uint32_t depth, const Sequence& s,
+             std::uint32_t from_pos, std::vector<std::uint32_t>* counts,
+             std::vector<std::uint8_t>* tested) const;
+
+  const std::vector<Sequence>* candidates_;
+  std::uint32_t fanout_;
+  std::uint32_t leaf_capacity_;
+  std::uint32_t candidate_length_ = 0;
+  std::unique_ptr<Node> root_;
+  std::size_t num_nodes_ = 1;
+};
+
+}  // namespace disc
+
+#endif  // DISC_ALGO_HASH_TREE_H_

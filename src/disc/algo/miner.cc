@@ -1,0 +1,51 @@
+#include "disc/algo/miner.h"
+
+#include <cmath>
+
+#include "disc/algo/gsp.h"
+#include "disc/algo/prefixspan.h"
+#include "disc/algo/spade.h"
+#include "disc/algo/spam.h"
+#include "disc/common/check.h"
+#include "disc/core/disc_all.h"
+#include "disc/core/dynamic_disc_all.h"
+
+namespace disc {
+
+std::uint32_t MineOptions::CountForFraction(std::size_t db_size,
+                                            double fraction) {
+  DISC_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const double raw = fraction * static_cast<double>(db_size);
+  std::uint32_t count = static_cast<std::uint32_t>(std::ceil(raw - 1e-9));
+  if (count < 1) count = 1;
+  return count;
+}
+
+std::unique_ptr<Miner> CreateMiner(const std::string& name) {
+  if (name == "prefixspan") {
+    return std::make_unique<PrefixSpan>(PrefixSpan::Projection::kPhysical);
+  }
+  if (name == "pseudo") {
+    return std::make_unique<PrefixSpan>(PrefixSpan::Projection::kPseudo);
+  }
+  if (name == "gsp") return std::make_unique<Gsp>();
+  if (name == "spade") return std::make_unique<Spade>();
+  if (name == "spam") return std::make_unique<Spam>();
+  if (name == "disc-all") return std::make_unique<DiscAll>();
+  if (name == "disc-all-nobilevel") {
+    DiscAll::Config config;
+    config.bilevel = false;
+    return std::make_unique<DiscAll>(config);
+  }
+  if (name == "dynamic-disc-all") return std::make_unique<DynamicDiscAll>();
+  DISC_CHECK_MSG(false, ("unknown miner: " + name).c_str());
+  return nullptr;
+}
+
+std::vector<std::string> AllMinerNames() {
+  return {"prefixspan", "pseudo",           "gsp",
+          "spade",      "spam",             "disc-all",
+          "disc-all-nobilevel", "dynamic-disc-all"};
+}
+
+}  // namespace disc

@@ -1,0 +1,54 @@
+// Common interface implemented by every sequential-pattern miner in the
+// library (DISC-all, Dynamic DISC-all, PrefixSpan, Pseudo, GSP, SPADE,
+// SPAM), plus a by-name factory for the benchmark drivers.
+#ifndef DISC_ALGO_MINER_H_
+#define DISC_ALGO_MINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disc/algo/pattern_set.h"
+#include "disc/seq/database.h"
+
+namespace disc {
+
+/// Mining parameters shared by all algorithms.
+struct MineOptions {
+  /// A pattern is frequent iff its support count is >= min_support_count.
+  /// (The paper's Lemma 2.1 treats delta as an inclusive threshold.)
+  /// Must be >= 1.
+  std::uint32_t min_support_count = 1;
+
+  /// If non-zero, patterns longer than this are not reported (or explored).
+  std::uint32_t max_length = 0;
+
+  /// Computes the support-count threshold for a relative minimum support
+  /// (fraction of |db|), as used throughout the paper's evaluation.
+  static std::uint32_t CountForFraction(std::size_t db_size, double fraction);
+};
+
+/// Abstract sequential-pattern miner.
+class Miner {
+ public:
+  virtual ~Miner() = default;
+
+  /// Mines all frequent sequences of `db` under `options`.
+  virtual PatternSet Mine(const SequenceDatabase& db,
+                          const MineOptions& options) = 0;
+
+  /// Stable short name ("disc-all", "prefixspan", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Creates a miner by name; aborts on an unknown name. Known names:
+/// "prefixspan", "pseudo", "gsp", "spade", "spam", "disc-all",
+/// "disc-all-nobilevel", "dynamic-disc-all".
+std::unique_ptr<Miner> CreateMiner(const std::string& name);
+
+/// All registered miner names (for --algos=all sweeps).
+std::vector<std::string> AllMinerNames();
+
+}  // namespace disc
+
+#endif  // DISC_ALGO_MINER_H_

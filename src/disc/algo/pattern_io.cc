@@ -1,0 +1,81 @@
+#include "disc/algo/pattern_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+std::string ToSpmfPatternString(const PatternSet& patterns) {
+  std::string out;
+  for (const auto& [p, sup] : patterns) {
+    for (std::uint32_t t = 0; t < p.NumTransactions(); ++t) {
+      for (const Item* q = p.TxnBegin(t); q != p.TxnEnd(t); ++q) {
+        out += std::to_string(*q);
+        out += ' ';
+      }
+      out += "-1 ";
+    }
+    out += "#SUP: ";
+    out += std::to_string(sup);
+    out += '\n';
+  }
+  return out;
+}
+
+PatternSet FromSpmfPatternString(const std::string& text) {
+  PatternSet out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    bool blank = true;
+    for (const char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    const std::size_t marker = line.find("#SUP:");
+    DISC_CHECK_MSG(marker != std::string::npos, "pattern line lacks #SUP:");
+    std::istringstream body(line.substr(0, marker));
+    std::vector<Itemset> itemsets;
+    std::vector<Item> current;
+    long long tok;
+    while (body >> tok) {
+      if (tok == -1) {
+        DISC_CHECK_MSG(!current.empty(), "empty itemset in pattern");
+        itemsets.emplace_back(std::move(current));
+        current.clear();
+      } else {
+        DISC_CHECK_MSG(tok > 0, "items must be positive");
+        current.push_back(static_cast<Item>(tok));
+      }
+    }
+    DISC_CHECK_MSG(current.empty(), "pattern itemset not closed with -1");
+    DISC_CHECK_MSG(!itemsets.empty(), "empty pattern");
+    std::istringstream sup_in(line.substr(marker + 5));
+    long long sup = -1;
+    DISC_CHECK_MSG(static_cast<bool>(sup_in >> sup) && sup >= 0,
+                   "missing support value");
+    out.Add(Sequence(itemsets), static_cast<std::uint32_t>(sup));
+  }
+  return out;
+}
+
+bool SavePatterns(const PatternSet& patterns, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToSpmfPatternString(patterns);
+  return static_cast<bool>(out);
+}
+
+PatternSet LoadPatterns(const std::string& path) {
+  std::ifstream in(path);
+  DISC_CHECK_MSG(static_cast<bool>(in), "cannot open pattern file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromSpmfPatternString(buf.str());
+}
+
+}  // namespace disc

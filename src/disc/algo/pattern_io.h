@@ -1,0 +1,31 @@
+// Serialization of mining results in the SPMF output format — one pattern
+// per line, itemsets separated by -1, followed by "#SUP: <count>":
+//
+//   1 5 -1 2 -1 #SUP: 4
+//
+// Interoperable with the SPMF toolkit's sequential-pattern output, so
+// results can be diffed against third-party miners.
+#ifndef DISC_ALGO_PATTERN_IO_H_
+#define DISC_ALGO_PATTERN_IO_H_
+
+#include <string>
+
+#include "disc/algo/pattern_set.h"
+
+namespace disc {
+
+/// Serializes a pattern set (ascending comparative order).
+std::string ToSpmfPatternString(const PatternSet& patterns);
+
+/// Parses a pattern set from SPMF output text. Aborts on malformed input.
+PatternSet FromSpmfPatternString(const std::string& text);
+
+/// Writes patterns to a file; returns false on I/O failure.
+bool SavePatterns(const PatternSet& patterns, const std::string& path);
+
+/// Reads patterns from a file; aborts if unreadable or malformed.
+PatternSet LoadPatterns(const std::string& path);
+
+}  // namespace disc
+
+#endif  // DISC_ALGO_PATTERN_IO_H_

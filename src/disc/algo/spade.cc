@@ -1,0 +1,166 @@
+#include "disc/algo/spade.h"
+
+#include <algorithm>
+
+#include "disc/common/check.h"
+#include "disc/order/compare.h"
+
+namespace disc {
+namespace {
+
+// (sid, eid) occurrence: the pattern's last itemset is contained in
+// transaction eid of sequence sid, with the earlier itemsets embeddable
+// strictly before. Sorted by (sid, eid).
+using IdList = std::vector<std::pair<Cid, std::uint32_t>>;
+
+std::uint32_t SupportOf(const IdList& list) {
+  std::uint32_t support = 0;
+  Cid prev = 0;
+  bool first = true;
+  for (const auto& [sid, eid] : list) {
+    (void)eid;
+    if (first || sid != prev) {
+      ++support;
+      prev = sid;
+      first = false;
+    }
+  }
+  return support;
+}
+
+// Temporal join: occurrences of B's last element strictly after an
+// occurrence of A — the ID-list of (A s-extended by B's atom item).
+IdList TemporalJoin(const IdList& a, const IdList& b) {
+  IdList out;
+  std::size_t i = 0;
+  for (const auto& [sid, eid] : b) {
+    while (i < a.size() &&
+           (a[i].first < sid)) {
+      ++i;
+    }
+    // First A-occurrence in this sid; valid if it precedes eid.
+    if (i < a.size() && a[i].first == sid && a[i].second < eid) {
+      out.emplace_back(sid, eid);
+    }
+  }
+  return out;
+}
+
+// Equality join: transactions carrying both last itemsets — the ID-list of
+// the merged-itemset extension.
+IdList EqualityJoin(const IdList& a, const IdList& b) {
+  IdList out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+// An atom of an equivalence class: the class prefix extended by one item.
+struct Atom {
+  Item item;
+  ExtType type;
+  IdList ids;
+  std::uint32_t support;
+};
+
+class Run {
+ public:
+  Run(const SequenceDatabase& db, const MineOptions& options)
+      : db_(db), options_(options) {}
+
+  PatternSet Execute() {
+    const std::uint32_t delta = options_.min_support_count;
+    if (db_.empty() || delta > db_.size()) return std::move(out_);
+
+    // First (and only) horizontal pass: per-item ID-lists.
+    std::vector<IdList> item_ids(db_.max_item() + 1);
+    for (Cid cid = 0; cid < db_.size(); ++cid) {
+      const Sequence& s = db_[cid];
+      for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+        for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+          item_ids[*p].emplace_back(cid, t);
+        }
+      }
+    }
+    std::vector<Atom> roots;
+    for (Item x = 1; x <= db_.max_item(); ++x) {
+      if (item_ids[x].empty()) continue;
+      const std::uint32_t sup = SupportOf(item_ids[x]);
+      if (sup < delta) continue;
+      roots.push_back({x, ExtType::kSequence, std::move(item_ids[x]), sup});
+    }
+    Grow(Sequence(), roots);
+    return std::move(out_);
+  }
+
+ private:
+  // Emits every atom's pattern and grows each atom's class from its
+  // siblings (Zaki's temporal/equality joins).
+  void Grow(const Sequence& prefix, const std::vector<Atom>& atoms) {
+    for (const Atom& a : atoms) {
+      const Sequence pattern = Extend(prefix, a.item, a.type);
+      out_.Add(pattern, a.support);
+      if (options_.max_length != 0 &&
+          pattern.Length() >= options_.max_length) {
+        continue;
+      }
+      std::vector<Atom> children;
+      for (const Atom& b : atoms) {
+        // Sequence extension: only an S-type sibling's ID-list enumerates
+        // every transaction carrying its item with the class prefix before
+        // it; an I-type sibling's list is restricted to transactions that
+        // also contain the prefix's last itemset and would undercount.
+        if (b.type == ExtType::kSequence) {
+          IdList ids = TemporalJoin(a.ids, b.ids);
+          const std::uint32_t sup = SupportOf(ids);
+          if (sup >= options_.min_support_count) {
+            children.push_back(
+                {b.item, ExtType::kSequence, std::move(ids), sup});
+          }
+        }
+        // Itemset extension: a same-type sibling with a larger item joins
+        // A's last itemset.
+        if (b.type == a.type && b.item > a.item) {
+          IdList ids = EqualityJoin(a.ids, b.ids);
+          const std::uint32_t sup = SupportOf(ids);
+          if (sup >= options_.min_support_count) {
+            children.push_back(
+                {b.item, ExtType::kItemset, std::move(ids), sup});
+          }
+        }
+      }
+      std::sort(children.begin(), children.end(),
+                [](const Atom& x, const Atom& y) {
+                  return CompareExtensions(x.item, x.type, y.item, y.type) <
+                         0;
+                });
+      if (!children.empty()) Grow(pattern, children);
+    }
+  }
+
+  const SequenceDatabase& db_;
+  const MineOptions& options_;
+  PatternSet out_;
+};
+
+}  // namespace
+
+PatternSet Spade::Mine(const SequenceDatabase& db,
+                       const MineOptions& options) {
+  DISC_CHECK(options.min_support_count >= 1);
+  Run run(db, options);
+  return run.Execute();
+}
+
+}  // namespace disc

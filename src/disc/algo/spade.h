@@ -1,0 +1,28 @@
+// SPADE (Zaki, Machine Learning 2001): vertical-format mining with ID-lists.
+//
+// Every pattern carries an ID-list of (sid, eid) pairs — the transactions in
+// which its last itemset occurs with the rest of the pattern embeddable
+// before — exactly the lists of the paper's §1.1 example. Classes of
+// patterns sharing a prefix are grown depth-first; sibling atoms are
+// combined with *temporal* joins (sequence extensions) and *equality* joins
+// (itemset extensions), so support counting never rescans the database
+// after the first pass.
+#ifndef DISC_ALGO_SPADE_H_
+#define DISC_ALGO_SPADE_H_
+
+#include "disc/algo/miner.h"
+
+namespace disc {
+
+/// SPADE frequent-sequence miner. See file comment.
+class Spade : public Miner {
+ public:
+  PatternSet Mine(const SequenceDatabase& db,
+                  const MineOptions& options) override;
+
+  std::string name() const override { return "spade"; }
+};
+
+}  // namespace disc
+
+#endif  // DISC_ALGO_SPADE_H_

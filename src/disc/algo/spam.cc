@@ -1,0 +1,192 @@
+#include "disc/algo/spam.h"
+
+#include <bit>
+
+#include "disc/common/check.h"
+#include "disc/order/compare.h"
+
+namespace disc {
+namespace {
+
+// Transaction-granular bitmap over the whole database. Sequence boundaries
+// live in the shared layout (bit offsets per sequence).
+struct Layout {
+  std::vector<std::uint32_t> seq_start;  // bit offset per sid, plus total
+  std::uint32_t total_bits() const { return seq_start.back(); }
+};
+
+class Bitmap {
+ public:
+  explicit Bitmap(std::uint32_t bits)
+      : blocks_((bits + 63) / 64, 0), bits_(bits) {}
+
+  void Set(std::uint32_t i) { blocks_[i >> 6] |= 1ull << (i & 63); }
+
+  static Bitmap And(const Bitmap& a, const Bitmap& b) {
+    Bitmap out(a.bits_);
+    for (std::size_t i = 0; i < out.blocks_.size(); ++i) {
+      out.blocks_[i] = a.blocks_[i] & b.blocks_[i];
+    }
+    return out;
+  }
+
+  /// SPAM's S-step transform: per sequence range, clear all bits and set
+  /// every position strictly after the first set bit.
+  Bitmap STransform(const Layout& layout) const {
+    Bitmap out(bits_);
+    for (std::size_t sid = 0; sid + 1 < layout.seq_start.size(); ++sid) {
+      const std::uint32_t lo = layout.seq_start[sid];
+      const std::uint32_t hi = layout.seq_start[sid + 1];
+      const std::uint32_t first = FirstSetInRange(lo, hi);
+      for (std::uint32_t b = first + 1; b < hi && first != hi; ++b) {
+        out.Set(b);
+      }
+    }
+    return out;
+  }
+
+  /// Number of sequences with at least one set bit (the support).
+  std::uint32_t CountSupport(const Layout& layout) const {
+    std::uint32_t support = 0;
+    for (std::size_t sid = 0; sid + 1 < layout.seq_start.size(); ++sid) {
+      if (FirstSetInRange(layout.seq_start[sid],
+                          layout.seq_start[sid + 1]) !=
+          layout.seq_start[sid + 1]) {
+        ++support;
+      }
+    }
+    return support;
+  }
+
+ private:
+  // First set bit in [lo, hi), or hi if none.
+  std::uint32_t FirstSetInRange(std::uint32_t lo, std::uint32_t hi) const {
+    std::uint32_t b = lo;
+    while (b < hi) {
+      const std::uint32_t block = b >> 6;
+      std::uint64_t word = blocks_[block] >> (b & 63);
+      if (word != 0) {
+        const std::uint32_t hit =
+            b + static_cast<std::uint32_t>(std::countr_zero(word));
+        return hit < hi ? hit : hi;
+      }
+      b = (block + 1) << 6;
+    }
+    return hi;
+  }
+
+  std::vector<std::uint64_t> blocks_;
+  std::uint32_t bits_;
+};
+
+class Run {
+ public:
+  Run(const SequenceDatabase& db, const MineOptions& options)
+      : db_(db), options_(options) {}
+
+  PatternSet Execute() {
+    const std::uint32_t delta = options_.min_support_count;
+    if (db_.empty() || delta > db_.size()) return std::move(out_);
+
+    // Layout and per-item bitmaps.
+    layout_.seq_start.resize(db_.size() + 1, 0);
+    for (Cid cid = 0; cid < db_.size(); ++cid) {
+      layout_.seq_start[cid + 1] =
+          layout_.seq_start[cid] + db_[cid].NumTransactions();
+    }
+    item_bm_.assign(db_.max_item() + 1, Bitmap(layout_.total_bits()));
+    for (Cid cid = 0; cid < db_.size(); ++cid) {
+      const Sequence& s = db_[cid];
+      for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+        for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+          item_bm_[*p].Set(layout_.seq_start[cid] + t);
+        }
+      }
+    }
+
+    std::vector<Item> freq_items;
+    for (Item x = 1; x <= db_.max_item(); ++x) {
+      if (item_bm_[x].CountSupport(layout_) >= delta) freq_items.push_back(x);
+    }
+    for (const Item x : freq_items) {
+      Sequence p;
+      p.AppendNewItemset(x);
+      const std::uint32_t sup = item_bm_[x].CountSupport(layout_);
+      out_.Add(p, sup);
+      std::vector<Item> i_cands;
+      for (const Item y : freq_items) {
+        if (y > x) i_cands.push_back(y);
+      }
+      Dfs(p, item_bm_[x], freq_items, i_cands);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void Dfs(const Sequence& pattern, const Bitmap& bm,
+           const std::vector<Item>& s_cands, const std::vector<Item>& i_cands) {
+    if (options_.max_length != 0 &&
+        pattern.Length() >= options_.max_length) {
+      return;
+    }
+    const std::uint32_t delta = options_.min_support_count;
+    const Bitmap sbm = bm.STransform(layout_);
+
+    // S-step and I-step pruning: keep only the locally frequent candidates.
+    std::vector<Item> s_freq;
+    std::vector<std::pair<Bitmap, std::uint32_t>> s_maps;
+    for (const Item x : s_cands) {
+      Bitmap child = Bitmap::And(sbm, item_bm_[x]);
+      const std::uint32_t sup = child.CountSupport(layout_);
+      if (sup >= delta) {
+        s_freq.push_back(x);
+        s_maps.emplace_back(std::move(child), sup);
+      }
+    }
+    std::vector<Item> i_freq;
+    std::vector<std::pair<Bitmap, std::uint32_t>> i_maps;
+    for (const Item y : i_cands) {
+      Bitmap child = Bitmap::And(bm, item_bm_[y]);
+      const std::uint32_t sup = child.CountSupport(layout_);
+      if (sup >= delta) {
+        i_freq.push_back(y);
+        i_maps.emplace_back(std::move(child), sup);
+      }
+    }
+
+    for (std::size_t i = 0; i < s_freq.size(); ++i) {
+      const Sequence child = Extend(pattern, s_freq[i], ExtType::kSequence);
+      out_.Add(child, s_maps[i].second);
+      std::vector<Item> child_i;
+      for (const Item y : s_freq) {
+        if (y > s_freq[i]) child_i.push_back(y);
+      }
+      Dfs(child, s_maps[i].first, s_freq, child_i);
+    }
+    for (std::size_t i = 0; i < i_freq.size(); ++i) {
+      const Sequence child = Extend(pattern, i_freq[i], ExtType::kItemset);
+      out_.Add(child, i_maps[i].second);
+      std::vector<Item> child_i;
+      for (const Item y : i_freq) {
+        if (y > i_freq[i]) child_i.push_back(y);
+      }
+      Dfs(child, i_maps[i].first, s_freq, child_i);
+    }
+  }
+
+  const SequenceDatabase& db_;
+  const MineOptions& options_;
+  Layout layout_;
+  std::vector<Bitmap> item_bm_;
+  PatternSet out_;
+};
+
+}  // namespace
+
+PatternSet Spam::Mine(const SequenceDatabase& db, const MineOptions& options) {
+  DISC_CHECK(options.min_support_count >= 1);
+  Run run(db, options);
+  return run.Execute();
+}
+
+}  // namespace disc

@@ -1,0 +1,30 @@
+// SPAM (Ayres et al., SIGKDD 2002): depth-first mining over vertical
+// bitmaps. Every pattern owns a bitmap with one bit per transaction of the
+// database (sequences occupy contiguous bit ranges); a set bit marks a
+// transaction containing the pattern's last itemset with the rest
+// embeddable before. Sequence extension is the "S-step" (transform the
+// bitmap so every bit strictly after a sequence's first set bit is on, then
+// AND with the item's bitmap); itemset extension is a plain AND. Candidate
+// items are pruned per node, as in the paper.
+//
+// The original assumes all bitmaps fit in memory; so does this
+// implementation (the paper's §1.1 makes the same remark).
+#ifndef DISC_ALGO_SPAM_H_
+#define DISC_ALGO_SPAM_H_
+
+#include "disc/algo/miner.h"
+
+namespace disc {
+
+/// SPAM frequent-sequence miner. See file comment.
+class Spam : public Miner {
+ public:
+  PatternSet Mine(const SequenceDatabase& db,
+                  const MineOptions& options) override;
+
+  std::string name() const override { return "spam"; }
+};
+
+}  // namespace disc
+
+#endif  // DISC_ALGO_SPAM_H_

@@ -1,0 +1,58 @@
+#include "disc/algo/topk.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "disc/common/check.h"
+
+namespace disc {
+namespace {
+
+// Patterns of acceptable length, by descending support.
+std::vector<std::pair<const Sequence*, std::uint32_t>> Qualifying(
+    const PatternSet& mined, const TopKOptions& options) {
+  std::vector<std::pair<const Sequence*, std::uint32_t>> out;
+  for (const auto& [p, sup] : mined) {
+    if (p.Length() < options.min_length) continue;
+    out.emplace_back(&p, sup);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+}  // namespace
+
+PatternSet MineTopK(const SequenceDatabase& db, const TopKOptions& options) {
+  DISC_CHECK(options.k >= 1);
+  PatternSet out;
+  if (db.empty()) return out;
+  const auto miner = CreateMiner(options.algorithm);
+
+  MineOptions probe;
+  probe.max_length = options.max_length;
+  probe.min_support_count = static_cast<std::uint32_t>(db.size());
+  PatternSet mined;
+  for (;;) {
+    mined = miner->Mine(db, probe);
+    if (Qualifying(mined, options).size() >= options.k ||
+        probe.min_support_count == 1) {
+      break;
+    }
+    probe.min_support_count =
+        std::max<std::uint32_t>(1, probe.min_support_count / 2);
+  }
+
+  const auto ranked = Qualifying(mined, options);
+  if (ranked.empty()) return out;
+  // Keep the k best plus every tie at the cutoff support.
+  const std::size_t limit = std::min(options.k, ranked.size());
+  const std::uint32_t cutoff = ranked[limit - 1].second;
+  for (const auto& [p, sup] : ranked) {
+    if (sup >= cutoff) out.Add(*p, sup);
+  }
+  return out;
+}
+
+}  // namespace disc

@@ -1,0 +1,35 @@
+// Top-k sequential-pattern mining on top of any threshold miner: find the
+// k highest-support patterns without the user guessing a minimum support.
+//
+// Strategy: probe supports downward — start from a high threshold, halve
+// until at least k patterns emerge (or the threshold hits 1), then trim to
+// the k best. The probing miner's anti-monotone pruning keeps the
+// overshoot cheap, and every probe reuses the normal Mine() entry point so
+// any of the seven algorithms can serve as the engine.
+#ifndef DISC_ALGO_TOPK_H_
+#define DISC_ALGO_TOPK_H_
+
+#include <string>
+
+#include "disc/algo/miner.h"
+
+namespace disc {
+
+/// Options for top-k mining.
+struct TopKOptions {
+  std::size_t k = 10;            ///< patterns to return (at least this many
+                                 ///< candidates are mined; ties at the
+                                 ///< cutoff support are all kept)
+  std::uint32_t min_length = 1;  ///< ignore shorter patterns
+  std::uint32_t max_length = 0;  ///< 0 = unlimited
+  std::string algorithm = "disc-all";  ///< probing engine (CreateMiner name)
+};
+
+/// Returns the patterns with the k highest supports (all ties at the k-th
+/// support included), as a PatternSet. Returns fewer when the database has
+/// fewer qualifying patterns.
+PatternSet MineTopK(const SequenceDatabase& db, const TopKOptions& options);
+
+}  // namespace disc
+
+#endif  // DISC_ALGO_TOPK_H_

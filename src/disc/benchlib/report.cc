@@ -1,0 +1,29 @@
+#include "disc/benchlib/report.h"
+
+#include <cstdio>
+
+namespace disc {
+
+void PrintBanner(const std::string& artifact, const std::string& setup,
+                 bool scaled_down) {
+  std::printf("==== %s ====\n%s\n", artifact.c_str(), setup.c_str());
+  if (scaled_down) {
+    std::printf(
+        "(scaled-down defaults for CI speed; pass --full for paper-sized "
+        "inputs)\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string DescribeDatabase(const SequenceDatabase& db) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "|DB|=%zu seqs, avg %.2f txns/customer x %.2f items/txn, "
+                "%llu item occurrences",
+                db.size(), db.AvgTransactionsPerCustomer(),
+                db.AvgItemsPerTransaction(),
+                static_cast<unsigned long long>(db.TotalItems()));
+  return buf;
+}
+
+}  // namespace disc

@@ -1,0 +1,25 @@
+// Report helpers for the benchmark binaries: every bench prints a short
+// provenance banner (what paper artifact it regenerates, what workload it
+// ran) followed by a markdown table that drops straight into
+// EXPERIMENTS.md.
+#ifndef DISC_BENCHLIB_REPORT_H_
+#define DISC_BENCHLIB_REPORT_H_
+
+#include <string>
+
+#include "disc/seq/database.h"
+
+namespace disc {
+
+/// Prints the bench banner: which table/figure, the workload shape, and the
+/// scale disclaimer when running below paper size.
+void PrintBanner(const std::string& artifact, const std::string& setup,
+                 bool scaled_down);
+
+/// One-line database shape summary ("|DB|=10000 seqs, avg 8.1 txns x 7.9
+/// items").
+std::string DescribeDatabase(const SequenceDatabase& db);
+
+}  // namespace disc
+
+#endif  // DISC_BENCHLIB_REPORT_H_

@@ -1,0 +1,48 @@
+#include "disc/benchlib/workload.h"
+
+#include "disc/common/timer.h"
+
+namespace disc {
+
+QuestParams Fig8Params(std::uint32_t ncust) {
+  QuestParams p;
+  p.ncust = ncust;
+  p.slen = 10.0;
+  p.tlen = 2.5;
+  p.nitems = 1000;
+  p.seq_patlen = 4.0;
+  return p;
+}
+
+QuestParams Fig9Params(std::uint32_t ncust) {
+  QuestParams p;
+  p.ncust = ncust;
+  p.slen = 8.0;
+  p.tlen = 8.0;
+  p.nitems = 1000;
+  p.seq_patlen = 8.0;
+  return p;
+}
+
+QuestParams ThetaParams(std::uint32_t ncust, double theta) {
+  QuestParams p;
+  p.ncust = ncust;
+  p.slen = theta;
+  p.tlen = 2.5;
+  p.nitems = 1000;
+  p.seq_patlen = 4.0;
+  return p;
+}
+
+MineTiming TimeMine(Miner* miner, const SequenceDatabase& db,
+                    const MineOptions& options) {
+  Timer timer;
+  const PatternSet result = miner->Mine(db, options);
+  MineTiming t;
+  t.seconds = timer.Seconds();
+  t.num_patterns = result.size();
+  t.max_length = result.MaxLength();
+  return t;
+}
+
+}  // namespace disc

@@ -1,0 +1,39 @@
+// Shared workload definitions for the benchmark suite: the exact Quest
+// parameterizations of the paper's evaluation section (§4), plus timing
+// helpers.
+#ifndef DISC_BENCHLIB_WORKLOAD_H_
+#define DISC_BENCHLIB_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "disc/algo/miner.h"
+#include "disc/gen/quest.h"
+#include "disc/seq/database.h"
+
+namespace disc {
+
+/// Figure 8 / Table 11 setting: slen 10, tlen 2.5, nitems 1K,
+/// seq.patlen 4; ncust is the swept variable (paper: 50K-500K).
+QuestParams Fig8Params(std::uint32_t ncust);
+
+/// Figure 9 / Tables 12-13 setting (from [8]): slen = tlen = seq.patlen = 8,
+/// nitems 1K; paper ncust 10K.
+QuestParams Fig9Params(std::uint32_t ncust);
+
+/// Figure 10 / Table 14 setting: nitems 1K, tlen 2.5, seq.patlen 4; the
+/// average transactions per customer θ is swept (paper: ncust 50K,
+/// θ 10-40, minsup 0.005).
+QuestParams ThetaParams(std::uint32_t ncust, double theta);
+
+/// Runs one timed Mine() and reports seconds and the result size.
+struct MineTiming {
+  double seconds = 0.0;
+  std::size_t num_patterns = 0;
+  std::uint32_t max_length = 0;
+};
+MineTiming TimeMine(Miner* miner, const SequenceDatabase& db,
+                    const MineOptions& options);
+
+}  // namespace disc
+
+#endif  // DISC_BENCHLIB_WORKLOAD_H_

@@ -1,0 +1,38 @@
+// Lightweight invariant checking used throughout the library.
+//
+// DISC_CHECK is always on (mining bugs silently corrupt results, so the cost
+// of a predictable branch is worth it); DISC_DCHECK compiles away in NDEBUG
+// builds and guards the expensive structural invariants.
+#ifndef DISC_COMMON_CHECK_H_
+#define DISC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DISC_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DISC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DISC_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DISC_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define DISC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define DISC_DCHECK(cond) DISC_CHECK(cond)
+#endif
+
+#endif  // DISC_COMMON_CHECK_H_

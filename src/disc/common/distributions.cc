@@ -1,0 +1,55 @@
+#include "disc/common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+std::uint32_t SamplePoisson(Rng* rng, double mean) {
+  DISC_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  // Knuth: multiply uniforms until the product drops below e^-mean.
+  const double limit = std::exp(-mean);
+  std::uint32_t k = 0;
+  double p = 1.0;
+  for (;;) {
+    p *= rng->NextDouble();
+    if (p <= limit) return k;
+    ++k;
+    // Guard against pathological means; the generator never asks for more.
+    if (k > 100000) return k;
+  }
+}
+
+double SampleExponential(Rng* rng, double mean) {
+  DISC_CHECK(mean > 0.0);
+  double u = rng->NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double SampleNormal(Rng* rng, double mean, double stddev) {
+  DISC_CHECK(stddev >= 0.0);
+  double u1 = rng->NextDouble();
+  const double u2 = rng->NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::uint32_t SampleFromCumulative(Rng* rng, const double* cum,
+                                   std::uint32_t n) {
+  DISC_CHECK(n > 0);
+  const double total = cum[n - 1];
+  DISC_CHECK(total > 0.0);
+  const double x = rng->NextDouble() * total;
+  const double* it = std::upper_bound(cum, cum + n, x);
+  std::uint32_t idx = static_cast<std::uint32_t>(it - cum);
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace disc

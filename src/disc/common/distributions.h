@@ -1,0 +1,32 @@
+// Deterministic samplers for the distributions the IBM Quest-style data
+// generator needs. Implemented from first principles (inverse transform,
+// Box-Muller, Knuth's Poisson) so results are identical across platforms.
+#ifndef DISC_COMMON_DISTRIBUTIONS_H_
+#define DISC_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+#include "disc/common/rng.h"
+
+namespace disc {
+
+/// Samples Poisson(mean). Uses Knuth's product method; the generator's means
+/// are small (< 64) so this is both exact and fast enough.
+std::uint32_t SamplePoisson(Rng* rng, double mean);
+
+/// Samples Exponential(1/mean), i.e. with the given mean, via inverse
+/// transform.
+double SampleExponential(Rng* rng, double mean);
+
+/// Samples Normal(mean, stddev) via Box-Muller (one value per call; the
+/// second value is discarded to keep the stream position predictable).
+double SampleNormal(Rng* rng, double mean, double stddev);
+
+/// Samples an index in [0, n) from a cumulative weight table `cum` of size n
+/// where cum[n-1] is the total weight. Binary search on a uniform draw.
+std::uint32_t SampleFromCumulative(Rng* rng, const double* cum,
+                                   std::uint32_t n);
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_DISTRIBUTIONS_H_

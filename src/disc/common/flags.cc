@@ -1,0 +1,70 @@
+#include "disc/common/flags.h"
+
+#include <cstdlib>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "";  // bare flag, boolean true
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& dflt) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? dflt : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  DISC_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                 "integer flag has non-integer value");
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  DISC_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                 "double flag has non-numeric value");
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  DISC_CHECK_MSG(false, "boolean flag has non-boolean value");
+  return dflt;
+}
+
+}  // namespace disc

@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the benchmark and example binaries.
+//
+// Accepts flags of the form --name=value or --name value; anything else is
+// collected as a positional argument. No registration step: binaries query
+// the parsed map with typed getters and defaults.
+#ifndef DISC_COMMON_FLAGS_H_
+#define DISC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace disc {
+
+/// Parsed command line. See file comment for syntax.
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parses argv. Unknown flags are kept (queried later or ignored).
+  static Flags Parse(int argc, char** argv);
+
+  /// Returns true if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults. Malformed values abort with a message.
+  std::string GetString(const std::string& name, const std::string& dflt) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t dflt) const;
+  double GetDouble(const std::string& name, double dflt) const;
+  bool GetBool(const std::string& name, bool dflt) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_FLAGS_H_

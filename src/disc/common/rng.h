@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// The library never uses <random>'s distribution objects because their output
+// is implementation-defined; all sampling is built on top of this generator
+// so that a (seed, parameters) pair reproduces the identical database on any
+// platform. The generator is xoshiro256** seeded through splitmix64.
+#ifndef DISC_COMMON_RNG_H_
+#define DISC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace disc {
+
+/// Deterministic 64-bit PRNG (xoshiro256**, splitmix64-seeded).
+class Rng {
+ public:
+  /// Seeds the generator. The same seed yields the same stream everywhere.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Returns an unbiased integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Returns an integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Returns a double uniformly in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Forks an independent generator; deterministic given this generator's
+  /// current state. Useful for giving each customer its own stream.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_RNG_H_

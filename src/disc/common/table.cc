@@ -1,0 +1,59 @@
+#include "disc/common/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace disc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += " ";
+      out += std::string(widths[c] - cells[c].size(), ' ');
+      out += cells[c];
+      out += " |";
+    }
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(headers_);
+  out += "|";
+  for (const std::size_t w : widths) {
+    out += std::string(w + 1, '-');
+    out += ":|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace disc

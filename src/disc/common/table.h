@@ -1,0 +1,40 @@
+// Plain-text table formatting for benchmark output.
+//
+// Benchmarks print the same rows/series as the paper's tables and figures;
+// this helper right-aligns numeric columns and renders a GitHub-style
+// markdown table so the output drops straight into EXPERIMENTS.md.
+#ifndef DISC_COMMON_TABLE_H_
+#define DISC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace disc {
+
+/// Accumulates rows of stringified cells and prints an aligned table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; it is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table as markdown (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+  /// Formats a double with the given precision, or "-" for NaN (used for the
+  /// paper's empty NRR cells).
+  static std::string Num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_TABLE_H_

@@ -1,0 +1,51 @@
+#include "disc/core/counting_array.h"
+
+#include <algorithm>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+CountingArray::CountingArray(Item max_item)
+    : i_entries_(static_cast<std::size_t>(max_item) + 1),
+      s_entries_(static_cast<std::size_t>(max_item) + 1) {}
+
+void CountingArray::Add(Item x, ExtType type, Cid cid) {
+  DISC_DCHECK(static_cast<std::size_t>(x) < i_entries_.size());
+  Entry& e =
+      type == ExtType::kItemset ? i_entries_[x] : s_entries_[x];
+  if (e.last_cid_plus1 == cid + 1) return;
+  if (i_entries_[x].count == 0 && s_entries_[x].count == 0) {
+    touched_.push_back(x);
+  }
+  e.last_cid_plus1 = cid + 1;
+  ++e.count;
+}
+
+std::uint32_t CountingArray::Count(Item x, ExtType type) const {
+  DISC_DCHECK(static_cast<std::size_t>(x) < i_entries_.size());
+  return type == ExtType::kItemset ? i_entries_[x].count
+                                   : s_entries_[x].count;
+}
+
+std::vector<std::pair<Item, ExtType>> CountingArray::FrequentExtensions(
+    std::uint32_t delta) const {
+  std::vector<Item> items = touched_;
+  std::sort(items.begin(), items.end());
+  std::vector<std::pair<Item, ExtType>> out;
+  for (const Item x : items) {
+    if (i_entries_[x].count >= delta) out.emplace_back(x, ExtType::kItemset);
+    if (s_entries_[x].count >= delta) out.emplace_back(x, ExtType::kSequence);
+  }
+  return out;
+}
+
+void CountingArray::Reset() {
+  for (const Item x : touched_) {
+    i_entries_[x] = Entry{};
+    s_entries_[x] = Entry{};
+  }
+  touched_.clear();
+}
+
+}  // namespace disc

@@ -1,0 +1,53 @@
+// The counting array of paper §3.1: per item, two (support count, last CID)
+// entries — one for the itemset form <(λx)> and one for the sequence form
+// <(λ)(x)> of a one-item extension. The last-CID column prevents counting a
+// pattern twice for the same customer sequence, so one scan suffices.
+//
+// Reset() is O(#touched items), letting a single array be reused across all
+// partitions of a mining run.
+#ifndef DISC_CORE_COUNTING_ARRAY_H_
+#define DISC_CORE_COUNTING_ARRAY_H_
+
+#include <vector>
+
+#include "disc/order/compare.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// Support counting for one-item extensions of a fixed prefix. See file
+/// comment.
+class CountingArray {
+ public:
+  /// Items 1..max_item are countable.
+  explicit CountingArray(Item max_item);
+
+  /// Records that customer `cid` supports the extension (x, type). Repeated
+  /// calls with the same cid are idempotent (the last-CID mechanism).
+  void Add(Item x, ExtType type, Cid cid);
+
+  /// Support count of extension (x, type).
+  std::uint32_t Count(Item x, ExtType type) const;
+
+  /// All extensions with count >= delta, ascending by (item, type) with the
+  /// itemset form first — i.e. in the comparative order of the extended
+  /// patterns.
+  std::vector<std::pair<Item, ExtType>> FrequentExtensions(
+      std::uint32_t delta) const;
+
+  /// Clears all counts (O(#items touched since the last Reset)).
+  void Reset();
+
+ private:
+  struct Entry {
+    std::uint32_t count = 0;
+    std::uint32_t last_cid_plus1 = 0;  // 0 = never seen
+  };
+  std::vector<Entry> i_entries_;
+  std::vector<Entry> s_entries_;
+  std::vector<Item> touched_;  // items with any nonzero entry
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_COUNTING_ARRAY_H_

@@ -1,0 +1,253 @@
+#include "disc/core/disc_all.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "disc/common/check.h"
+#include "disc/core/counting_array.h"
+#include "disc/core/partition.h"
+#include "disc/seq/extension.h"
+
+namespace disc {
+namespace {
+
+// Smallest item of s strictly greater than floor (kNoItem floor = smallest
+// overall); kNoItem if none. Used for first-level reassignment.
+Item NextMinItem(const Sequence& s, Item floor) {
+  Item best = kNoItem;
+  for (const Item x : s.items()) {
+    if (x > floor && (best == kNoItem || x < best)) best = x;
+  }
+  return best;
+}
+
+class Run {
+ public:
+  Run(const SequenceDatabase& db, const MineOptions& options,
+      const DiscAll::Config& config, DiscAll::Stats* stats)
+      : db_(db),
+        options_(options),
+        config_(config),
+        stats_(stats),
+        counts_(db.max_item()) {}
+
+  PatternSet Execute() {
+    const std::uint32_t delta = options_.min_support_count;
+    if (db_.empty() || delta > db_.size()) return Finish();
+    const Item max_item = db_.max_item();
+
+    // ---- Step 1: one scan — frequent 1-sequences and first-level
+    // partitions by minimum item.
+    std::vector<std::uint32_t> item_support(max_item + 1, 0);
+    std::vector<std::uint64_t> seen(max_item + 1, 0);
+    std::vector<std::vector<Cid>> first_level(max_item + 1);
+    for (Cid cid = 0; cid < db_.size(); ++cid) {
+      const Sequence& s = db_[cid];
+      if (s.Empty()) continue;
+      Item min_item = s.items().front();
+      for (const Item x : s.items()) {
+        if (x < min_item) min_item = x;
+        if (seen[x] != cid + 1u) {
+          seen[x] = cid + 1u;
+          ++item_support[x];
+        }
+      }
+      first_level[min_item].push_back(cid);
+    }
+    for (Item x = 1; x <= max_item; ++x) {
+      if (item_support[x] >= delta) {
+        Sequence p;
+        p.AppendNewItemset(x);
+        out_.Add(p, item_support[x]);
+      }
+    }
+    if (options_.max_length == 1) return Finish();
+
+    // ---- Step 2: process first-level partitions in ascending item order,
+    // reassigning members forward after each.
+    for (Item lambda = 1; lambda <= max_item; ++lambda) {
+      std::vector<Cid> members = std::move(first_level[lambda]);
+      if (members.empty()) continue;
+      if (item_support[lambda] >= delta) {
+        DISC_CHECK(members.size() == item_support[lambda]);
+        ++stats_->first_level_partitions;
+        level0_ratio_sum_ +=
+            static_cast<double>(members.size()) /
+            static_cast<double>(db_.size());
+        ProcessFirstLevel(lambda, members, delta, max_item);
+      }
+      // Step 2.2: reassign to the partition of the next minimum item.
+      for (const Cid cid : members) {
+        const Item next = NextMinItem(db_[cid], lambda);
+        if (next != kNoItem) first_level[next].push_back(cid);
+      }
+    }
+    return Finish();
+  }
+
+  // Folds the physical-NRR accumulators into the stats and hands out the
+  // result set.
+  PatternSet Finish() {
+    stats_->physical_nrr_level0 =
+        stats_->first_level_partitions == 0
+            ? std::numeric_limits<double>::quiet_NaN()
+            : level0_ratio_sum_ /
+                  static_cast<double>(stats_->first_level_partitions);
+    stats_->physical_nrr_level1 =
+        level1_partitions_ == 0
+            ? std::numeric_limits<double>::quiet_NaN()
+            : level1_ratio_sum_ / static_cast<double>(level1_partitions_);
+    return std::move(out_);
+  }
+
+ private:
+  void ProcessFirstLevel(Item lambda, const std::vector<Cid>& members,
+                         std::uint32_t delta, Item max_item) {
+    Sequence pat1;
+    pat1.AppendNewItemset(lambda);
+
+    // Frequent 2-sequences with prefix λ via the counting array (§3.1).
+    counts_.Reset();
+    for (const Cid cid : members) {
+      ForEachExtension(db_[cid], pat1, [this, cid](Item x, ExtType type) {
+        counts_.Add(x, type, cid);
+      });
+    }
+    const auto freq2 = counts_.FrequentExtensions(delta);
+    for (const auto& [x, type] : freq2) {
+      out_.Add(Extend(pat1, x, type), counts_.Count(x, type));
+    }
+    if (freq2.empty() || options_.max_length == 2) return;
+
+    ExtFilter filter;
+    filter.Build(freq2, max_item);
+    auto ext_index = [&](const std::pair<Item, ExtType>& e) {
+      const auto it = std::lower_bound(
+          freq2.begin(), freq2.end(), e,
+          [](const auto& a, const auto& b) {
+            return CompareExtensions(a.first, a.second, b.first, b.second) <
+                   0;
+          });
+      DISC_DCHECK(it != freq2.end() && *it == e);
+      return static_cast<std::size_t>(it - freq2.begin());
+    };
+
+    // Reduce members (step 2.1.2) and split into second-level partitions by
+    // 2-minimum sequence. Each reduced sequence gets an occurrence index,
+    // reused by every later scan over it (keys, counting, DISC passes).
+    std::deque<Sequence> reduced;
+    std::deque<SequenceIndex> indexes;
+    std::vector<std::vector<std::uint32_t>> second_level(freq2.size());
+    for (const Cid cid : members) {
+      Sequence red =
+          ReduceCustomerSequence(db_[cid], lambda, counts_, delta);
+      if (red.Length() < 3) continue;
+      reduced.push_back(std::move(red));
+      indexes.emplace_back(reduced.back());
+      const auto key = ScanMinFrequentExt(reduced.back(), pat1, filter,
+                                          nullptr, &indexes.back());
+      if (!key.has_value()) {
+        reduced.pop_back();
+        indexes.pop_back();
+        continue;
+      }
+      second_level[ext_index(*key)].push_back(
+          static_cast<std::uint32_t>(reduced.size() - 1));
+    }
+
+    // Physical level-1 NRR: average second-level size over this
+    // first-level partition's size (Equation 2 on actual sizes).
+    {
+      std::uint64_t child_sum = 0;
+      std::uint64_t children = 0;
+      for (const auto& slots : second_level) {
+        if (slots.empty()) continue;
+        child_sum += slots.size();
+        ++children;
+      }
+      if (children > 0) {
+        level1_ratio_sum_ +=
+            static_cast<double>(child_sum) /
+            (static_cast<double>(children) *
+             static_cast<double>(members.size()));
+        ++level1_partitions_;
+      }
+    }
+
+    // Process second-level partitions ascending, reassigning forward.
+    for (std::size_t j = 0; j < freq2.size(); ++j) {
+      std::vector<std::uint32_t> slots = std::move(second_level[j]);
+      if (slots.empty()) continue;
+      if (slots.size() >= delta) {
+        ++stats_->second_level_partitions;
+        ProcessSecondLevel(Extend(pat1, freq2[j].first, freq2[j].second),
+                           reduced, indexes, slots, delta, max_item);
+      }
+      for (const std::uint32_t slot : slots) {
+        const auto next = ScanMinFrequentExt(reduced[slot], pat1, filter,
+                                             &freq2[j], &indexes[slot]);
+        if (next.has_value()) second_level[ext_index(*next)].push_back(slot);
+      }
+    }
+  }
+
+  void ProcessSecondLevel(const Sequence& pat2,
+                          const std::deque<Sequence>& reduced,
+                          const std::deque<SequenceIndex>& indexes,
+                          const std::vector<std::uint32_t>& slots,
+                          std::uint32_t delta, Item max_item) {
+    // Frequent 3-sequences with prefix pat2, again in one counting-array
+    // scan (step 2.1.3.1).
+    counts_.Reset();
+    for (const std::uint32_t slot : slots) {
+      ForEachExtension(
+          reduced[slot], pat2,
+          [this, slot](Item x, ExtType type) {
+            counts_.Add(x, type, slot);
+          },
+          &indexes[slot]);
+    }
+    const auto freq3 = counts_.FrequentExtensions(delta);
+    std::vector<Sequence> sorted_list;
+    sorted_list.reserve(freq3.size());
+    for (const auto& [x, type] : freq3) {
+      Sequence p = Extend(pat2, x, type);
+      out_.Add(p, counts_.Count(x, type));
+      sorted_list.push_back(std::move(p));
+    }
+    if (options_.max_length != 0 && options_.max_length <= 3) return;
+
+    // DISC for k >= 4 (step 2.1.3.2).
+    PartitionMembers pairs;
+    pairs.reserve(slots.size());
+    for (const std::uint32_t slot : slots) {
+      pairs.push_back({&reduced[slot], &indexes[slot], slot});
+    }
+    RunDiscLoop(pairs, std::move(sorted_list), 4, delta, config_.bilevel,
+                max_item, options_.max_length, &out_,
+                &stats_->disc_iterations, config_.use_avl);
+  }
+
+  const SequenceDatabase& db_;
+  const MineOptions& options_;
+  const DiscAll::Config& config_;
+  DiscAll::Stats* stats_;
+  CountingArray counts_;
+  PatternSet out_;
+  double level0_ratio_sum_ = 0.0;
+  double level1_ratio_sum_ = 0.0;
+  std::uint64_t level1_partitions_ = 0;
+};
+
+}  // namespace
+
+PatternSet DiscAll::Mine(const SequenceDatabase& db,
+                         const MineOptions& options) {
+  DISC_CHECK(options.min_support_count >= 1);
+  stats_ = Stats{};
+  Run run(db, options, config_, &stats_);
+  return run.Execute();
+}
+
+}  // namespace disc

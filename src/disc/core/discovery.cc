@@ -1,0 +1,173 @@
+#include "disc/core/discovery.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "disc/common/check.h"
+#include "disc/core/counting_array.h"
+#include "disc/core/ksorted.h"
+#include "disc/order/compare.h"
+#include "disc/seq/extension.h"
+
+namespace disc {
+namespace {
+
+// The re-sort ablation: a flat (key, entry) vector, fully std::sort-ed
+// after every advance batch, in place of the locative AVL tree. Same
+// semantics, O(n log n) per DISC iteration instead of O(batch · log n).
+DiscoveryResult DiscoverFrequentKResort(
+    const PartitionMembers& members, const std::vector<Sequence>& sorted_list,
+    const DiscoveryOptions& options) {
+  DiscoveryResult result;
+  struct Slot {
+    Sequence key;
+    const Sequence* seq;
+    const SequenceIndex* index;
+    Cid cid;
+    std::uint32_t apriori;
+  };
+  std::deque<SequenceIndex> owned;
+  std::vector<Slot> slots;
+  for (const PartitionMember& m : members) {
+    const SequenceIndex* index = m.index;
+    if (index == nullptr) {
+      owned.emplace_back(*m.seq);
+      index = &owned.back();
+    }
+    KmsResult r = AprioriKms(*m.seq, sorted_list, index);
+    if (!r.found) continue;
+    slots.push_back({std::move(r.kmin), m.seq, index, m.cid, r.prefix_index});
+  }
+  auto resort = [&slots] {
+    std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+      return CompareSequences(a.key, b.key) < 0;
+    });
+  };
+  resort();
+  CountingArray counts(options.bilevel ? options.max_item : 0);
+  while (slots.size() >= options.delta) {
+    ++result.iterations;
+    const Sequence alpha1 = slots.front().key;
+    const Sequence alpha_delta = slots[options.delta - 1].key;
+    const bool frequent = CompareSequences(alpha1, alpha_delta) == 0;
+    // The affected prefix of the sorted vector: the equal-key run
+    // (frequent) or everything below alpha_delta (non-frequent).
+    std::size_t cut = 0;
+    while (cut < slots.size() &&
+           CompareSequences(slots[cut].key,
+                            frequent ? alpha1 : alpha_delta) <
+               (frequent ? 1 : 0)) {
+      ++cut;
+    }
+    if (frequent) {
+      result.frequent_k.emplace_back(alpha1,
+                                     static_cast<std::uint32_t>(cut));
+      if (options.bilevel) {
+        counts.Reset();
+        for (std::size_t i = 0; i < cut; ++i) {
+          ForEachExtension(
+              *slots[i].seq, alpha1,
+              [&counts, &slots, i](Item x, ExtType type) {
+                counts.Add(x, type, slots[i].cid);
+              },
+              slots[i].index);
+        }
+        for (const auto& [x, type] :
+             counts.FrequentExtensions(options.delta)) {
+          result.frequent_k1.emplace_back(Extend(alpha1, x, type),
+                                          counts.Count(x, type));
+        }
+      }
+    }
+    const CkmsBound bound = CkmsBound::Make(alpha_delta, frequent);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < cut; ++i) {
+      Slot& s = slots[i];
+      KmsResult r = AprioriCkms(*s.seq, sorted_list, s.apriori, bound,
+                                s.index);
+      if (!r.found) continue;
+      s.key = std::move(r.kmin);
+      s.apriori = r.prefix_index;
+      if (keep != i) std::swap(slots[keep], slots[i]);
+      ++keep;
+    }
+    slots.erase(slots.begin() + keep, slots.begin() + cut);
+    resort();
+  }
+  return result;
+}
+
+}  // namespace
+
+DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
+                                  const std::vector<Sequence>& sorted_list,
+                                  const DiscoveryOptions& options) {
+  DISC_CHECK(options.k >= 1);
+  DISC_CHECK(options.delta >= 1);
+  DiscoveryResult result;
+  if (sorted_list.empty()) return result;
+  if (!options.use_avl) {
+    return DiscoverFrequentKResort(members, sorted_list, options);
+  }
+
+  KSortedDatabase sd(members, &sorted_list, options.k);
+  CountingArray counts(options.bilevel ? options.max_item : 0);
+  std::vector<std::uint32_t> handles;
+
+  while (sd.size() >= options.delta) {
+    ++result.iterations;
+    // Copies, not references: the tree nodes holding these keys are about to
+    // be removed.
+    const Sequence alpha1 = sd.MinKey();
+    const Sequence alpha_delta = sd.SelectKey(options.delta);
+    const bool frequent = CompareSequences(alpha1, alpha_delta) == 0;
+    handles.clear();
+    if (frequent) {
+      // Lemma 2.1: the whole minimum bucket supports α₁ and nothing else
+      // does, so the bucket size is the exact support.
+      sd.PopMinBucket(&handles);
+      DISC_CHECK(handles.size() >= options.delta);
+      result.frequent_k.emplace_back(
+          alpha1, static_cast<std::uint32_t>(handles.size()));
+      if (options.bilevel) {
+        // The bucket is the paper's "virtual partition": count every valid
+        // one-item extension of α₁ per supporter to find the frequent
+        // (k+1)-sequences with k-prefix α₁ in the same pass. The counting
+        // array is idempotent per customer, so the raw (duplicated)
+        // extension stream suffices.
+        counts.Reset();
+        for (const std::uint32_t h : handles) {
+          const KSortedEntry& e = sd.entry(h);
+          ForEachExtension(
+              *e.seq, alpha1,
+              [&counts, &e](Item x, ExtType type) {
+                counts.Add(x, type, e.cid);
+              },
+              &sd.index(h));
+        }
+        for (const auto& [x, type] :
+             counts.FrequentExtensions(options.delta)) {
+          result.frequent_k1.emplace_back(Extend(alpha1, x, type),
+                                          counts.Count(x, type));
+        }
+      }
+      // Supporters move strictly past α_δ (== α₁ here).
+      const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/true);
+      for (const std::uint32_t h : handles) {
+        sd.AdvanceAndReinsert(h, bound);
+      }
+    } else {
+      // Lemma 2.2: every k-sequence in [α₁, α_δ) is non-frequent; skip them
+      // all by advancing the sub-δ entries to >= α_δ.
+      sd.PopAllLess(alpha_delta, &handles);
+      DISC_CHECK(!handles.empty());
+      const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/false);
+      for (const std::uint32_t h : handles) {
+        sd.AdvanceAndReinsert(h, bound);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace disc

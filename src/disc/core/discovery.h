@@ -1,0 +1,62 @@
+// Frequent k-sequence discovery (paper Figure 4): the DISC strategy's inner
+// loop, plus the bi-level technique of §3.2 that additionally harvests the
+// frequent (k+1)-sequences from the virtual partitions in the same pass.
+//
+// Given the members of a partition and the sorted list of frequent
+// (k-1)-sequences, the loop maintains a k-sorted database and repeats:
+//
+//   α₁ == α_δ  ->  α₁ is frequent with support = |min bucket| (Lemma 2.1);
+//                  advance the bucket entries past α_δ (strict);
+//   α₁ != α_δ  ->  everything in [α₁, α_δ) is non-frequent (Lemma 2.2);
+//                  advance all entries below α_δ to >= α_δ (non-strict);
+//
+// until fewer than δ sequences remain. No support count of a non-frequent
+// k-sequence is ever computed.
+#ifndef DISC_CORE_DISCOVERY_H_
+#define DISC_CORE_DISCOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disc/core/member.h"
+#include "disc/seq/sequence.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// Options for one discovery pass.
+struct DiscoveryOptions {
+  std::uint32_t k = 0;       ///< pattern length this pass discovers
+  std::uint32_t delta = 1;   ///< minimum support count
+  bool bilevel = false;      ///< also harvest frequent (k+1)-sequences
+  Item max_item = 0;         ///< alphabet bound (sizes the counting array)
+  /// Index the k-sorted database with the locative AVL tree (the paper's
+  /// §3.2 mechanism). When false, a flat vector is fully re-sorted after
+  /// every advance batch — the naive strategy the AVL replaces, kept as an
+  /// ablation (bench_ablations) and differential oracle. Results are
+  /// identical either way.
+  bool use_avl = true;
+};
+
+/// Output of one discovery pass.
+struct DiscoveryResult {
+  /// Frequent k-sequences with exact supports, ascending.
+  std::vector<std::pair<Sequence, std::uint32_t>> frequent_k;
+  /// Frequent (k+1)-sequences (bi-level only), ascending.
+  std::vector<std::pair<Sequence, std::uint32_t>> frequent_k1;
+  /// Iterations of the DISC loop (instrumentation: how many comparisons of
+  /// α₁ with α_δ were made).
+  std::uint64_t iterations = 0;
+};
+
+/// Runs the DISC discovery loop over `members`. `sorted_list` holds the
+/// frequent (k-1)-sequences of this partition, ascending; every frequent
+/// k-sequence of the partition extends one of them (anti-monotone
+/// property).
+DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
+                                  const std::vector<Sequence>& sorted_list,
+                                  const DiscoveryOptions& options);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_DISCOVERY_H_

@@ -1,0 +1,145 @@
+#include "disc/core/dynamic_disc_all.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "disc/common/check.h"
+#include "disc/core/counting_array.h"
+#include "disc/core/partition.h"
+#include "disc/seq/extension.h"
+
+namespace disc {
+namespace {
+
+using Members = PartitionMembers;
+
+class Run {
+ public:
+  Run(const SequenceDatabase& db, const MineOptions& options,
+      const DynamicDiscAll::Config& config, DynamicDiscAll::Stats* stats)
+      : db_(db), options_(options), config_(config), stats_(stats) {}
+
+  PatternSet Execute() {
+    if (db_.empty() || options_.min_support_count > db_.size()) {
+      return std::move(out_);
+    }
+    // One occurrence index per customer sequence, shared by every level of
+    // the recursion and by the DISC passes (memory: O(total items)).
+    Members all;
+    all.reserve(db_.size());
+    for (Cid cid = 0; cid < db_.size(); ++cid) {
+      if (db_[cid].Empty()) continue;
+      indexes_.emplace_back(db_[cid]);
+      all.push_back({&db_[cid], &indexes_.back(), cid});
+    }
+    Recurse(Sequence(), all);
+    return std::move(out_);
+  }
+
+ private:
+  // Processes the <prefix>-partition `members` (Appendix algorithm; the
+  // original database is the empty-prefix partition).
+  void Recurse(const Sequence& prefix, const Members& members) {
+    const std::uint32_t delta = options_.min_support_count;
+    const std::uint32_t k = prefix.Length();
+    if (members.size() < delta) return;
+    if (options_.max_length != 0 && k >= options_.max_length) return;
+
+    // Step 1: frequent (k+1)-sequences with this prefix, one scan.
+    CountingArray counts(db_.max_item());
+    for (const PartitionMember& m : members) {
+      ForEachExtension(
+          *m.seq, prefix,
+          [&counts, &m](Item x, ExtType type) { counts.Add(x, type, m.cid); },
+          m.index);
+    }
+    const auto freq = counts.FrequentExtensions(delta);
+    std::uint64_t child_support_sum = 0;
+    for (const auto& [x, type] : freq) {
+      const std::uint32_t sup = counts.Count(x, type);
+      out_.Add(Extend(prefix, x, type), sup);
+      child_support_sum += sup;
+    }
+    if (freq.empty()) return;
+    if (options_.max_length != 0 && k + 1 >= options_.max_length) return;
+
+    // Step 2: the non-reduction rate of this partition (or a fixed depth
+    // policy when configured).
+    const double nrr =
+        static_cast<double>(child_support_sum) /
+        (static_cast<double>(freq.size()) *
+         static_cast<double>(members.size()));
+    const bool split =
+        config_.fixed_levels >= 0
+            ? k < static_cast<std::uint32_t>(config_.fixed_levels)
+            : nrr < config_.gamma;
+
+    if (split) {
+      // Step 3: partition one level deeper and recurse, reassigning each
+      // member to its next child partition afterwards.
+      ++stats_->partitions_split;
+      ExtFilter filter;
+      filter.Build(freq, db_.max_item());
+      auto ext_index = [&](const std::pair<Item, ExtType>& e) {
+        const auto it = std::lower_bound(
+            freq.begin(), freq.end(), e, [](const auto& a, const auto& b) {
+              return CompareExtensions(a.first, a.second, b.first, b.second) <
+                     0;
+            });
+        DISC_DCHECK(it != freq.end() && *it == e);
+        return static_cast<std::size_t>(it - freq.begin());
+      };
+      std::vector<Members> children(freq.size());
+      for (const PartitionMember& member : members) {
+        const auto key = ScanMinFrequentExt(*member.seq, prefix, filter,
+                                            nullptr, member.index);
+        if (key.has_value()) children[ext_index(*key)].push_back(member);
+      }
+      for (std::size_t j = 0; j < freq.size(); ++j) {
+        Members child = std::move(children[j]);
+        if (child.empty()) continue;
+        if (child.size() >= delta) {
+          Recurse(Extend(prefix, freq[j].first, freq[j].second), child);
+        }
+        for (const PartitionMember& member : child) {
+          const auto next = ScanMinFrequentExt(*member.seq, prefix, filter,
+                                               &freq[j], member.index);
+          if (next.has_value()) {
+            children[ext_index(*next)].push_back(member);
+          }
+        }
+      }
+    } else {
+      // Step 4: the partitioning overhead no longer pays; DISC finds every
+      // remaining length in this partition.
+      ++stats_->partitions_to_disc;
+      std::vector<Sequence> sorted_list;
+      sorted_list.reserve(freq.size());
+      for (const auto& [x, type] : freq) {
+        sorted_list.push_back(Extend(prefix, x, type));
+      }
+      RunDiscLoop(members, std::move(sorted_list), k + 2, delta,
+                  config_.bilevel, db_.max_item(), options_.max_length,
+                  &out_, &stats_->disc_iterations);
+    }
+  }
+
+  const SequenceDatabase& db_;
+  const MineOptions& options_;
+  const DynamicDiscAll::Config& config_;
+  DynamicDiscAll::Stats* stats_;
+  std::deque<SequenceIndex> indexes_;
+  PatternSet out_;
+};
+
+}  // namespace
+
+PatternSet DynamicDiscAll::Mine(const SequenceDatabase& db,
+                                const MineOptions& options) {
+  DISC_CHECK(options.min_support_count >= 1);
+  stats_ = Stats{};
+  Run run(db, options, config_, &stats_);
+  return run.Execute();
+}
+
+}  // namespace disc

@@ -1,0 +1,63 @@
+// The Dynamic DISC-all algorithm (paper Appendix): recursive multi-level
+// partitioning that switches to the DISC strategy per partition, as soon as
+// the partition's non-reduction rate (NRR, Equation 2) reaches the γ
+// threshold.
+//
+// For a <λ>-partition X (|λ| = k) the algorithm finds the frequent
+// (k+1)-sequences with prefix λ (one counting-array scan), computes
+//   NRR_X = (1/N) * Σ_children support(child) / |X|
+// ("the simplest way" of §4.2: a child partition's size is its pattern's
+// support), and either descends into the child partitions (NRR < γ) or runs
+// the DISC loop for all remaining lengths (NRR >= γ). The original database
+// is the <>-partition with k = 0, so frequent 1-sequences fall out of the
+// same code path.
+#ifndef DISC_CORE_DYNAMIC_DISC_ALL_H_
+#define DISC_CORE_DYNAMIC_DISC_ALL_H_
+
+#include "disc/algo/miner.h"
+
+namespace disc {
+
+/// Dynamic DISC-all miner. See file comment.
+class DynamicDiscAll : public Miner {
+ public:
+  struct Config {
+    /// Maximum-NRR threshold γ: partitions with NRR below it are split
+    /// further; others switch to DISC. γ <= 0 degenerates to pure DISC
+    /// after level 1; γ > 1 partitions all the way down (pure
+    /// pattern-growth).
+    double gamma = 0.5;
+    /// Bi-level DISC passes, as in the paper's experiments.
+    bool bilevel = true;
+    /// When >= 0, ignore gamma and partition to exactly this many levels
+    /// before switching to DISC ("the number of levels should be adaptive"
+    /// — §3.1; this knob makes the static depth an ablation axis: 0 = pure
+    /// DISC from length 2, 2 = DISC-all's two-level scheme, large = pure
+    /// pattern growth).
+    std::int32_t fixed_levels = -1;
+  };
+
+  DynamicDiscAll() : DynamicDiscAll(Config{}) {}
+  explicit DynamicDiscAll(const Config& config) : config_(config) {}
+
+  PatternSet Mine(const SequenceDatabase& db,
+                  const MineOptions& options) override;
+
+  std::string name() const override { return "dynamic-disc-all"; }
+
+  /// Instrumentation from the last Mine() call.
+  struct Stats {
+    std::uint64_t partitions_split = 0;    ///< partitions that descended
+    std::uint64_t partitions_to_disc = 0;  ///< partitions that switched to DISC
+    std::uint64_t disc_iterations = 0;
+  };
+  const Stats& last_stats() const { return stats_; }
+
+ private:
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_DYNAMIC_DISC_ALL_H_

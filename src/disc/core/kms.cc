@@ -1,0 +1,84 @@
+#include "disc/core/kms.h"
+
+#include "disc/common/check.h"
+#include "disc/seq/extension.h"
+
+namespace disc {
+namespace {
+
+// The extension type by which `bound` grew out of its (k-1)-prefix: itemset
+// if the last item shares its transaction with the previous item.
+ExtType LastExtType(const Sequence& bound) {
+  const std::uint32_t last_txn = bound.NumTransactions() - 1;
+  return bound.TxnSize(last_txn) >= 2 ? ExtType::kItemset
+                                      : ExtType::kSequence;
+}
+
+}  // namespace
+
+KmsResult AprioriKms(const Sequence& s,
+                     const std::vector<Sequence>& sorted_list,
+                     const SequenceIndex* index) {
+  KmsResult result;
+  for (std::uint32_t idx = 0; idx < sorted_list.size(); ++idx) {
+    const MinExtension ext =
+        ScanMinExtension(s, sorted_list[idx], nullptr, false, index);
+    if (!ext.found) continue;
+    result.found = true;
+    result.kmin = Extend(sorted_list[idx], ext.item, ext.type);
+    result.prefix_index = idx;
+    return result;
+  }
+  return result;
+}
+
+CkmsBound CkmsBound::Make(const Sequence& bound, bool strict) {
+  DISC_CHECK(!bound.Empty());
+  CkmsBound out;
+  out.prefix = bound.Prefix(bound.Length() - 1);
+  out.floor = {bound.LastItem(), LastExtType(bound)};
+  out.strict = strict;
+  return out;
+}
+
+KmsResult AprioriCkms(const Sequence& s,
+                      const std::vector<Sequence>& sorted_list,
+                      std::uint32_t start_index, const CkmsBound& bound,
+                      const SequenceIndex* index) {
+  KmsResult result;
+  // Steps 4-7 of Figure 6: advance to the first list entry >= the bound's
+  // prefix. The apriori pointer makes this a short walk.
+  std::uint32_t idx = start_index;
+  while (idx < sorted_list.size() &&
+         CompareSequences(sorted_list[idx], bound.prefix) < 0) {
+    ++idx;
+  }
+  for (; idx < sorted_list.size(); ++idx) {
+    const Sequence& prefix = sorted_list[idx];
+    // Only extensions of the bound's own prefix are floor-constrained;
+    // prefix-compatibility puts every extension of a larger prefix above
+    // the bound already.
+    const bool at_bound_prefix =
+        CompareSequences(prefix, bound.prefix) == 0;
+    const MinExtension ext =
+        at_bound_prefix
+            ? ScanMinExtension(s, prefix, &bound.floor, bound.strict, index)
+            : ScanMinExtension(s, prefix, nullptr, false, index);
+    if (!ext.found) continue;
+    result.found = true;
+    result.kmin = Extend(prefix, ext.item, ext.type);
+    result.prefix_index = idx;
+    return result;
+  }
+  return result;
+}
+
+KmsResult AprioriCkms(const Sequence& s,
+                      const std::vector<Sequence>& sorted_list,
+                      std::uint32_t start_index, const Sequence& bound,
+                      bool strict) {
+  return AprioriCkms(s, sorted_list, start_index,
+                     CkmsBound::Make(bound, strict));
+}
+
+}  // namespace disc

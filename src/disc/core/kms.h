@@ -1,0 +1,78 @@
+// Apriori-KMS and Apriori-CKMS (paper Figures 5 and 6): generation of the
+// (conditional) k-minimum subsequence of a customer sequence, restricted to
+// k-sequences whose (k-1)-prefix is frequent.
+//
+// Both walk the sorted list of frequent (k-1)-sequences ("the (k-1)-sorted
+// list") from the smallest qualifying entry; for the first entry F that is
+// contained in the customer sequence and admits a valid extension, the
+// minimum extension of F is the answer — prefix-compatibility of the
+// comparative order guarantees no later entry can beat it.
+//
+// The minimum extension of F is computed from the complete extension sets
+// (ScanExtensions), not from "the minimum item right of the leftmost
+// matching point" as printed in the paper; the printed rule misses itemset
+// extensions reachable only through non-leftmost embeddings (DESIGN.md
+// deviation 2). Both functions are verified against brute-force enumeration
+// in tests/kms_test.cc.
+#ifndef DISC_CORE_KMS_H_
+#define DISC_CORE_KMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disc/order/compare.h"
+#include "disc/seq/index.h"
+#include "disc/seq/sequence.h"
+
+namespace disc {
+
+/// Result of a k-minimum generation.
+struct KmsResult {
+  /// False when the sequence admits no qualifying k-subsequence (the
+  /// customer sequence leaves the k-sorted database).
+  bool found = false;
+  /// The (conditional) k-minimum subsequence.
+  Sequence kmin;
+  /// Index into the (k-1)-sorted list of kmin's prefix — the paper's
+  /// "apriori pointer", passed back to AprioriCkms to skip re-scanning.
+  std::uint32_t prefix_index = 0;
+};
+
+/// The k-minimum subsequence of s whose (k-1)-prefix appears in
+/// `sorted_list` (frequent (k-1)-sequences, ascending). Figure 5.
+/// `index`, when provided, must be built from s.
+KmsResult AprioriKms(const Sequence& s,
+                     const std::vector<Sequence>& sorted_list,
+                     const SequenceIndex* index = nullptr);
+
+/// A condition k-sequence, preprocessed for repeated CKMS calls: the DISC
+/// loop advances a whole bucket against the same bound, so the prefix split
+/// and last-extension decomposition are done once per iteration instead of
+/// once per customer sequence.
+struct CkmsBound {
+  Sequence prefix;                       ///< the bound's (k-1)-prefix
+  std::pair<Item, ExtType> floor;        ///< the bound's final extension
+  bool strict = false;                   ///< Ω: '>' when true, '>=' else
+
+  /// Decomposes a k-sequence bound. The bound must be non-empty.
+  static CkmsBound Make(const Sequence& bound, bool strict);
+};
+
+/// The conditional k-minimum subsequence of s (Definition 2.5): minimum
+/// qualifying k-subsequence that compares > bound (strict) or >= bound.
+/// The bound's (k-1)-prefix must be in the list. `start_index` is the
+/// sequence's apriori pointer (0 is always safe). Figure 6.
+KmsResult AprioriCkms(const Sequence& s,
+                      const std::vector<Sequence>& sorted_list,
+                      std::uint32_t start_index, const CkmsBound& bound,
+                      const SequenceIndex* index = nullptr);
+
+/// Convenience overload decomposing the bound per call.
+KmsResult AprioriCkms(const Sequence& s,
+                      const std::vector<Sequence>& sorted_list,
+                      std::uint32_t start_index, const Sequence& bound,
+                      bool strict);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_KMS_H_

@@ -1,0 +1,45 @@
+#include "disc/core/ksorted.h"
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+KSortedDatabase::KSortedDatabase(const PartitionMembers& members,
+                                 const std::vector<Sequence>* sorted_list,
+                                 std::uint32_t k)
+    : sorted_list_(sorted_list), k_(k) {
+  DISC_CHECK(sorted_list_ != nullptr);
+  DISC_CHECK(k_ >= 1);
+  entries_.reserve(members.size());
+  index_ptrs_.reserve(members.size());
+  for (const PartitionMember& m : members) {
+    const SequenceIndex* index = m.index;
+    if (index == nullptr) {
+      // Index-less member: build and own one (Apriori-KMS below is already
+      // the hottest consumer).
+      owned_indexes_.emplace_back(*m.seq);
+      index = &owned_indexes_.back();
+    }
+    KmsResult r = AprioriKms(*m.seq, *sorted_list_, index);
+    if (!r.found) continue;
+    DISC_DCHECK(r.kmin.Length() == k_);
+    entries_.push_back(KSortedEntry{m.seq, m.cid, r.prefix_index});
+    index_ptrs_.push_back(index);
+    tree_.Insert(std::move(r.kmin),
+                 static_cast<std::uint32_t>(entries_.size() - 1));
+  }
+}
+
+bool KSortedDatabase::AdvanceAndReinsert(std::uint32_t handle,
+                                         const CkmsBound& bound) {
+  KSortedEntry& e = entries_[handle];
+  KmsResult r = AprioriCkms(*e.seq, *sorted_list_, e.apriori, bound,
+                            index_ptrs_[handle]);
+  if (!r.found) return false;
+  DISC_DCHECK(r.kmin.Length() == k_);
+  e.apriori = r.prefix_index;
+  tree_.Insert(std::move(r.kmin), handle);
+  return true;
+}
+
+}  // namespace disc

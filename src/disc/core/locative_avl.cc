@@ -1,0 +1,231 @@
+#include "disc/core/locative_avl.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+LocativeAvlTree::~LocativeAvlTree() { Destroy(root_); }
+
+void LocativeAvlTree::Destroy(Node* n) {
+  if (n == nullptr) return;
+  Destroy(n->left);
+  Destroy(n->right);
+  delete n;
+}
+
+void LocativeAvlTree::Update(Node* n) {
+  n->height = 1 + std::max(Height(n->left), Height(n->right));
+  n->count = n->bucket.size() + Count(n->left) + Count(n->right);
+  n->weight = n->bucket_weight + Weight(n->left) + Weight(n->right);
+}
+
+LocativeAvlTree::Node* LocativeAvlTree::RotateLeft(Node* n) {
+  Node* r = n->right;
+  n->right = r->left;
+  r->left = n;
+  Update(n);
+  Update(r);
+  return r;
+}
+
+LocativeAvlTree::Node* LocativeAvlTree::RotateRight(Node* n) {
+  Node* l = n->left;
+  n->left = l->right;
+  l->right = n;
+  Update(n);
+  Update(l);
+  return l;
+}
+
+LocativeAvlTree::Node* LocativeAvlTree::Rebalance(Node* n) {
+  Update(n);
+  const std::int32_t balance = Height(n->left) - Height(n->right);
+  if (balance > 1) {
+    if (Height(n->left->left) < Height(n->left->right)) {
+      n->left = RotateLeft(n->left);
+    }
+    return RotateRight(n);
+  }
+  if (balance < -1) {
+    if (Height(n->right->right) < Height(n->right->left)) {
+      n->right = RotateRight(n->right);
+    }
+    return RotateLeft(n);
+  }
+  return n;
+}
+
+LocativeAvlTree::Node* LocativeAvlTree::InsertAt(Node* n, Sequence* key,
+                                                 std::uint32_t handle,
+                                                 double weight) {
+  if (n == nullptr) {
+    Node* fresh = new Node;
+    fresh->key = std::move(*key);
+    fresh->bucket.push_back(handle);
+    fresh->count = 1;
+    fresh->bucket_weight = weight;
+    fresh->weight = weight;
+    ++num_nodes_;
+    return fresh;
+  }
+  const int cmp = CompareSequences(*key, n->key);
+  if (cmp == 0) {
+    n->bucket.push_back(handle);
+    ++n->count;
+    n->bucket_weight += weight;
+    n->weight += weight;
+    return n;
+  }
+  if (cmp < 0) {
+    n->left = InsertAt(n->left, key, handle, weight);
+  } else {
+    n->right = InsertAt(n->right, key, handle, weight);
+  }
+  return Rebalance(n);
+}
+
+void LocativeAvlTree::Insert(const Sequence& key, std::uint32_t handle,
+                             double weight) {
+  Sequence copy = key;
+  root_ = InsertAt(root_, &copy, handle, weight);
+  ++size_;
+}
+
+void LocativeAvlTree::Insert(Sequence&& key, std::uint32_t handle,
+                             double weight) {
+  root_ = InsertAt(root_, &key, handle, weight);
+  ++size_;
+}
+
+const LocativeAvlTree::Node* LocativeAvlTree::MinNode(const Node* n) {
+  DISC_CHECK(n != nullptr);
+  while (n->left != nullptr) n = n->left;
+  return n;
+}
+
+const Sequence& LocativeAvlTree::MinKey() const {
+  return MinNode(root_)->key;
+}
+
+const std::vector<std::uint32_t>& LocativeAvlTree::MinBucket() const {
+  return MinNode(root_)->bucket;
+}
+
+const Sequence& LocativeAvlTree::SelectKey(std::size_t rank) const {
+  DISC_CHECK(rank >= 1 && rank <= size_);
+  const Node* n = root_;
+  for (;;) {
+    const std::size_t left = Count(n->left);
+    if (rank <= left) {
+      n = n->left;
+    } else if (rank <= left + n->bucket.size()) {
+      return n->key;
+    } else {
+      rank -= left + n->bucket.size();
+      n = n->right;
+    }
+  }
+}
+
+const Sequence& LocativeAvlTree::SelectKeyByWeight(double w) const {
+  DISC_CHECK(w > 0.0 && w <= Weight(root_));
+  const Node* n = root_;
+  for (;;) {
+    DISC_CHECK(n != nullptr);
+    const double left = Weight(n->left);
+    if (w <= left) {
+      n = n->left;
+    } else if (w <= left + n->bucket_weight) {
+      return n->key;
+    } else {
+      w -= left + n->bucket_weight;
+      n = n->right;
+    }
+  }
+}
+
+double LocativeAvlTree::TotalWeight() const { return Weight(root_); }
+
+LocativeAvlTree::Node* LocativeAvlTree::RemoveMin(Node* n, Node** removed) {
+  if (n->left == nullptr) {
+    *removed = n;
+    return n->right;
+  }
+  n->left = RemoveMin(n->left, removed);
+  return Rebalance(n);
+}
+
+void LocativeAvlTree::PopMinBucket(std::vector<std::uint32_t>* out) {
+  DISC_CHECK(root_ != nullptr);
+  Node* removed = nullptr;
+  root_ = RemoveMin(root_, &removed);
+  size_ -= removed->bucket.size();
+  --num_nodes_;
+  out->insert(out->end(), removed->bucket.begin(), removed->bucket.end());
+  delete removed;
+}
+
+void LocativeAvlTree::PopAllLess(const Sequence& bound,
+                                 std::vector<std::uint32_t>* out) {
+  while (root_ != nullptr && CompareSequences(MinKey(), bound) < 0) {
+    PopMinBucket(out);
+  }
+}
+
+void LocativeAvlTree::Clear() {
+  Destroy(root_);
+  root_ = nullptr;
+  size_ = 0;
+  num_nodes_ = 0;
+}
+
+void LocativeAvlTree::InorderKeys(std::vector<Sequence>* out) const {
+  // Iterative inorder to avoid writing another recursive helper.
+  std::vector<const Node*> stack;
+  const Node* n = root_;
+  while (n != nullptr || !stack.empty()) {
+    while (n != nullptr) {
+      stack.push_back(n);
+      n = n->left;
+    }
+    n = stack.back();
+    stack.pop_back();
+    out->push_back(n->key);
+    n = n->right;
+  }
+}
+
+bool LocativeAvlTree::CheckNode(const Node* n, const Sequence** prev,
+                                bool* ok) const {
+  if (n == nullptr || !*ok) return *ok;
+  CheckNode(n->left, prev, ok);
+  if (*prev != nullptr && CompareSequences(**prev, n->key) >= 0) *ok = false;
+  if (n->bucket.empty()) *ok = false;
+  if (n->height != 1 + std::max(Height(n->left), Height(n->right))) *ok = false;
+  if (std::abs(Height(n->left) - Height(n->right)) > 1) *ok = false;
+  if (n->count != n->bucket.size() + Count(n->left) + Count(n->right)) {
+    *ok = false;
+  }
+  const double expect_w =
+      n->bucket_weight + Weight(n->left) + Weight(n->right);
+  const double tol = 1e-9 * std::max(1.0, std::abs(expect_w));
+  if (n->weight < expect_w - tol || n->weight > expect_w + tol) {
+    *ok = false;
+  }
+  *prev = &n->key;
+  CheckNode(n->right, prev, ok);
+  return *ok;
+}
+
+bool LocativeAvlTree::CheckInvariants() const {
+  bool ok = true;
+  const Sequence* prev = nullptr;
+  CheckNode(root_, &prev, &ok);
+  if (Count(root_) != size_) ok = false;
+  return ok;
+}
+
+}  // namespace disc

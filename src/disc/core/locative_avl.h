@@ -1,0 +1,119 @@
+// The locative AVL tree (paper §3.2): the index behind the k-sorted
+// database. An order-statistic AVL tree keyed by sequences under the
+// comparative order; every node holds the *bucket* of customer entries whose
+// current k-minimum subsequence equals the node's key, and maintains subtree
+// entry counts so the entry at any rank — in particular the δ-th position,
+// the "condition k-sequence" α_δ — is located in O(log n).
+//
+// The paper defers the structure's details to an unavailable technical
+// report; this implementation provides exactly the operations the DISC loop
+// needs: insert, minimum, select-by-rank, pop-minimum-bucket, and
+// pop-everything-below-a-bound.
+//
+// Bucket payloads are opaque 32-bit handles (indices into the caller's entry
+// table), keeping the tree independent of the mining state.
+#ifndef DISC_CORE_LOCATIVE_AVL_H_
+#define DISC_CORE_LOCATIVE_AVL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disc/order/compare.h"
+#include "disc/seq/sequence.h"
+
+namespace disc {
+
+/// Order-statistic AVL tree with per-key buckets. See file comment.
+class LocativeAvlTree {
+ public:
+  LocativeAvlTree() = default;
+  ~LocativeAvlTree();
+
+  LocativeAvlTree(const LocativeAvlTree&) = delete;
+  LocativeAvlTree& operator=(const LocativeAvlTree&) = delete;
+
+  /// Inserts a handle under the given key (O(log n), plus a key copy when
+  /// the key is new). `weight` feeds the weighted rank queries (paper §5's
+  /// weighting applications); the default 1.0 makes weighted and plain
+  /// ranks coincide.
+  void Insert(const Sequence& key, std::uint32_t handle, double weight = 1.0);
+
+  /// Move-inserting variant: a new node takes ownership of the key; when
+  /// the key already exists it is simply discarded.
+  void Insert(Sequence&& key, std::uint32_t handle, double weight = 1.0);
+
+  /// Total number of handles stored.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of distinct keys.
+  std::size_t NumKeys() const { return num_nodes_; }
+
+  /// Smallest key (α₁). Tree must be non-empty.
+  const Sequence& MinKey() const;
+
+  /// Bucket of the smallest key.
+  const std::vector<std::uint32_t>& MinBucket() const;
+
+  /// Key of the entry at 1-based `rank` across bucket multiplicities (the
+  /// paper's α_δ for rank δ). Requires 1 <= rank <= size().
+  const Sequence& SelectKey(std::size_t rank) const;
+
+  /// Smallest key whose prefix weight (sum of inserted weights over all
+  /// entries with keys <= it) reaches `w` — the weighted analogue of α_δ.
+  /// Requires 0 < w <= TotalWeight().
+  const Sequence& SelectKeyByWeight(double w) const;
+
+  /// Sum of all inserted weights.
+  double TotalWeight() const;
+
+  /// Removes the minimum node entirely, appending its handles to `out`.
+  void PopMinBucket(std::vector<std::uint32_t>* out);
+
+  /// Removes every entry whose key is strictly below `bound`, appending the
+  /// handles to `out` (ascending key order).
+  void PopAllLess(const Sequence& bound, std::vector<std::uint32_t>* out);
+
+  /// Removes everything.
+  void Clear();
+
+  /// Appends all keys in ascending order (testing).
+  void InorderKeys(std::vector<Sequence>* out) const;
+
+  /// Verifies AVL balance, counts, and key ordering (testing).
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    Sequence key;
+    std::vector<std::uint32_t> bucket;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    std::int32_t height = 1;
+    std::size_t count = 0;       // handles in this subtree (incl. bucket)
+    double bucket_weight = 0.0;  // sum of this node's entry weights
+    double weight = 0.0;         // subtree weight sum
+  };
+
+  static std::int32_t Height(const Node* n) { return n == nullptr ? 0 : n->height; }
+  static std::size_t Count(const Node* n) { return n == nullptr ? 0 : n->count; }
+  static double Weight(const Node* n) { return n == nullptr ? 0.0 : n->weight; }
+  static void Update(Node* n);
+  static Node* RotateLeft(Node* n);
+  static Node* RotateRight(Node* n);
+  static Node* Rebalance(Node* n);
+  Node* InsertAt(Node* n, Sequence* key, std::uint32_t handle,
+                 double weight);
+  static Node* RemoveMin(Node* n, Node** removed);
+  static void Destroy(Node* n);
+  static const Node* MinNode(const Node* n);
+  bool CheckNode(const Node* n, const Sequence** prev, bool* ok) const;
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t num_nodes_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_LOCATIVE_AVL_H_

@@ -1,0 +1,64 @@
+#include "disc/core/nrr.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "disc/order/compare.h"
+
+namespace disc {
+
+std::vector<double> AverageNrrByLevel(const PatternSet& patterns,
+                                      std::size_t db_size) {
+  const std::uint32_t max_len = patterns.MaxLength();
+  std::vector<double> out;
+  if (max_len == 0 || db_size == 0) return out;
+
+  // Level 0: the database itself; children are the frequent 1-sequences.
+  {
+    std::uint64_t sum = 0;
+    std::size_t n = 0;
+    for (const auto& [p, sup] : patterns) {
+      if (p.Length() == 1) {
+        sum += sup;
+        ++n;
+      }
+    }
+    out.push_back(n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                         : static_cast<double>(sum) /
+                               (static_cast<double>(n) *
+                                static_cast<double>(db_size)));
+  }
+
+  // Level j >= 1: group frequent (j+1)-sequences by their j-prefix.
+  for (std::uint32_t j = 1; j < max_len; ++j) {
+    std::map<Sequence, std::pair<std::uint64_t, std::size_t>, SequenceLess>
+        by_prefix;  // prefix -> (sum of child supports, #children)
+    for (const auto& [p, sup] : patterns) {
+      if (p.Length() != j + 1) continue;
+      auto& agg = by_prefix[p.Prefix(j)];
+      agg.first += sup;
+      agg.second += 1;
+    }
+    if (by_prefix.empty()) {
+      out.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    double total = 0.0;
+    std::size_t partitions = 0;
+    for (const auto& [prefix, agg] : by_prefix) {
+      const std::uint32_t parent_sup = patterns.SupportOf(prefix);
+      if (parent_sup == 0) continue;  // defensive; prefix must be frequent
+      total += static_cast<double>(agg.first) /
+               (static_cast<double>(agg.second) *
+                static_cast<double>(parent_sup));
+      ++partitions;
+    }
+    out.push_back(partitions == 0
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : total / static_cast<double>(partitions));
+  }
+  return out;
+}
+
+}  // namespace disc

@@ -1,0 +1,31 @@
+// Non-reduction rate (NRR, paper Equation 2) computed post-hoc from a mined
+// pattern set, "the simplest way" of §4.2: the partition for a frequent
+// j-sequence P has size support(P); its child partitions are the frequent
+// (j+1)-sequences with j-prefix P, each of size equal to its own support.
+//
+//   NRR_P = (1/N_P) * Σ_children support(child) / support(P)
+//
+// The level-j average runs over the frequent j-sequences that have at least
+// one child; a level with no such partition is reported as NaN (rendered
+// "-" like the paper's empty cells). Level 0 ("Original") takes the whole
+// database as the partition (size |DB|) and the frequent 1-sequences as
+// children.
+#ifndef DISC_CORE_NRR_H_
+#define DISC_CORE_NRR_H_
+
+#include <vector>
+
+#include "disc/algo/pattern_set.h"
+
+namespace disc {
+
+/// Average NRR per level. Index 0 is the original database; index j >= 1
+/// averages over frequent j-sequences. The vector has MaxLength() entries
+/// (the deepest partitions have no children and are not reported, matching
+/// Table 12's column count).
+std::vector<double> AverageNrrByLevel(const PatternSet& patterns,
+                                      std::size_t db_size);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_NRR_H_

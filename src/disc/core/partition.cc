@@ -1,0 +1,141 @@
+#include "disc/core/partition.h"
+
+#include "disc/common/check.h"
+#include "disc/core/discovery.h"
+#include "disc/seq/containment.h"
+
+namespace disc {
+
+void ExtFilter::Build(
+    const std::vector<std::pair<Item, ExtType>>& frequent_exts,
+    Item max_item) {
+  i_ok_.assign(static_cast<std::size_t>(max_item) + 1, false);
+  s_ok_.assign(static_cast<std::size_t>(max_item) + 1, false);
+  for (const auto& [x, type] : frequent_exts) {
+    DISC_DCHECK(x <= max_item);
+    (type == ExtType::kItemset ? i_ok_ : s_ok_)[x] = true;
+  }
+}
+
+std::optional<std::pair<Item, ExtType>> MinFrequentExt(
+    const ExtensionSets& exts, const ExtFilter& filter,
+    const std::pair<Item, ExtType>* floor_exclusive) {
+  std::optional<std::pair<Item, ExtType>> best;
+  auto consider = [&](Item x, ExtType t) {
+    if (!filter.IsFrequent(x, t)) return false;
+    if (floor_exclusive != nullptr &&
+        CompareExtensions(x, t, floor_exclusive->first,
+                          floor_exclusive->second) <= 0) {
+      return false;
+    }
+    if (!best.has_value() ||
+        CompareExtensions(x, t, best->first, best->second) < 0) {
+      best = {x, t};
+    }
+    return true;
+  };
+  // Each vector is sorted, so the first qualifying entry per type wins.
+  for (const Item x : exts.i_items) {
+    if (consider(x, ExtType::kItemset)) break;
+  }
+  for (const Item x : exts.s_items) {
+    if (consider(x, ExtType::kSequence)) break;
+  }
+  return best;
+}
+
+std::optional<std::pair<Item, ExtType>> ScanMinFrequentExt(
+    const Sequence& s, const Sequence& prefix, const ExtFilter& filter,
+    const std::pair<Item, ExtType>* floor_exclusive,
+    const SequenceIndex* index) {
+  std::optional<std::pair<Item, ExtType>> best;
+  ForEachExtension(s, prefix, [&](Item x, ExtType t) {
+    if (!filter.IsFrequent(x, t)) return;
+    if (floor_exclusive != nullptr &&
+        CompareExtensions(x, t, floor_exclusive->first,
+                          floor_exclusive->second) <= 0) {
+      return;
+    }
+    if (!best.has_value() ||
+        CompareExtensions(x, t, best->first, best->second) < 0) {
+      best = {x, t};
+    }
+  }, index);
+  return best;
+}
+
+Sequence ReduceCustomerSequence(const Sequence& s, Item lambda,
+                                const CountingArray& counts2,
+                                std::uint32_t delta) {
+  // Minimum point: leftmost transaction containing λ (λ is the minimum item
+  // of the sequence within its partition, so it exists).
+  std::uint32_t min_txn = kNoTxn;
+  for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+    if (s.TxnContains(t, lambda)) {
+      min_txn = t;
+      break;
+    }
+  }
+  DISC_CHECK_MSG(min_txn != kNoTxn, "partition member lacks its λ");
+
+  Sequence out;
+  std::vector<Item> kept;
+  for (std::uint32_t t = min_txn; t < s.NumTransactions(); ++t) {
+    const bool has_lambda = s.TxnContains(t, lambda);
+    kept.clear();
+    for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+      const Item x = *p;
+      if (x == lambda) {
+        // All occurrences of λ are kept: they may anchor longer patterns.
+        kept.push_back(x);
+        continue;
+      }
+      const bool s_freq =
+          counts2.Count(x, ExtType::kSequence) >= delta;  // <(λ)(x)>
+      const bool i_freq =
+          counts2.Count(x, ExtType::kItemset) >= delta;  // <(λx)>
+      bool keep;
+      if (!has_lambda) {
+        keep = s_freq;  // only the sequence form can use this occurrence
+      } else if (t == min_txn) {
+        keep = i_freq;  // only the itemset form can use this occurrence
+      } else {
+        keep = s_freq || i_freq;
+      }
+      if (keep) kept.push_back(x);
+    }
+    if (!kept.empty()) out.AppendItemset(Itemset(kept));
+  }
+  return out;
+}
+
+void RunDiscLoop(const PartitionMembers& members,
+                 std::vector<Sequence> sorted_list, std::uint32_t start_k,
+                 std::uint32_t delta, bool bilevel, Item max_item,
+                 std::uint32_t max_length, PatternSet* out,
+                 std::uint64_t* iterations, bool use_avl) {
+  std::uint32_t k = start_k;
+  while (!sorted_list.empty() && members.size() >= delta &&
+         (max_length == 0 || k <= max_length)) {
+    DiscoveryOptions opt;
+    opt.k = k;
+    opt.delta = delta;
+    opt.bilevel = bilevel && (max_length == 0 || k + 1 <= max_length);
+    opt.max_item = max_item;
+    opt.use_avl = use_avl;
+    const DiscoveryResult res = DiscoverFrequentK(members, sorted_list, opt);
+    if (iterations != nullptr) *iterations += res.iterations;
+    for (const auto& [p, sup] : res.frequent_k) out->Add(p, sup);
+    for (const auto& [p, sup] : res.frequent_k1) out->Add(p, sup);
+    sorted_list.clear();
+    const auto& next = opt.bilevel ? res.frequent_k1 : res.frequent_k;
+    sorted_list.reserve(next.size());
+    for (const auto& [p, sup] : next) {
+      (void)sup;
+      sorted_list.push_back(p);
+    }
+    k += opt.bilevel ? 2 : 1;
+  }
+}
+
+}  // namespace disc

@@ -1,0 +1,79 @@
+// Shared machinery for the multi-level partitioning scheme (paper §3.1):
+// frequent-extension filters, second-level partition keys, the
+// customer-sequence reduction rules, and the DISC k-loop that both DISC-all
+// (Figure 2, step 2.1.3.2) and Dynamic DISC-all (Appendix, step 4) run once
+// partitioning stops.
+#ifndef DISC_CORE_PARTITION_H_
+#define DISC_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "disc/algo/pattern_set.h"
+#include "disc/core/counting_array.h"
+#include "disc/core/member.h"
+#include "disc/order/compare.h"
+#include "disc/seq/extension.h"
+#include "disc/seq/sequence.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// Membership filter over the frequent one-item extensions of a fixed
+/// prefix: answers "is (item, type) frequent?" in O(1).
+class ExtFilter {
+ public:
+  /// Builds the filter for the given frequent extensions; items must not
+  /// exceed max_item.
+  void Build(const std::vector<std::pair<Item, ExtType>>& frequent_exts,
+             Item max_item);
+
+  bool IsFrequent(Item x, ExtType type) const {
+    return type == ExtType::kItemset ? i_ok_[x] : s_ok_[x];
+  }
+
+ private:
+  std::vector<bool> i_ok_, s_ok_;
+};
+
+/// The minimum *frequent* extension of a prefix present in the extension
+/// sets, optionally restricted to extensions strictly greater than `floor`.
+/// This is the partition key ("2-minimum sequence" at level 2) and, with a
+/// floor, the "next 2-minimum sequence" used for reassignment.
+std::optional<std::pair<Item, ExtType>> MinFrequentExt(
+    const ExtensionSets& exts, const ExtFilter& filter,
+    const std::pair<Item, ExtType>* floor_exclusive);
+
+/// Single-scan variant: computes the same minimum directly from the
+/// customer sequence without materializing the extension sets.
+std::optional<std::pair<Item, ExtType>> ScanMinFrequentExt(
+    const Sequence& s, const Sequence& prefix, const ExtFilter& filter,
+    const std::pair<Item, ExtType>* floor_exclusive,
+    const SequenceIndex* index = nullptr);
+
+/// Customer-sequence reduction inside a <(λ)>-partition (Figure 2, step
+/// 2.1.2): keeps only the transactions from the minimum point onward and
+/// drops every occurrence of an item whose applicable 2-sequence forms
+/// <(λ)(x)> / <(λx)> are all non-frequent. λ itself is never dropped.
+/// `counts2` must hold the partition's 2-sequence counting array. The
+/// result may be empty or shorter than 3 items (the caller drops those).
+Sequence ReduceCustomerSequence(const Sequence& s, Item lambda,
+                                const CountingArray& counts2,
+                                std::uint32_t delta);
+
+/// Runs DISC discovery passes for k = start_k, then k+1 (or k+2 when
+/// bilevel), ... until no frequent (k-1)-sequences remain or fewer than
+/// delta members survive, adding every frequent sequence to `out`.
+/// `sorted_list` holds the frequent (start_k - 1)-sequences of the
+/// partition. If `iterations` is non-null it accumulates DISC loop
+/// iterations (instrumentation).
+void RunDiscLoop(const PartitionMembers& members,
+                 std::vector<Sequence> sorted_list, std::uint32_t start_k,
+                 std::uint32_t delta, bool bilevel, Item max_item,
+                 std::uint32_t max_length, PatternSet* out,
+                 std::uint64_t* iterations, bool use_avl = true);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_PARTITION_H_

@@ -1,0 +1,140 @@
+#include "disc/core/weighted.h"
+
+#include <deque>
+
+#include "disc/common/check.h"
+#include "disc/core/kms.h"
+#include "disc/core/locative_avl.h"
+#include "disc/seq/containment.h"
+#include "disc/seq/extension.h"
+#include "disc/seq/index.h"
+
+namespace disc {
+namespace {
+
+struct Entry {
+  const Sequence* seq;
+  const SequenceIndex* index;
+  double weight;
+  std::uint32_t apriori = 0;
+};
+
+// One weighted DISC pass: all weighted-frequent k-sequences over `entries`
+// whose (k-1)-prefix is in `sorted_list`.
+std::vector<std::pair<Sequence, double>> DiscoverWeightedK(
+    const std::vector<Entry>& members, const std::vector<Sequence>& list,
+    double min_weight) {
+  std::vector<std::pair<Sequence, double>> out;
+  if (list.empty()) return out;
+
+  std::vector<Entry> entries;
+  entries.reserve(members.size());
+  LocativeAvlTree tree;
+  for (const Entry& m : members) {
+    KmsResult r = AprioriKms(*m.seq, list, m.index);
+    if (!r.found) continue;
+    entries.push_back(m);
+    tree.Insert(std::move(r.kmin),
+                static_cast<std::uint32_t>(entries.size() - 1),
+                m.weight);
+  }
+
+  std::vector<std::uint32_t> handles;
+  while (tree.TotalWeight() >= min_weight) {
+    const Sequence alpha1 = tree.MinKey();
+    const Sequence alpha_delta = tree.SelectKeyByWeight(min_weight);
+    handles.clear();
+    const bool frequent = CompareSequences(alpha1, alpha_delta) == 0;
+    if (frequent) {
+      tree.PopMinBucket(&handles);
+      double weight = 0.0;
+      for (const std::uint32_t h : handles) weight += entries[h].weight;
+      DISC_DCHECK(weight >= min_weight - 1e-6 * (1.0 + min_weight));
+      out.emplace_back(alpha1, weight);
+    } else {
+      tree.PopAllLess(alpha_delta, &handles);
+      DISC_CHECK(!handles.empty());
+    }
+    const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/frequent);
+    for (const std::uint32_t h : handles) {
+      Entry& e = entries[h];
+      KmsResult r = AprioriCkms(*e.seq, list, e.apriori, bound, e.index);
+      if (!r.found) continue;
+      e.apriori = r.prefix_index;
+      tree.Insert(std::move(r.kmin), h, e.weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double WeightedSupport(const SequenceDatabase& db,
+                       const std::vector<double>& weights,
+                       const Sequence& pattern) {
+  DISC_CHECK(weights.size() == db.size());
+  double total = 0.0;
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    if (Contains(db[cid], pattern)) total += weights[cid];
+  }
+  return total;
+}
+
+WeightedPatternSet MineWeighted(const SequenceDatabase& db,
+                                const WeightedOptions& options) {
+  DISC_CHECK(options.min_weight > 0.0);
+  DISC_CHECK_MSG(options.weights.size() == db.size(),
+                 "one weight per customer sequence required");
+  for (const double w : options.weights) DISC_CHECK(w >= 0.0);
+
+  WeightedPatternSet out;
+  if (db.empty()) return out;
+
+  // Weighted-frequent 1-sequences: one scan accumulating distinct items'
+  // weights.
+  std::vector<double> item_weight(db.max_item() + 1, 0.0);
+  std::vector<std::uint64_t> seen(db.max_item() + 1, 0);
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    for (const Item x : db[cid].items()) {
+      if (seen[x] != cid + 1u) {
+        seen[x] = cid + 1u;
+        item_weight[x] += options.weights[cid];
+      }
+    }
+  }
+  std::vector<Sequence> list;
+  for (Item x = 1; x <= db.max_item(); ++x) {
+    if (item_weight[x] >= options.min_weight) {
+      Sequence p;
+      p.AppendNewItemset(x);
+      out.emplace(p, item_weight[x]);
+      list.push_back(std::move(p));
+    }
+  }
+
+  // Zero-weight customers cannot contribute and are skipped outright.
+  std::deque<SequenceIndex> indexes;
+  std::vector<Entry> members;
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    if (options.weights[cid] <= 0.0 || db[cid].Empty()) continue;
+    indexes.emplace_back(db[cid]);
+    members.push_back(
+        Entry{&db[cid], &indexes.back(), options.weights[cid], 0});
+  }
+
+  // Weighted DISC for k = 2, 3, ... until the weighted-frequent set dries
+  // up.
+  for (std::uint32_t k = 2; !list.empty(); ++k) {
+    if (options.max_length != 0 && k > options.max_length) break;
+    const auto frequent_k =
+        DiscoverWeightedK(members, list, options.min_weight);
+    list.clear();
+    for (const auto& [p, w] : frequent_k) {
+      out.emplace(p, w);
+      list.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace disc

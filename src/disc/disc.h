@@ -1,0 +1,42 @@
+// Umbrella header: the whole libdisc public API in one include.
+//
+//   #include "disc/disc.h"
+//
+// See README.md for a tour; the paper being implemented is Chiu, Wu & Chen,
+// "An Efficient Algorithm for Mining Frequent Sequences by a New Strategy
+// without Support Counting", ICDE 2004.
+#ifndef DISC_DISC_H_
+#define DISC_DISC_H_
+
+// Sequence substrate.
+#include "disc/seq/types.h"        // IWYU pragma: export
+#include "disc/seq/itemset.h"      // IWYU pragma: export
+#include "disc/seq/sequence.h"     // IWYU pragma: export
+#include "disc/seq/database.h"     // IWYU pragma: export
+#include "disc/seq/parse.h"        // IWYU pragma: export
+#include "disc/seq/io.h"           // IWYU pragma: export
+#include "disc/seq/containment.h"  // IWYU pragma: export
+#include "disc/seq/extension.h"    // IWYU pragma: export
+#include "disc/seq/index.h"        // IWYU pragma: export
+
+// The comparative order.
+#include "disc/order/compare.h"  // IWYU pragma: export
+
+// Mining algorithms and results.
+#include "disc/algo/miner.h"        // IWYU pragma: export
+#include "disc/algo/pattern_set.h"  // IWYU pragma: export
+#include "disc/algo/pattern_io.h"   // IWYU pragma: export
+#include "disc/algo/postprocess.h"  // IWYU pragma: export
+#include "disc/algo/topk.h"         // IWYU pragma: export
+
+// The paper's core, for callers wanting the pieces directly.
+#include "disc/core/disc_all.h"          // IWYU pragma: export
+#include "disc/core/dynamic_disc_all.h"  // IWYU pragma: export
+#include "disc/core/discovery.h"         // IWYU pragma: export
+#include "disc/core/nrr.h"               // IWYU pragma: export
+#include "disc/core/weighted.h"          // IWYU pragma: export
+
+// Synthetic data.
+#include "disc/gen/quest.h"  // IWYU pragma: export
+
+#endif  // DISC_DISC_H_

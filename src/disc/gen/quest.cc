@@ -1,0 +1,215 @@
+#include "disc/gen/quest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "disc/common/check.h"
+#include "disc/common/distributions.h"
+#include "disc/common/rng.h"
+
+namespace disc {
+namespace {
+
+// Poisson around `mean` shifted to be >= 1 (the Quest tool samples
+// Poisson(mean - 1) + 1 so that no empty element is produced).
+std::uint32_t SizeSample(Rng* rng, double mean) {
+  const double shifted = mean > 1.0 ? mean - 1.0 : 0.0;
+  return SamplePoisson(rng, shifted) + 1;
+}
+
+struct PatternTable {
+  // Flattened pattern storage: pattern p occupies itemset rows
+  // [pat_offsets[p], pat_offsets[p+1]) of `itemsets`, each row an index into
+  // itemset_items/itemset_offsets.
+  std::vector<Item> itemset_items;
+  std::vector<std::uint32_t> itemset_offsets;  // per itemset, CSR
+  std::vector<std::uint32_t> pattern_rows;     // itemset ids, CSR by pattern
+  std::vector<std::uint32_t> pat_offsets;
+  std::vector<double> pat_weight_cum;          // cumulative weights
+  std::vector<double> corruption;              // per pattern
+};
+
+PatternTable BuildTables(const QuestParams& p, Rng* rng) {
+  PatternTable t;
+  // ---- Potentially frequent itemsets.
+  t.itemset_offsets.push_back(0);
+  std::vector<Item> prev;
+  std::vector<double> itemset_weight_cum;
+  double wsum = 0.0;
+  for (std::uint32_t i = 0; i < p.nlits; ++i) {
+    const std::uint32_t size =
+        std::min<std::uint32_t>(SizeSample(rng, p.lit_patlen), p.nitems);
+    std::vector<Item> items;
+    // A correlated fraction of items comes from the previous itemset.
+    if (!prev.empty()) {
+      std::uint32_t reuse = static_cast<std::uint32_t>(
+          p.correlation * size + rng->NextDouble());
+      reuse = std::min<std::uint32_t>(
+          reuse, static_cast<std::uint32_t>(prev.size()));
+      for (std::uint32_t r = 0; r < reuse; ++r) {
+        items.push_back(prev[rng->NextBounded(prev.size())]);
+      }
+    }
+    while (items.size() < size) {
+      items.push_back(static_cast<Item>(rng->NextBounded(p.nitems)) + 1);
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    prev = items;
+    t.itemset_items.insert(t.itemset_items.end(), items.begin(), items.end());
+    t.itemset_offsets.push_back(
+        static_cast<std::uint32_t>(t.itemset_items.size()));
+    wsum += SampleExponential(rng, 1.0);
+    itemset_weight_cum.push_back(wsum);
+  }
+
+  // ---- Potentially frequent sequences.
+  t.pat_offsets.push_back(0);
+  double pwsum = 0.0;
+  std::vector<std::uint32_t> prev_rows;
+  for (std::uint32_t s = 0; s < p.npats; ++s) {
+    const std::uint32_t len = SizeSample(rng, p.seq_patlen);
+    std::vector<std::uint32_t> rows;
+    // A correlated prefix comes from the previous pattern.
+    if (!prev_rows.empty()) {
+      std::uint32_t reuse = static_cast<std::uint32_t>(
+          p.correlation * len + rng->NextDouble());
+      reuse = std::min<std::uint32_t>(
+          reuse, static_cast<std::uint32_t>(prev_rows.size()));
+      reuse = std::min(reuse, len);
+      rows.assign(prev_rows.begin(), prev_rows.begin() + reuse);
+    }
+    while (rows.size() < len) {
+      rows.push_back(SampleFromCumulative(rng, itemset_weight_cum.data(),
+                                          p.nlits));
+    }
+    prev_rows = rows;
+    t.pattern_rows.insert(t.pattern_rows.end(), rows.begin(), rows.end());
+    t.pat_offsets.push_back(static_cast<std::uint32_t>(t.pattern_rows.size()));
+    pwsum += SampleExponential(rng, 1.0);
+    t.pat_weight_cum.push_back(pwsum);
+    double c = SampleNormal(rng, p.corruption_mean, p.corruption_sd);
+    c = std::clamp(c, 0.0, 0.98);
+    t.corruption.push_back(c);
+  }
+  return t;
+}
+
+}  // namespace
+
+SequenceDatabase GenerateQuestDatabase(const QuestParams& params) {
+  DISC_CHECK(params.ncust > 0);
+  DISC_CHECK(params.nitems > 0);
+  DISC_CHECK(params.npats > 0 && params.nlits > 0);
+  Rng master(params.seed);
+  const PatternTable table = BuildTables(params, &master);
+
+  SequenceDatabase db;
+  std::vector<std::vector<Item>> txns;
+  std::vector<Item> scratch;
+  for (std::uint32_t c = 0; c < params.ncust; ++c) {
+    Rng rng = master.Fork();
+    const std::uint32_t ntx = SizeSample(&rng, params.slen);
+    std::uint64_t capacity = 0;
+    txns.assign(ntx, {});
+    std::vector<std::uint32_t> cap(ntx);
+    for (std::uint32_t t = 0; t < ntx; ++t) {
+      cap[t] = SizeSample(&rng, params.tlen);
+      capacity += cap[t];
+    }
+
+    std::uint64_t placed = 0;
+    std::uint32_t stall = 0;
+    while (placed < capacity && stall < 8) {
+      // Pick a pattern by weight and corrupt it: repeatedly drop a random
+      // item while a uniform draw stays below the corruption level (the
+      // Quest rule).
+      const std::uint32_t pat = SampleFromCumulative(
+          &rng, table.pat_weight_cum.data(), params.npats);
+      // Materialize (itemset id, item) pairs of the pattern.
+      std::vector<std::pair<std::uint32_t, Item>> pat_items;
+      std::uint32_t n_itemsets = 0;
+      for (std::uint32_t r = table.pat_offsets[pat];
+           r < table.pat_offsets[pat + 1]; ++r) {
+        const std::uint32_t row = table.pattern_rows[r];
+        for (std::uint32_t q = table.itemset_offsets[row];
+             q < table.itemset_offsets[row + 1]; ++q) {
+          pat_items.emplace_back(n_itemsets, table.itemset_items[q]);
+        }
+        ++n_itemsets;
+      }
+      const double corr = table.corruption[pat];
+      while (!pat_items.empty() && rng.NextBernoulli(corr)) {
+        pat_items.erase(pat_items.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            rng.NextBounded(pat_items.size())));
+      }
+      if (pat_items.empty()) {
+        ++stall;
+        continue;
+      }
+      // Surviving itemsets, renumbered consecutively.
+      std::uint32_t m = 0;
+      std::uint32_t last_group = 0xffffffffu;
+      for (auto& [group, item] : pat_items) {
+        (void)item;
+        if (group != last_group) {
+          last_group = group;
+          ++m;
+        }
+      }
+      if (m > ntx) {
+        // Pattern longer than the customer: keep a prefix half the time,
+        // as the Quest tool does, otherwise skip it.
+        if (rng.NextBounded(2) == 0) {
+          ++stall;
+          continue;
+        }
+        m = ntx;
+      }
+      // Choose m distinct increasing transaction slots.
+      scratch.clear();
+      while (scratch.size() < m) {
+        const std::uint32_t slot =
+            static_cast<std::uint32_t>(rng.NextBounded(ntx));
+        if (std::find(scratch.begin(), scratch.end(), slot) ==
+            scratch.end()) {
+          scratch.push_back(slot);
+        }
+      }
+      std::sort(scratch.begin(), scratch.end());
+      // Merge pattern itemsets into the chosen transactions.
+      std::uint32_t group_idx = 0;
+      last_group = pat_items.front().first;
+      bool progress = false;
+      for (const auto& [group, item] : pat_items) {
+        if (group != last_group) {
+          last_group = group;
+          ++group_idx;
+          if (group_idx >= m) break;  // truncated pattern
+        }
+        std::vector<Item>& txn = txns[scratch[group_idx]];
+        if (std::find(txn.begin(), txn.end(), item) == txn.end()) {
+          txn.push_back(item);
+          ++placed;
+          progress = true;
+        }
+      }
+      stall = progress ? 0 : stall + 1;
+    }
+
+    std::vector<Itemset> itemsets;
+    for (auto& txn : txns) {
+      if (!txn.empty()) itemsets.emplace_back(std::move(txn));
+    }
+    if (itemsets.empty()) {
+      // Degenerate customer: give it one random item so every CID exists.
+      itemsets.emplace_back(std::vector<Item>{
+          static_cast<Item>(rng.NextBounded(params.nitems)) + 1});
+    }
+    db.Add(Sequence(itemsets));
+  }
+  return db;
+}
+
+}  // namespace disc

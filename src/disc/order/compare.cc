@@ -1,0 +1,49 @@
+#include "disc/order/compare.h"
+
+#include <algorithm>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+int CompareSequences(const Sequence& a, const Sequence& b) {
+  const std::vector<Item>& ia = a.items();
+  const std::vector<Item>& ib = b.items();
+  const std::size_t n = std::min(ia.size(), ib.size());
+  // Positionwise lexicographic comparison of (item, transaction-number)
+  // tokens — Definition 2.2 at the differential point (the first position
+  // where the token differs). The transaction cursors advance in O(1)
+  // amortized per position.
+  std::uint32_t ta = 0;
+  std::uint32_t tb = 0;
+  const auto& oa = a.offsets();
+  const auto& ob = b.offsets();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ia[i] != ib[i]) return ia[i] < ib[i] ? -1 : 1;
+    while (oa[ta + 1] <= i) ++ta;
+    while (ob[tb + 1] <= i) ++tb;
+    if (ta != tb) return ta < tb ? -1 : 1;
+  }
+  if (ia.size() != ib.size()) return ia.size() < ib.size() ? -1 : 1;
+  return 0;
+}
+
+int CompareExtensions(Item item_a, ExtType type_a, Item item_b,
+                      ExtType type_b) {
+  if (item_a != item_b) return item_a < item_b ? -1 : 1;
+  if (type_a != type_b) return type_a == ExtType::kItemset ? -1 : 1;
+  return 0;
+}
+
+Sequence Extend(const Sequence& pattern, Item item, ExtType type) {
+  Sequence out = pattern;
+  if (type == ExtType::kItemset) {
+    DISC_CHECK_MSG(!pattern.Empty(), "cannot i-extend an empty pattern");
+    out.AppendToLastItemset(item);
+  } else {
+    out.AppendNewItemset(item);
+  }
+  return out;
+}
+
+}  // namespace disc

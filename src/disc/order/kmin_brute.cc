@@ -1,0 +1,94 @@
+#include "disc/order/kmin_brute.h"
+
+#include <algorithm>
+#include <set>
+
+#include "disc/common/check.h"
+
+namespace disc {
+namespace {
+
+// Builds the subsequence induced by the chosen flattened positions (sorted),
+// grouping consecutive positions that share a source transaction.
+Sequence FromPositions(const Sequence& s,
+                       const std::vector<std::uint32_t>& positions) {
+  Sequence out;
+  std::uint32_t prev_txn = kNoTxn;
+  for (const std::uint32_t pos : positions) {
+    const std::uint32_t t = s.TxnOf(pos);
+    if (t == prev_txn) {
+      out.AppendToLastItemset(s.ItemAt(pos));
+    } else {
+      out.AppendNewItemset(s.ItemAt(pos));
+      prev_txn = t;
+    }
+  }
+  return out;
+}
+
+void EnumeratePositions(const Sequence& s, std::uint32_t k,
+                        std::uint32_t start,
+                        std::vector<std::uint32_t>* current,
+                        std::set<Sequence, SequenceLess>* out) {
+  if (current->size() == k) {
+    out->insert(FromPositions(s, *current));
+    return;
+  }
+  const std::uint32_t remaining = k - static_cast<std::uint32_t>(current->size());
+  for (std::uint32_t pos = start; pos + remaining <= s.Length(); ++pos) {
+    current->push_back(pos);
+    EnumeratePositions(s, k, pos + 1, current, out);
+    current->pop_back();
+  }
+}
+
+bool PrefixIsFrequent(const Sequence& candidate,
+                      const std::vector<Sequence>& frequent_prefixes) {
+  const Sequence prefix = candidate.Prefix(candidate.Length() - 1);
+  return std::binary_search(frequent_prefixes.begin(),
+                            frequent_prefixes.end(), prefix, SequenceLess());
+}
+
+}  // namespace
+
+std::vector<Sequence> AllDistinctKSubsequences(const Sequence& s,
+                                               std::uint32_t k) {
+  DISC_CHECK(k > 0);
+  std::set<Sequence, SequenceLess> out;
+  std::vector<std::uint32_t> current;
+  if (s.Length() >= k) EnumeratePositions(s, k, 0, &current, &out);
+  return std::vector<Sequence>(out.begin(), out.end());
+}
+
+std::optional<Sequence> BruteKMin(const Sequence& s, std::uint32_t k) {
+  const std::vector<Sequence> all = AllDistinctKSubsequences(s, k);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::optional<Sequence> BruteKMinWithFrequentPrefix(
+    const Sequence& s, std::uint32_t k,
+    const std::vector<Sequence>& frequent_prefixes) {
+  DISC_DCHECK(std::is_sorted(frequent_prefixes.begin(),
+                             frequent_prefixes.end(), SequenceLess()));
+  for (const Sequence& cand : AllDistinctKSubsequences(s, k)) {
+    if (k == 1 || PrefixIsFrequent(cand, frequent_prefixes)) return cand;
+  }
+  return std::nullopt;
+}
+
+std::optional<Sequence> BruteConditionalKMin(
+    const Sequence& s, std::uint32_t k,
+    const std::vector<Sequence>& frequent_prefixes, const Sequence& bound,
+    bool strict) {
+  DISC_DCHECK(std::is_sorted(frequent_prefixes.begin(),
+                             frequent_prefixes.end(), SequenceLess()));
+  for (const Sequence& cand : AllDistinctKSubsequences(s, k)) {
+    const int cmp = CompareSequences(cand, bound);
+    if (cmp < 0 || (strict && cmp == 0)) continue;
+    if (k == 1 || PrefixIsFrequent(cand, frequent_prefixes)) return cand;
+  }
+  return std::nullopt;
+}
+
+}  // namespace disc

@@ -1,0 +1,45 @@
+// Brute-force k-minimum subsequence computation: the test oracle for the
+// Apriori-KMS / Apriori-CKMS algorithms (paper Definitions 2.3 and 2.5).
+//
+// Enumerates every distinct k-item subsequence of a customer sequence (any
+// subset of flattened positions induces a valid subsequence, and every
+// subsequence arises that way), so it is exponential and strictly for tests
+// and tiny examples.
+#ifndef DISC_ORDER_KMIN_BRUTE_H_
+#define DISC_ORDER_KMIN_BRUTE_H_
+
+#include <optional>
+#include <vector>
+
+#include "disc/order/compare.h"
+#include "disc/seq/sequence.h"
+
+namespace disc {
+
+/// All distinct k-item subsequences of s, sorted by the comparative order.
+std::vector<Sequence> AllDistinctKSubsequences(const Sequence& s,
+                                               std::uint32_t k);
+
+/// The k-minimum subsequence of s (Definition 2.3), or nullopt if s has
+/// fewer than k items.
+std::optional<Sequence> BruteKMin(const Sequence& s, std::uint32_t k);
+
+/// The minimum k-subsequence of s whose (k-1)-prefix appears in
+/// `frequent_prefixes` (sorted ascending by the comparative order), or
+/// nullopt. This is what Apriori-KMS computes. For k == 1 pass an empty
+/// prefix list; every 1-sequence qualifies.
+std::optional<Sequence> BruteKMinWithFrequentPrefix(
+    const Sequence& s, std::uint32_t k,
+    const std::vector<Sequence>& frequent_prefixes);
+
+/// The minimum qualifying k-subsequence that additionally compares `>` bound
+/// (strict == true) or `>=` bound (Definition 2.5), or nullopt. This is what
+/// Apriori-CKMS computes.
+std::optional<Sequence> BruteConditionalKMin(
+    const Sequence& s, std::uint32_t k,
+    const std::vector<Sequence>& frequent_prefixes, const Sequence& bound,
+    bool strict);
+
+}  // namespace disc
+
+#endif  // DISC_ORDER_KMIN_BRUTE_H_

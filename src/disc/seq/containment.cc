@@ -1,0 +1,48 @@
+#include "disc/seq/containment.h"
+
+namespace disc {
+
+std::uint32_t FindTxnWithItemset(const Sequence& s, std::uint32_t start_txn,
+                                 const Item* begin, const Item* end) {
+  for (std::uint32_t t = start_txn; t < s.NumTransactions(); ++t) {
+    if (SortedRangeIsSubset(begin, end, s.TxnBegin(t), s.TxnEnd(t))) return t;
+  }
+  return kNoTxn;
+}
+
+Embedding LeftmostEmbedding(const Sequence& s, const Sequence& pattern,
+                            std::vector<std::uint32_t>* matched_txns) {
+  if (matched_txns != nullptr) matched_txns->clear();
+  Embedding result;
+  if (pattern.Empty()) {
+    result.found = true;
+    result.end_txn = kNoTxn;
+    return result;
+  }
+  std::uint32_t next = 0;
+  for (std::uint32_t pt = 0; pt < pattern.NumTransactions(); ++pt) {
+    const std::uint32_t t =
+        FindTxnWithItemset(s, next, pattern.TxnBegin(pt), pattern.TxnEnd(pt));
+    if (t == kNoTxn) return result;  // not contained
+    if (matched_txns != nullptr) matched_txns->push_back(t);
+    result.end_txn = t;
+    next = t + 1;
+  }
+  result.found = true;
+  return result;
+}
+
+bool Contains(const Sequence& s, const Sequence& pattern) {
+  return LeftmostEmbedding(s, pattern).found;
+}
+
+std::uint32_t CountSupport(const SequenceDatabase& db,
+                           const Sequence& pattern) {
+  std::uint32_t count = 0;
+  for (const Sequence& s : db.sequences()) {
+    if (Contains(s, pattern)) ++count;
+  }
+  return count;
+}
+
+}  // namespace disc

@@ -1,0 +1,48 @@
+// Subsequence containment and leftmost (greedy) embeddings.
+//
+// Sequence A is contained in B if there are transactions i1 < i2 < ... < in
+// of B with every itemset of A a subset of the corresponding transaction.
+// The greedy embedding — match each itemset of the pattern into the earliest
+// feasible transaction — minimizes every matched transaction index
+// simultaneously (standard exchange argument), which is what the k-minimum
+// machinery relies on.
+#ifndef DISC_SEQ_CONTAINMENT_H_
+#define DISC_SEQ_CONTAINMENT_H_
+
+#include <vector>
+
+#include "disc/seq/database.h"
+#include "disc/seq/sequence.h"
+
+namespace disc {
+
+/// Result of a leftmost-embedding search.
+struct Embedding {
+  /// True if the pattern is contained in the sequence.
+  bool found = false;
+  /// Transaction (0-based) matching the pattern's last itemset; only valid
+  /// when found. For an empty pattern, found is true and end_txn is kNoTxn
+  /// (the embedding ends "before the first transaction").
+  std::uint32_t end_txn = kNoTxn;
+};
+
+/// Earliest transaction >= start_txn of s whose itemset contains
+/// [begin, end); kNoTxn if none. [begin, end) must be sorted.
+std::uint32_t FindTxnWithItemset(const Sequence& s, std::uint32_t start_txn,
+                                 const Item* begin, const Item* end);
+
+/// Greedy leftmost embedding of `pattern` into `s`. If `matched_txns` is
+/// non-null it receives the matched transaction index for every itemset of
+/// the pattern (only meaningful when found).
+Embedding LeftmostEmbedding(const Sequence& s, const Sequence& pattern,
+                            std::vector<std::uint32_t>* matched_txns = nullptr);
+
+/// True if `pattern` is a subsequence of `s`.
+bool Contains(const Sequence& s, const Sequence& pattern);
+
+/// Number of database sequences containing `pattern` (each counted once).
+std::uint32_t CountSupport(const SequenceDatabase& db, const Sequence& pattern);
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_CONTAINMENT_H_

@@ -1,0 +1,36 @@
+#include "disc/seq/database.h"
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+Cid SequenceDatabase::Add(Sequence seq) {
+  DISC_DCHECK(seq.IsWellFormed());
+  for (const Item x : seq.items()) {
+    if (x > max_item_) max_item_ = x;
+  }
+  sequences_.push_back(std::move(seq));
+  return static_cast<Cid>(sequences_.size() - 1);
+}
+
+std::uint64_t SequenceDatabase::TotalItems() const {
+  std::uint64_t n = 0;
+  for (const Sequence& s : sequences_) n += s.Length();
+  return n;
+}
+
+double SequenceDatabase::AvgTransactionsPerCustomer() const {
+  if (sequences_.empty()) return 0.0;
+  std::uint64_t n = 0;
+  for (const Sequence& s : sequences_) n += s.NumTransactions();
+  return static_cast<double>(n) / static_cast<double>(sequences_.size());
+}
+
+double SequenceDatabase::AvgItemsPerTransaction() const {
+  std::uint64_t txns = 0;
+  for (const Sequence& s : sequences_) txns += s.NumTransactions();
+  if (txns == 0) return 0.0;
+  return static_cast<double>(TotalItems()) / static_cast<double>(txns);
+}
+
+}  // namespace disc

@@ -1,0 +1,48 @@
+// SequenceDatabase: the collection of customer sequences to be mined.
+#ifndef DISC_SEQ_DATABASE_H_
+#define DISC_SEQ_DATABASE_H_
+
+#include <vector>
+
+#include "disc/seq/sequence.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// A database of customer sequences. The customer id (CID) of a sequence is
+/// its index. The database tracks the largest item it contains so counting
+/// arrays can be sized without a separate scan.
+class SequenceDatabase {
+ public:
+  SequenceDatabase() = default;
+
+  /// Appends a sequence and returns its CID.
+  Cid Add(Sequence seq);
+
+  std::size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
+
+  const Sequence& operator[](Cid cid) const { return sequences_[cid]; }
+  const std::vector<Sequence>& sequences() const { return sequences_; }
+
+  /// Largest item id present (0 for an empty database). Counting arrays are
+  /// sized max_item()+1.
+  Item max_item() const { return max_item_; }
+
+  /// Total item occurrences across all sequences.
+  std::uint64_t TotalItems() const;
+
+  /// Average transactions per customer (the paper's theta).
+  double AvgTransactionsPerCustomer() const;
+
+  /// Average items per transaction.
+  double AvgItemsPerTransaction() const;
+
+ private:
+  std::vector<Sequence> sequences_;
+  Item max_item_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_DATABASE_H_

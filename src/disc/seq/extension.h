@@ -1,0 +1,129 @@
+// Extension scan: the complete sets of valid one-item extensions of a
+// pattern within one customer sequence.
+//
+// A k-sequence with (k-1)-prefix F is F plus one item appended either to
+// F's last itemset (an *i-extension*, item > F's last item) or as a new
+// trailing transaction (an *s-extension*). This module computes, in one pass
+// over the customer sequence, exactly the items z for which the extended
+// pattern is still contained:
+//
+//   * s-extension z valid  <=>  z occurs in a transaction strictly after the
+//     leftmost embedding of F (greedy leftmost minimizes the end
+//     transaction, so "after leftmost end" captures every embedding);
+//   * i-extension z valid  <=>  z > max(F.last itemset) and some transaction
+//     t contains F.last itemset + {z} with F's other itemsets embeddable
+//     before t (equivalently t is after the leftmost end of F's prefix).
+//
+// This is the corrected form of the paper's "minimum item to the right of
+// the matching point" (Figure 5), which misses i-extensions reachable only
+// through non-leftmost embeddings; see DESIGN.md deviation 2. The scan backs
+// Apriori-KMS/CKMS, the counting arrays of §3.1, and the bi-level variant.
+#ifndef DISC_SEQ_EXTENSION_H_
+#define DISC_SEQ_EXTENSION_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "disc/order/compare.h"
+#include "disc/seq/index.h"
+#include "disc/seq/sequence.h"
+
+namespace disc {
+
+/// Valid one-item extensions of a pattern within one sequence.
+struct ExtensionSets {
+  /// True if the pattern itself is contained in the sequence. When false the
+  /// item vectors are empty.
+  bool contained = false;
+  /// Sorted, distinct items z such that (pattern i-extended by z) is
+  /// contained; all satisfy z > pattern.LastItem().
+  std::vector<Item> i_items;
+  /// Sorted, distinct items z such that (pattern s-extended by z) is
+  /// contained.
+  std::vector<Item> s_items;
+};
+
+/// Computes the extension sets of `pattern` in `s`. An empty pattern is
+/// contained everywhere; its s-extensions are all distinct items of `s`
+/// (1-sequences) and it has no i-extensions.
+ExtensionSets ScanExtensions(const Sequence& s, const Sequence& pattern);
+
+/// Result of a minimum-extension scan.
+struct MinExtension {
+  bool contained = false;  ///< pattern occurs in the sequence
+  bool found = false;      ///< a qualifying extension exists
+  Item item = kNoItem;
+  ExtType type = ExtType::kSequence;
+};
+
+/// The minimal valid extension of `pattern` in `s` under the extension
+/// order (item first, itemset form before sequence form), optionally
+/// restricted to extensions comparing >= (or > when `strict`) the floor
+/// extension. This is the allocation-free hot path of Apriori-KMS/CKMS —
+/// semantically identical to taking ScanExtensions and picking the first
+/// qualifying element, which the tests cross-check.
+MinExtension ScanMinExtension(const Sequence& s, const Sequence& pattern,
+                              const std::pair<Item, ExtType>* floor = nullptr,
+                              bool strict = false,
+                              const SequenceIndex* index = nullptr);
+
+/// Leftmost-embedding endpoints of a pattern: the shared first step of
+/// every extension scan. For an empty pattern both ends are kNoTxn with
+/// contained == true. `index` (when non-null, built from `s`) turns each
+/// embedding step into binary-search jumps.
+struct EmbeddingEnds {
+  bool contained = false;
+  std::uint32_t full_end = kNoTxn;    ///< end txn of the whole pattern
+  std::uint32_t prefix_end = kNoTxn;  ///< end txn of all itemsets but last
+};
+EmbeddingEnds LeftmostEnds(const Sequence& s, const Sequence& pattern,
+                           const SequenceIndex* index = nullptr);
+
+/// Streams every valid extension occurrence to `fn(item, type)` WITHOUT
+/// deduplication (an item may be reported several times). The distinct set
+/// of reported pairs equals ScanExtensions' sets; consumers that are
+/// idempotent per item (CountingArray, min-tracking) use this to skip the
+/// sort-unique cost.
+template <typename Fn>
+void ForEachExtension(const Sequence& s, const Sequence& pattern, Fn&& fn,
+                      const SequenceIndex* index = nullptr) {
+  const EmbeddingEnds ends = LeftmostEnds(s, pattern, index);
+  if (!ends.contained) return;
+  const std::uint32_t s_from =
+      ends.full_end == kNoTxn ? 0 : ends.full_end + 1;
+  for (std::uint32_t t = s_from; t < s.NumTransactions(); ++t) {
+    for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+      fn(*p, ExtType::kSequence);
+    }
+  }
+  if (pattern.Empty()) return;
+  const std::uint32_t last_pt = pattern.NumTransactions() - 1;
+  const Item* last_begin = pattern.TxnBegin(last_pt);
+  const Item* last_end = pattern.TxnEnd(last_pt);
+  const Item last_max = *(last_end - 1);
+  const std::uint32_t i_from =
+      ends.prefix_end == kNoTxn ? 0 : ends.prefix_end + 1;
+  for (std::uint32_t t = i_from; t < s.NumTransactions(); ++t) {
+    if (index != nullptr) {
+      t = index->NextTxnWithItemset(t, last_begin, last_end);
+      if (t == kNoTxn) break;
+    } else {
+      if (s.TxnSize(t) < pattern.TxnSize(last_pt) + 1) continue;
+      if (*(s.TxnEnd(t) - 1) <= last_max) continue;  // nothing above max
+      if (!SortedRangeIsSubset(last_begin, last_end, s.TxnBegin(t),
+                               s.TxnEnd(t))) {
+        continue;
+      }
+    }
+    for (const Item* p =
+             std::upper_bound(s.TxnBegin(t), s.TxnEnd(t), last_max);
+         p != s.TxnEnd(t); ++p) {
+      fn(*p, ExtType::kItemset);
+    }
+  }
+}
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_EXTENSION_H_

@@ -1,0 +1,56 @@
+// Per-sequence occurrence index: for each distinct item, the sorted list of
+// transactions containing it, plus a suffix-minimum item table.
+//
+// The DISC inner loop re-embeds (k-1)-sequence prefixes into the same
+// customer sequences thousands of times; with this index each embedding
+// step is a handful of binary searches (jump to the next transaction
+// containing an itemset) instead of a linear scan over transactions, and
+// the unconstrained "minimum item in the remaining suffix" query is O(1).
+//
+// An index is immutable and tied to the sequence it was built from; all
+// consumers accept a null index and fall back to direct scans.
+#ifndef DISC_SEQ_INDEX_H_
+#define DISC_SEQ_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disc/seq/sequence.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// Occurrence index of one sequence. See file comment.
+class SequenceIndex {
+ public:
+  /// Builds the index in O(length log length).
+  explicit SequenceIndex(const Sequence& s);
+
+  /// First transaction >= start containing item x; kNoTxn if none.
+  std::uint32_t NextTxnWithItem(Item x, std::uint32_t start) const;
+
+  /// First transaction >= start whose itemset contains the sorted range
+  /// [begin, end); kNoTxn if none. The range must be non-empty.
+  std::uint32_t NextTxnWithItemset(std::uint32_t start, const Item* begin,
+                                   const Item* end) const;
+
+  /// Smallest item occurring in transactions >= start; kNoItem if none.
+  Item SuffixMinItem(std::uint32_t start) const;
+
+  /// Number of transactions of the indexed sequence.
+  std::uint32_t NumTransactions() const { return num_txns_; }
+
+ private:
+  // Occurrence lists in CSR form, ordered by item: row r covers item
+  // row_items_[r] with transactions txns_[row_offsets_[r] ..
+  // row_offsets_[r+1]).
+  std::vector<Item> row_items_;           // sorted distinct items
+  std::vector<std::uint32_t> row_offsets_;  // size rows+1
+  std::vector<std::uint32_t> txns_;         // sorted within each row
+  std::vector<Item> suffix_min_;            // size num_txns_+1, [n] = kNoItem
+  std::uint32_t num_txns_ = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_INDEX_H_

@@ -1,0 +1,66 @@
+#include "disc/seq/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+std::string ToSpmfString(const SequenceDatabase& db) {
+  std::string out;
+  for (const Sequence& s : db.sequences()) {
+    for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+      for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+        out += std::to_string(*p);
+        out += ' ';
+      }
+      out += "-1 ";
+    }
+    out += "-2\n";
+  }
+  return out;
+}
+
+SequenceDatabase FromSpmfString(const std::string& text) {
+  SequenceDatabase db;
+  std::istringstream in(text);
+  std::vector<Itemset> itemsets;
+  std::vector<Item> current;
+  long long tok;
+  while (in >> tok) {
+    if (tok == -1) {
+      DISC_CHECK_MSG(!current.empty(), "empty itemset in SPMF input");
+      itemsets.emplace_back(std::move(current));
+      current.clear();
+    } else if (tok == -2) {
+      DISC_CHECK_MSG(current.empty(), "itemset not closed before -2");
+      DISC_CHECK_MSG(!itemsets.empty(), "empty sequence in SPMF input");
+      db.Add(Sequence(itemsets));
+      itemsets.clear();
+    } else {
+      DISC_CHECK_MSG(tok > 0, "items must be positive");
+      current.push_back(static_cast<Item>(tok));
+    }
+  }
+  DISC_CHECK_MSG(current.empty() && itemsets.empty(),
+                 "trailing unterminated sequence in SPMF input");
+  return db;
+}
+
+bool SaveSpmf(const SequenceDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToSpmfString(db);
+  return static_cast<bool>(out);
+}
+
+SequenceDatabase LoadSpmf(const std::string& path) {
+  std::ifstream in(path);
+  DISC_CHECK_MSG(static_cast<bool>(in), "cannot open SPMF file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromSpmfString(buf.str());
+}
+
+}  // namespace disc

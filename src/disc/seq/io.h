@@ -1,0 +1,29 @@
+// File I/O for sequence databases in the SPMF text format:
+// one sequence per line; items are positive integers separated by spaces;
+// -1 terminates each itemset and -2 terminates the sequence, e.g.
+//   1 5 7 -1 2 -1 -2
+#ifndef DISC_SEQ_IO_H_
+#define DISC_SEQ_IO_H_
+
+#include <string>
+
+#include "disc/seq/database.h"
+
+namespace disc {
+
+/// Serializes the database in SPMF format.
+std::string ToSpmfString(const SequenceDatabase& db);
+
+/// Parses a database from SPMF-format text. Aborts on malformed input.
+SequenceDatabase FromSpmfString(const std::string& text);
+
+/// Writes the database to a file. Returns false on I/O failure.
+bool SaveSpmf(const SequenceDatabase& db, const std::string& path);
+
+/// Reads a database from a file. Aborts if the file cannot be opened or is
+/// malformed.
+SequenceDatabase LoadSpmf(const std::string& path);
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_IO_H_

@@ -1,0 +1,56 @@
+#include "disc/seq/itemset.h"
+
+#include <algorithm>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+Itemset::Itemset(std::vector<Item> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Itemset::Itemset(std::initializer_list<Item> items)
+    : Itemset(std::vector<Item>(items)) {}
+
+Item Itemset::Max() const {
+  DISC_CHECK(!items_.empty());
+  return items_.back();
+}
+
+bool Itemset::Contains(Item x) const {
+  return std::binary_search(items_.begin(), items_.end(), x);
+}
+
+bool Itemset::IsSubsetOf(const Itemset& other) const {
+  return SortedRangeIsSubset(items_.data(), items_.data() + items_.size(),
+                             other.items_.data(),
+                             other.items_.data() + other.items_.size());
+}
+
+void Itemset::Insert(Item x) {
+  const auto it = std::lower_bound(items_.begin(), items_.end(), x);
+  if (it != items_.end() && *it == x) return;
+  items_.insert(it, x);
+}
+
+void Itemset::Erase(Item x) {
+  const auto it = std::lower_bound(items_.begin(), items_.end(), x);
+  if (it != items_.end() && *it == x) items_.erase(it);
+}
+
+bool SortedRangeIsSubset(const Item* sub_begin, const Item* sub_end,
+                         const Item* super_begin, const Item* super_end) {
+  const Item* a = sub_begin;
+  const Item* b = super_begin;
+  while (a != sub_end) {
+    while (b != super_end && *b < *a) ++b;
+    if (b == super_end || *b != *a) return false;
+    ++a;
+    ++b;
+  }
+  return true;
+}
+
+}  // namespace disc

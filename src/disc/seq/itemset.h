@@ -1,0 +1,61 @@
+// Itemset: a sorted set of items (one transaction's contents).
+//
+// Itemsets are kept sorted ascending and duplicate-free; every algorithm in
+// the library relies on that invariant (subset tests are linear merges, the
+// last item of an itemset is its maximum, ...).
+#ifndef DISC_SEQ_ITEMSET_H_
+#define DISC_SEQ_ITEMSET_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// A sorted, duplicate-free set of items.
+class Itemset {
+ public:
+  Itemset() = default;
+
+  /// Builds from arbitrary items; sorts and removes duplicates.
+  explicit Itemset(std::vector<Item> items);
+  Itemset(std::initializer_list<Item> items);
+
+  /// Number of items.
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Access by rank (ascending order).
+  Item operator[](std::size_t i) const { return items_[i]; }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Largest item; itemset must be non-empty.
+  Item Max() const;
+
+  /// Membership test (binary search).
+  bool Contains(Item x) const;
+
+  /// Returns true if every item of this set occurs in `other`.
+  bool IsSubsetOf(const Itemset& other) const;
+
+  /// Inserts an item, keeping order; inserting a duplicate is a no-op.
+  void Insert(Item x);
+
+  /// Removes an item if present.
+  void Erase(Item x);
+
+  bool operator==(const Itemset& other) const { return items_ == other.items_; }
+  bool operator!=(const Itemset& other) const { return !(*this == other); }
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// Subset test over raw sorted ranges (used on sequence transaction views).
+bool SortedRangeIsSubset(const Item* sub_begin, const Item* sub_end,
+                         const Item* super_begin, const Item* super_end);
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_ITEMSET_H_

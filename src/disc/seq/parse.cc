@@ -1,0 +1,91 @@
+#include "disc/seq/parse.h"
+
+#include <cctype>
+
+#include "disc/common/check.h"
+
+namespace disc {
+namespace {
+
+// Skips spaces and the decorative '<' '>' characters.
+void SkipFluff(const std::string& s, std::size_t* i) {
+  while (*i < s.size() &&
+         (std::isspace(static_cast<unsigned char>(s[*i])) || s[*i] == '<' ||
+          s[*i] == '>')) {
+    ++*i;
+  }
+}
+
+Item ParseItem(const std::string& s, std::size_t* i) {
+  SkipFluff(s, i);
+  DISC_CHECK_MSG(*i < s.size(), "expected item");
+  const char c = s[*i];
+  if (std::isalpha(static_cast<unsigned char>(c))) {
+    ++*i;
+    const char lower = static_cast<char>(std::tolower(c));
+    return static_cast<Item>(lower - 'a' + 1);
+  }
+  DISC_CHECK_MSG(std::isdigit(static_cast<unsigned char>(c)),
+                 "expected letter or integer item");
+  Item value = 0;
+  while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
+    value = value * 10 + static_cast<Item>(s[*i] - '0');
+    ++*i;
+  }
+  DISC_CHECK_MSG(value != kNoItem, "item 0 is reserved");
+  return value;
+}
+
+}  // namespace
+
+Sequence ParseSequence(const std::string& text) {
+  std::vector<Itemset> itemsets;
+  std::size_t i = 0;
+  SkipFluff(text, &i);
+  while (i < text.size()) {
+    DISC_CHECK_MSG(text[i] == '(', "expected '('");
+    ++i;
+    std::vector<Item> items;
+    for (;;) {
+      items.push_back(ParseItem(text, &i));
+      SkipFluff(text, &i);
+      DISC_CHECK_MSG(i < text.size(), "unterminated itemset");
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      DISC_CHECK_MSG(text[i] == ')', "expected ',' or ')'");
+      ++i;
+      break;
+    }
+    itemsets.emplace_back(std::move(items));
+    SkipFluff(text, &i);
+  }
+  return Sequence(itemsets);
+}
+
+SequenceDatabase ParseDatabase(const std::string& text) {
+  SequenceDatabase db;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    bool blank = true;
+    for (const char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (!blank) db.Add(ParseSequence(line));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return db;
+}
+
+SequenceDatabase MakeDatabase(const std::vector<std::string>& lines) {
+  SequenceDatabase db;
+  for (const std::string& line : lines) db.Add(ParseSequence(line));
+  return db;
+}
+
+}  // namespace disc

@@ -1,0 +1,32 @@
+// Text parsing of sequences in the paper's notation.
+//
+// Grammar (whitespace insensitive):
+//   sequence := '<'? itemset+ '>'?
+//   itemset  := '(' item (',' item)* ')'
+//   item     := letter | integer
+// Letters map a..z -> 1..26, matching the paper's examples; integers are
+// taken verbatim. Parsing aborts on malformed input (these parsers exist for
+// tests, examples, and file loading, where failing loudly is correct).
+#ifndef DISC_SEQ_PARSE_H_
+#define DISC_SEQ_PARSE_H_
+
+#include <string>
+#include <vector>
+
+#include "disc/seq/database.h"
+#include "disc/seq/sequence.h"
+
+namespace disc {
+
+/// Parses a single sequence, e.g. "<(a,e,g)(b)(h)>" or "(1,5)(2)".
+Sequence ParseSequence(const std::string& text);
+
+/// Parses one sequence per non-empty line.
+SequenceDatabase ParseDatabase(const std::string& text);
+
+/// Convenience: parses several sequence literals into a database.
+SequenceDatabase MakeDatabase(const std::vector<std::string>& lines);
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_PARSE_H_

@@ -1,0 +1,113 @@
+#include "disc/seq/sequence.h"
+
+#include <algorithm>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+Sequence::Sequence(const std::vector<Itemset>& itemsets) : offsets_{0} {
+  for (const Itemset& is : itemsets) {
+    DISC_CHECK_MSG(!is.empty(), "empty transaction in sequence");
+    AppendItemset(is);
+  }
+}
+
+std::uint32_t Sequence::TxnOf(std::uint32_t pos) const {
+  DISC_DCHECK(pos < items_.size());
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), pos);
+  return static_cast<std::uint32_t>(it - offsets_.begin()) - 1;
+}
+
+Itemset Sequence::TxnItemset(std::uint32_t t) const {
+  return Itemset(std::vector<Item>(TxnBegin(t), TxnEnd(t)));
+}
+
+bool Sequence::TxnContains(std::uint32_t t, Item x) const {
+  return std::binary_search(TxnBegin(t), TxnEnd(t), x);
+}
+
+Item Sequence::LastItem() const {
+  DISC_CHECK(!items_.empty());
+  return items_.back();
+}
+
+void Sequence::AppendNewItemset(Item x) {
+  items_.push_back(x);
+  offsets_.push_back(static_cast<std::uint32_t>(items_.size()));
+}
+
+void Sequence::AppendToLastItemset(Item x) {
+  DISC_CHECK(!items_.empty());
+  DISC_CHECK_MSG(x > items_.back(),
+                 "i-extension item must exceed the current last item");
+  items_.push_back(x);
+  offsets_.back() = static_cast<std::uint32_t>(items_.size());
+}
+
+void Sequence::AppendItemset(const Itemset& itemset) {
+  DISC_CHECK(!itemset.empty());
+  items_.insert(items_.end(), itemset.items().begin(), itemset.items().end());
+  offsets_.push_back(static_cast<std::uint32_t>(items_.size()));
+}
+
+Sequence Sequence::Prefix(std::uint32_t k) const {
+  DISC_CHECK(k <= items_.size());
+  Sequence out;
+  out.items_.assign(items_.begin(), items_.begin() + k);
+  for (std::size_t t = 1; t < offsets_.size() && offsets_[t] < k; ++t) {
+    out.offsets_.push_back(offsets_[t]);
+  }
+  if (k > 0) out.offsets_.push_back(k);
+  return out;
+}
+
+void Sequence::DropLastItem() {
+  DISC_CHECK(!items_.empty());
+  items_.pop_back();
+  if (offsets_[offsets_.size() - 2] == items_.size()) {
+    offsets_.pop_back();  // last transaction became empty
+  } else {
+    offsets_.back() = static_cast<std::uint32_t>(items_.size());
+  }
+}
+
+std::string Sequence::ToString() const {
+  bool letters = !items_.empty();
+  for (const Item x : items_) {
+    if (x == 0 || x > 26) letters = false;
+  }
+  std::string out;
+  for (std::uint32_t t = 0; t < NumTransactions(); ++t) {
+    out += "(";
+    for (const Item* p = TxnBegin(t); p != TxnEnd(t); ++p) {
+      if (p != TxnBegin(t)) out += ",";
+      if (letters) {
+        out += static_cast<char>('a' + *p - 1);
+      } else {
+        out += std::to_string(*p);
+      }
+    }
+    out += ")";
+  }
+  if (out.empty()) out = "<>";
+  return out;
+}
+
+bool Sequence::IsWellFormed() const {
+  if (offsets_.empty() || offsets_.front() != 0) return false;
+  if (offsets_.back() != items_.size()) return false;
+  for (std::size_t t = 0; t + 1 < offsets_.size(); ++t) {
+    if (offsets_[t] >= offsets_[t + 1]) return false;  // empty transaction
+    for (std::uint32_t i = offsets_[t] + 1; i < offsets_[t + 1]; ++i) {
+      if (items_[i - 1] >= items_[i]) return false;  // unsorted or duplicate
+    }
+  }
+  for (const Item x : items_) {
+    if (x == kNoItem) return false;
+  }
+  return true;
+}
+
+}  // namespace disc

@@ -1,0 +1,115 @@
+// Sequence: an ordered list of itemsets (transactions).
+//
+// Stored in a CSR-style flattened layout: all items concatenated in
+// transaction order (each transaction's items sorted ascending), plus an
+// offsets array delimiting transactions. The flattened view is what the
+// paper's comparative order (Definition 2.2) and k-minimum machinery operate
+// on; the "length" of a sequence is its number of flattened items.
+//
+// The same type represents both customer sequences and mined patterns.
+#ifndef DISC_SEQ_SEQUENCE_H_
+#define DISC_SEQ_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disc/seq/itemset.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// An ordered list of itemsets. See file comment for representation.
+class Sequence {
+ public:
+  /// Empty sequence (zero transactions).
+  Sequence() : offsets_{0} {}
+
+  /// Builds from explicit itemsets; empty itemsets are rejected.
+  explicit Sequence(const std::vector<Itemset>& itemsets);
+
+  /// --- Size ---
+
+  /// Total item occurrences (the paper's "length"; a k-sequence has k).
+  std::uint32_t Length() const {
+    return static_cast<std::uint32_t>(items_.size());
+  }
+  bool Empty() const { return items_.empty(); }
+
+  /// Number of transactions.
+  std::uint32_t NumTransactions() const {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  /// --- Flattened access ---
+
+  /// Item at flattened position pos (0-based).
+  Item ItemAt(std::uint32_t pos) const { return items_[pos]; }
+
+  /// Transaction index (0-based) of flattened position pos. O(log T).
+  std::uint32_t TxnOf(std::uint32_t pos) const;
+
+  const std::vector<Item>& items() const { return items_; }
+  const std::vector<std::uint32_t>& offsets() const { return offsets_; }
+
+  /// --- Transaction access ---
+
+  /// [begin, end) item pointers of transaction t.
+  const Item* TxnBegin(std::uint32_t t) const { return items_.data() + offsets_[t]; }
+  const Item* TxnEnd(std::uint32_t t) const { return items_.data() + offsets_[t + 1]; }
+  std::uint32_t TxnSize(std::uint32_t t) const { return offsets_[t + 1] - offsets_[t]; }
+
+  /// Copies transaction t into an Itemset.
+  Itemset TxnItemset(std::uint32_t t) const;
+
+  /// True if transaction t contains item x (binary search).
+  bool TxnContains(std::uint32_t t, Item x) const;
+
+  /// Last item of the last transaction; sequence must be non-empty.
+  Item LastItem() const;
+
+  /// --- Pattern construction ---
+
+  /// Appends a new transaction holding the single item x.
+  void AppendNewItemset(Item x);
+
+  /// Appends x to the last transaction. Requires x > current last item
+  /// (patterns only ever grow by items larger than their last, which keeps
+  /// the transaction sorted without searching).
+  void AppendToLastItemset(Item x);
+
+  /// Appends a whole transaction (sorted copy of the itemset).
+  void AppendItemset(const Itemset& itemset);
+
+  /// The k-prefix: the first k flattened items with their transaction
+  /// structure (paper §3.2). Requires k <= Length().
+  Sequence Prefix(std::uint32_t k) const;
+
+  /// Removes the last flattened item (dropping its transaction if it becomes
+  /// empty). Sequence must be non-empty.
+  void DropLastItem();
+
+  /// --- Formatting ---
+
+  /// Renders like the paper, e.g. "(a,c)(b)". Items 1..26 print as letters
+  /// when `letters` is true (the default when the whole sequence fits),
+  /// otherwise as integers.
+  std::string ToString() const;
+
+  bool operator==(const Sequence& other) const {
+    return items_ == other.items_ && offsets_ == other.offsets_;
+  }
+  bool operator!=(const Sequence& other) const { return !(*this == other); }
+
+  /// Structural well-formedness: offsets monotone, transactions non-empty
+  /// and strictly sorted. Used by tests and DISC_DCHECKs.
+  bool IsWellFormed() const;
+
+ private:
+  std::vector<Item> items_;
+  std::vector<std::uint32_t> offsets_;  // size NumTransactions()+1, [0]==0
+};
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_SEQUENCE_H_

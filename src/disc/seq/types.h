@@ -1,0 +1,24 @@
+// Fundamental scalar types of the sequence-mining domain.
+#ifndef DISC_SEQ_TYPES_H_
+#define DISC_SEQ_TYPES_H_
+
+#include <cstdint>
+
+namespace disc {
+
+/// Item identifier. Valid items are 1..alphabet_size; 0 is reserved as the
+/// "no item" sentinel.
+using Item = std::uint32_t;
+
+/// Customer (sequence) identifier: the index of a sequence in its database.
+using Cid = std::uint32_t;
+
+/// Sentinel item meaning "none".
+inline constexpr Item kNoItem = 0;
+
+/// Sentinel for "no transaction".
+inline constexpr std::uint32_t kNoTxn = 0xffffffffu;
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_TYPES_H_

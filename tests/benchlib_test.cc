@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "disc/benchlib/report.h"
+#include "disc/benchlib/workload.h"
+#include "disc/seq/parse.h"
+
+namespace disc {
+namespace {
+
+TEST(Benchlib, WorkloadPresetsMatchPaperTable11) {
+  const QuestParams fig8 = Fig8Params(50000);
+  EXPECT_EQ(fig8.ncust, 50000u);
+  EXPECT_DOUBLE_EQ(fig8.slen, 10.0);
+  EXPECT_DOUBLE_EQ(fig8.tlen, 2.5);
+  EXPECT_EQ(fig8.nitems, 1000u);
+  EXPECT_DOUBLE_EQ(fig8.seq_patlen, 4.0);
+
+  const QuestParams fig9 = Fig9Params(10000);
+  EXPECT_DOUBLE_EQ(fig9.slen, 8.0);
+  EXPECT_DOUBLE_EQ(fig9.tlen, 8.0);
+  EXPECT_DOUBLE_EQ(fig9.seq_patlen, 8.0);
+
+  const QuestParams theta = ThetaParams(50000, 25.0);
+  EXPECT_DOUBLE_EQ(theta.slen, 25.0);
+  EXPECT_DOUBLE_EQ(theta.tlen, 2.5);
+}
+
+TEST(Benchlib, TimeMineReportsResultShape) {
+  QuestParams params = Fig8Params(120);
+  params.nitems = 60;
+  params.npats = 30;
+  params.nlits = 60;
+  const SequenceDatabase db = GenerateQuestDatabase(params);
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), 0.05);
+  const auto miner = CreateMiner("disc-all");
+  const MineTiming t = TimeMine(miner.get(), db, options);
+  EXPECT_GE(t.seconds, 0.0);
+  EXPECT_GT(t.num_patterns, 0u);
+  EXPECT_GE(t.max_length, 1u);
+  // Consistent with a direct run.
+  const PatternSet direct = miner->Mine(db, options);
+  EXPECT_EQ(t.num_patterns, direct.size());
+  EXPECT_EQ(t.max_length, direct.MaxLength());
+}
+
+TEST(Benchlib, DescribeDatabaseMentionsShape) {
+  SequenceDatabase db;
+  db.Add(ParseSequence("(a,b)(c)"));
+  const std::string desc = DescribeDatabase(db);
+  EXPECT_NE(desc.find("|DB|=1"), std::string::npos);
+  EXPECT_NE(desc.find("3 item occurrences"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,67 @@
+#include "disc/core/counting_array.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(CountingArray, CountsPerCustomerOnce) {
+  CountingArray c(10);
+  c.Add(3, ExtType::kSequence, 0);
+  c.Add(3, ExtType::kSequence, 0);  // same cid: idempotent
+  c.Add(3, ExtType::kSequence, 1);
+  EXPECT_EQ(c.Count(3, ExtType::kSequence), 2u);
+  EXPECT_EQ(c.Count(3, ExtType::kItemset), 0u);
+}
+
+TEST(CountingArray, FormsAreIndependent) {
+  CountingArray c(10);
+  c.Add(5, ExtType::kItemset, 0);
+  c.Add(5, ExtType::kSequence, 0);
+  EXPECT_EQ(c.Count(5, ExtType::kItemset), 1u);
+  EXPECT_EQ(c.Count(5, ExtType::kSequence), 1u);
+}
+
+TEST(CountingArray, LastCidAllowsRevisitingEarlierCustomers) {
+  // The last-CID mechanism only suppresses *consecutive* duplicates, which
+  // is exactly what one scan produces; revisiting an older cid after
+  // another one counts again only if it is a genuinely different pass —
+  // users must scan customers in order. Same-cid-later is the documented
+  // single-scan contract: a! -> b -> a would double-count a.
+  CountingArray c(4);
+  c.Add(1, ExtType::kSequence, 0);
+  c.Add(1, ExtType::kSequence, 1);
+  c.Add(1, ExtType::kSequence, 1);
+  EXPECT_EQ(c.Count(1, ExtType::kSequence), 2u);
+}
+
+TEST(CountingArray, FrequentExtensionsAscending) {
+  CountingArray c(10);
+  for (Cid cid = 0; cid < 3; ++cid) {
+    c.Add(7, ExtType::kSequence, cid);
+    c.Add(2, ExtType::kItemset, cid);
+    c.Add(2, ExtType::kSequence, cid);
+  }
+  c.Add(9, ExtType::kItemset, 0);
+  const auto freq = c.FrequentExtensions(3);
+  ASSERT_EQ(freq.size(), 3u);
+  EXPECT_EQ(freq[0], std::make_pair(Item{2}, ExtType::kItemset));
+  EXPECT_EQ(freq[1], std::make_pair(Item{2}, ExtType::kSequence));
+  EXPECT_EQ(freq[2], std::make_pair(Item{7}, ExtType::kSequence));
+}
+
+TEST(CountingArray, ResetClearsEverything) {
+  CountingArray c(6);
+  c.Add(4, ExtType::kSequence, 0);
+  c.Add(4, ExtType::kItemset, 0);
+  c.Reset();
+  EXPECT_EQ(c.Count(4, ExtType::kSequence), 0u);
+  EXPECT_EQ(c.Count(4, ExtType::kItemset), 0u);
+  EXPECT_TRUE(c.FrequentExtensions(1).empty());
+  // Reusable after reset; cid 0 counts again.
+  c.Add(4, ExtType::kSequence, 0);
+  EXPECT_EQ(c.Count(4, ExtType::kSequence), 1u);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,156 @@
+// The library's main correctness oracle: every miner — DISC-all (bi-level
+// and plain), Dynamic DISC-all, PrefixSpan (physical and pseudo), GSP,
+// SPADE, SPAM — must produce the identical pattern set (patterns AND
+// supports) on randomized databases across support thresholds and shapes.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/miner.h"
+#include "disc/core/dynamic_disc_all.h"
+#include "disc/gen/quest.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+struct CrossCase {
+  std::uint64_t seed;
+  std::uint32_t delta;
+  testutil::RandomDbSpec spec;
+};
+
+void ExpectAllAgree(const SequenceDatabase& db, const MineOptions& options) {
+  const PatternSet reference = CreateMiner("pseudo")->Mine(db, options);
+  for (const std::string& name : AllMinerNames()) {
+    if (name == "pseudo") continue;
+    const PatternSet result = CreateMiner(name)->Mine(db, options);
+    EXPECT_EQ(reference, result)
+        << name << " disagrees with pseudo-PrefixSpan (delta="
+        << options.min_support_count << ", |db|=" << db.size() << "):\n"
+        << reference.Diff(result);
+  }
+}
+
+class CrossCheckRandom
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {
+};
+
+TEST_P(CrossCheckRandom, AllMinersAgree) {
+  const auto [seed, delta] = GetParam();
+  const SequenceDatabase db = testutil::RandomDatabase(seed);
+  MineOptions options;
+  options.min_support_count = delta;
+  ExpectAllAgree(db, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CrossCheckRandom,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 13),
+                       ::testing::Values(2u, 3u, 5u)));
+
+TEST(CrossCheck, DenseNarrowAlphabet) {
+  testutil::RandomDbSpec spec;
+  spec.alphabet = 4;
+  spec.num_seqs = 25;
+  spec.max_txns = 4;
+  spec.max_items_per_txn = 2;
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    const SequenceDatabase db = testutil::RandomDatabase(seed, spec);
+    MineOptions options;
+    options.min_support_count = 3;
+    ExpectAllAgree(db, options);
+  }
+}
+
+TEST(CrossCheck, LongSequencesWithLengthCap) {
+  testutil::RandomDbSpec spec;
+  spec.alphabet = 6;
+  spec.num_seqs = 20;
+  spec.max_txns = 8;
+  spec.max_items_per_txn = 3;
+  for (std::uint64_t seed = 200; seed < 204; ++seed) {
+    const SequenceDatabase db = testutil::RandomDatabase(seed, spec);
+    MineOptions options;
+    options.min_support_count = 4;
+    options.max_length = 5;
+    ExpectAllAgree(db, options);
+  }
+}
+
+TEST(CrossCheck, SingleItemTransactions) {
+  testutil::RandomDbSpec spec;
+  spec.alphabet = 5;
+  spec.num_seqs = 40;
+  spec.max_txns = 6;
+  spec.max_items_per_txn = 1;
+  for (std::uint64_t seed = 300; seed < 305; ++seed) {
+    const SequenceDatabase db = testutil::RandomDatabase(seed, spec);
+    MineOptions options;
+    options.min_support_count = 4;
+    ExpectAllAgree(db, options);
+  }
+}
+
+TEST(CrossCheck, QuestWorkload) {
+  QuestParams params;
+  params.ncust = 120;
+  params.nitems = 40;
+  params.slen = 4.0;
+  params.tlen = 2.0;
+  params.seq_patlen = 3.0;
+  params.npats = 30;
+  params.nlits = 60;
+  params.seed = 7;
+  const SequenceDatabase db = GenerateQuestDatabase(params);
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), 0.05);
+  ExpectAllAgree(db, options);
+}
+
+TEST(CrossCheck, DynamicGammaSweep) {
+  // Every gamma must give the same answer; only the strategy mix changes.
+  const SequenceDatabase db = testutil::RandomDatabase(42);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet reference = CreateMiner("pseudo")->Mine(db, options);
+  for (const double gamma : {0.0, 0.2, 0.5, 0.8, 1.5}) {
+    DynamicDiscAll::Config config;
+    config.gamma = gamma;
+    DynamicDiscAll miner(config);
+    EXPECT_EQ(reference, miner.Mine(db, options))
+        << "gamma=" << gamma << "\n"
+        << reference.Diff(miner.Mine(db, options));
+  }
+}
+
+TEST(CrossCheck, EdgeCases) {
+  MineOptions options;
+  options.min_support_count = 2;
+  // Empty database.
+  for (const std::string& name : AllMinerNames()) {
+    EXPECT_TRUE(CreateMiner(name)->Mine(SequenceDatabase(), options).empty())
+        << name;
+  }
+  // Threshold above the database size.
+  const SequenceDatabase small = testutil::RandomDatabase(5);
+  options.min_support_count = static_cast<std::uint32_t>(small.size()) + 1;
+  for (const std::string& name : AllMinerNames()) {
+    EXPECT_TRUE(CreateMiner(name)->Mine(small, options).empty()) << name;
+  }
+  // All sequences identical: every subsequence of the common sequence is
+  // frequent with support |db|.
+  SequenceDatabase same;
+  for (int i = 0; i < 4; ++i) same.Add(testutil::Seq("(a,b)(c)"));
+  options.min_support_count = 4;
+  ExpectAllAgree(same, options);
+  // delta == 1 on a tiny database.
+  SequenceDatabase tiny;
+  tiny.Add(testutil::Seq("(b)(a,c)"));
+  tiny.Add(testutil::Seq("(a)(b)"));
+  options.min_support_count = 1;
+  ExpectAllAgree(tiny, options);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,119 @@
+#include "disc/core/dynamic_disc_all.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/prefixspan.h"
+#include "disc/seq/containment.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(DynamicDiscAll, MatchesPrefixSpanOnPaperExample) {
+  const SequenceDatabase db = testutil::Table6Database();
+  MineOptions options;
+  options.min_support_count = 3;
+  DynamicDiscAll dynamic;
+  PrefixSpan ps(PrefixSpan::Projection::kPseudo);
+  EXPECT_EQ(dynamic.Mine(db, options), ps.Mine(db, options));
+}
+
+TEST(DynamicDiscAll, GammaExtremes) {
+  // gamma <= 0: the NRR test always fails, so after the level-0 counting
+  // pass everything goes through DISC. gamma > 1: partition all the way
+  // down (never switch to DISC). Both must be correct.
+  const SequenceDatabase db = testutil::RandomDatabase(8);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet reference =
+      PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options);
+
+  DynamicDiscAll::Config disc_only;
+  disc_only.gamma = 0.0;
+  DynamicDiscAll a(disc_only);
+  EXPECT_EQ(a.Mine(db, options), reference);
+  EXPECT_EQ(a.last_stats().partitions_split, 0u);
+  EXPECT_GT(a.last_stats().partitions_to_disc, 0u);
+
+  DynamicDiscAll::Config growth_only;
+  growth_only.gamma = 1.01;
+  DynamicDiscAll b(growth_only);
+  EXPECT_EQ(b.Mine(db, options), reference);
+  EXPECT_EQ(b.last_stats().partitions_to_disc, 0u);
+  EXPECT_GT(b.last_stats().partitions_split, 0u);
+}
+
+TEST(DynamicDiscAll, MidGammaMixesStrategies) {
+  const SequenceDatabase db = testutil::RandomDatabase(21);
+  MineOptions options;
+  options.min_support_count = 2;
+  DynamicDiscAll::Config config;
+  config.gamma = 0.5;
+  DynamicDiscAll miner(config);
+  const PatternSet got = miner.Mine(db, options);
+  EXPECT_EQ(got, PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options));
+  const auto& stats = miner.last_stats();
+  EXPECT_GT(stats.partitions_split + stats.partitions_to_disc, 0u);
+}
+
+TEST(DynamicDiscAll, FixedLevelsSweepAgrees) {
+  // Every fixed partitioning depth must produce the same pattern set; only
+  // the strategy mix changes.
+  const SequenceDatabase db = testutil::RandomDatabase(33);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet reference =
+      PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options);
+  for (const std::int32_t levels : {0, 1, 2, 3, 10}) {
+    DynamicDiscAll::Config config;
+    config.fixed_levels = levels;
+    DynamicDiscAll miner(config);
+    EXPECT_EQ(miner.Mine(db, options), reference) << "levels " << levels;
+  }
+  // levels=0 must never split; a large level count must never reach DISC
+  // on this shallow data.
+  DynamicDiscAll::Config zero;
+  zero.fixed_levels = 0;
+  DynamicDiscAll z(zero);
+  z.Mine(db, options);
+  EXPECT_EQ(z.last_stats().partitions_split, 0u);
+  DynamicDiscAll::Config deep;
+  deep.fixed_levels = 100;
+  DynamicDiscAll d(deep);
+  d.Mine(db, options);
+  EXPECT_EQ(d.last_stats().partitions_to_disc, 0u);
+}
+
+TEST(DynamicDiscAll, SupportsAreExact) {
+  const SequenceDatabase db = testutil::RandomDatabase(66);
+  MineOptions options;
+  options.min_support_count = 4;
+  const PatternSet got = DynamicDiscAll().Mine(db, options);
+  ASSERT_FALSE(got.empty());
+  for (const auto& [p, sup] : got) {
+    EXPECT_EQ(sup, CountSupport(db, p)) << p.ToString();
+  }
+}
+
+TEST(DynamicDiscAll, MaxLengthRespected) {
+  const SequenceDatabase db = testutil::RandomDatabase(9);
+  MineOptions options;
+  options.min_support_count = 2;
+  options.max_length = 3;
+  const PatternSet got = DynamicDiscAll().Mine(db, options);
+  EXPECT_LE(got.MaxLength(), 3u);
+  MineOptions full = options;
+  full.max_length = 0;
+  const PatternSet all = DynamicDiscAll().Mine(db, full);
+  std::size_t expected = 0;
+  for (const auto& [p, sup] : all) {
+    (void)sup;
+    if (p.Length() <= 3) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,69 @@
+#include "disc/common/flags.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "disc/common/table.h"
+
+namespace disc {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsAndSpaceSyntax) {
+  const Flags f = ParseArgs({"--ncust=500", "--minsup", "0.01", "--full"});
+  EXPECT_EQ(f.GetInt("ncust", 0), 500);
+  EXPECT_DOUBLE_EQ(f.GetDouble("minsup", 0.0), 0.01);
+  EXPECT_TRUE(f.GetBool("full", false));
+  EXPECT_TRUE(f.Has("full"));
+  EXPECT_FALSE(f.Has("absent"));
+}
+
+TEST(Flags, Defaults) {
+  const Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("b", true));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(ParseArgs({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(ParseArgs({"--x=1"}).GetBool("x", false));
+  EXPECT_FALSE(ParseArgs({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(ParseArgs({"--x=no"}).GetBool("x", true));
+}
+
+TEST(Flags, Positional) {
+  const Flags f = ParseArgs({"input.spmf", "--n=3", "out.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.spmf");
+  EXPECT_EQ(f.positional()[1], "out.txt");
+}
+
+TEST(Table, MarkdownRendering) {
+  TablePrinter t({"col", "value"});
+  t.AddRow({"a", TablePrinter::Num(1.2345, 2)});
+  t.AddRow({"bb", "-"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| col | value |"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("|  bb |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsNaNAsDash) {
+  EXPECT_EQ(TablePrinter::Num(std::nan(""), 2), "-");
+  EXPECT_EQ(TablePrinter::Num(0.5, 3), "0.500");
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,71 @@
+#include "disc/algo/gsp.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/prefixspan.h"
+#include "disc/seq/containment.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(Gsp, Table1AtDelta2) {
+  const SequenceDatabase db = testutil::Table1Database();
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Gsp().Mine(db, options);
+  EXPECT_EQ(got,
+            PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options));
+  EXPECT_EQ(got.SupportOf(Seq("(a,g)(h)(f)")), 2u);
+}
+
+TEST(Gsp, JoinCoversBothExtensionKinds) {
+  // Sequences engineered so that level-3 candidates need both the
+  // new-transaction join and the merged-itemset join.
+  SequenceDatabase db;
+  db.Add(Seq("(a)(b,c)(d)"));
+  db.Add(Seq("(a)(b,c)(d)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Gsp().Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a)(b,c)")), 2u);   // itemset join
+  EXPECT_EQ(got.SupportOf(Seq("(a)(b)(d)")), 2u);  // transaction join
+  EXPECT_EQ(got.SupportOf(Seq("(a)(b,c)(d)")), 2u);
+}
+
+TEST(Gsp, CountsEachCustomerOnce) {
+  // A pattern occurring many times inside one sequence counts once.
+  SequenceDatabase db;
+  db.Add(Seq("(a)(a)(a)"));
+  db.Add(Seq("(a)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Gsp().Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a)")), 2u);
+  EXPECT_FALSE(got.Contains(Seq("(a)(a)")));  // only CID 0 supports it
+}
+
+TEST(Gsp, MaxLengthStopsLevels) {
+  const SequenceDatabase db = testutil::RandomDatabase(14);
+  MineOptions options;
+  options.min_support_count = 2;
+  options.max_length = 2;
+  const PatternSet got = Gsp().Mine(db, options);
+  EXPECT_LE(got.MaxLength(), 2u);
+  EXPECT_GT(got.size(), 0u);
+}
+
+TEST(Gsp, SupportsAreExact) {
+  const SequenceDatabase db = testutil::RandomDatabase(15);
+  MineOptions options;
+  options.min_support_count = 4;
+  const PatternSet got = Gsp().Mine(db, options);
+  for (const auto& [p, sup] : got) {
+    EXPECT_EQ(sup, CountSupport(db, p)) << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace disc

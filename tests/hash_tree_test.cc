@@ -1,0 +1,91 @@
+#include "disc/algo/hash_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/common/rng.h"
+#include "disc/order/kmin_brute.h"
+#include "disc/seq/containment.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(HashTree, CountsMatchDirectContainment) {
+  const SequenceDatabase db = testutil::RandomDatabase(61);
+  // Candidates: every distinct 3-subsequence of the first few sequences.
+  std::vector<Sequence> candidates;
+  for (Cid cid = 0; cid < 6; ++cid) {
+    for (const Sequence& sub : AllDistinctKSubsequences(db[cid], 3)) {
+      candidates.push_back(sub);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), SequenceLess());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  ASSERT_GT(candidates.size(), 30u);
+
+  const CandidateHashTree tree(&candidates);
+  std::vector<std::uint32_t> counts(candidates.size(), 0);
+  for (const Sequence& s : db.sequences()) tree.CountSupports(s, &counts);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(counts[i], CountSupport(db, candidates[i]))
+        << candidates[i].ToString();
+  }
+  EXPECT_GT(tree.NumNodes(), 1u);  // the tree actually split
+}
+
+TEST(HashTree, TinyFanoutStressesSplitting) {
+  const SequenceDatabase db = testutil::RandomDatabase(62);
+  std::vector<Sequence> candidates;
+  for (Cid cid = 0; cid < 8; ++cid) {
+    for (const Sequence& sub : AllDistinctKSubsequences(db[cid], 2)) {
+      candidates.push_back(sub);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), SequenceLess());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  const CandidateHashTree tree(&candidates, /*fanout=*/2,
+                               /*leaf_capacity=*/1);
+  std::vector<std::uint32_t> counts(candidates.size(), 0);
+  for (const Sequence& s : db.sequences()) tree.CountSupports(s, &counts);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(counts[i], CountSupport(db, candidates[i]))
+        << candidates[i].ToString();
+  }
+}
+
+TEST(HashTree, DuplicateHashPathsCountOnce) {
+  // Candidates whose items all collide into one bucket chain: the leaf
+  // cannot split past the candidate length and must still count once per
+  // sequence.
+  std::vector<Sequence> candidates = {Seq("(b)(b)"), Seq("(b,d)")};
+  const CandidateHashTree tree(&candidates, /*fanout=*/2,
+                               /*leaf_capacity=*/1);
+  SequenceDatabase db;
+  db.Add(Seq("(b,d)(b)(b)"));  // contains both, through many embeddings
+  std::vector<std::uint32_t> counts(candidates.size(), 0);
+  tree.CountSupports(db[0], &counts);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(HashTree, ShortSequencesAreSkipped) {
+  std::vector<Sequence> candidates = {Seq("(a)(b)(c)")};
+  const CandidateHashTree tree(&candidates);
+  std::vector<std::uint32_t> counts(1, 0);
+  tree.CountSupports(Seq("(a)(b)"), &counts);  // shorter than candidates
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(HashTree, EmptyCandidateSet) {
+  std::vector<Sequence> candidates;
+  const CandidateHashTree tree(&candidates);
+  std::vector<std::uint32_t> counts;
+  tree.CountSupports(Seq("(a)"), &counts);  // no-op, no crash
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,67 @@
+#include "disc/seq/itemset.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(Itemset, SortsAndDeduplicates) {
+  const Itemset s({5, 1, 3, 1, 5});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 5u);
+}
+
+TEST(Itemset, Contains) {
+  const Itemset s({2, 4, 6});
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(6));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(7));
+}
+
+TEST(Itemset, SubsetOf) {
+  const Itemset super({1, 2, 3, 5, 8});
+  EXPECT_TRUE(Itemset({2, 5}).IsSubsetOf(super));
+  EXPECT_TRUE(Itemset({1, 2, 3, 5, 8}).IsSubsetOf(super));
+  EXPECT_TRUE(Itemset{}.IsSubsetOf(super));
+  EXPECT_FALSE(Itemset({2, 4}).IsSubsetOf(super));
+  EXPECT_FALSE(Itemset({9}).IsSubsetOf(super));
+  EXPECT_FALSE(super.IsSubsetOf(Itemset({1, 2})));
+}
+
+TEST(Itemset, InsertErase) {
+  Itemset s({3, 7});
+  s.Insert(5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], 5u);
+  s.Insert(5);  // duplicate: no-op
+  EXPECT_EQ(s.size(), 3u);
+  s.Erase(3);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.Contains(3));
+  s.Erase(99);  // absent: no-op
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Itemset, Max) {
+  EXPECT_EQ(Itemset({4, 9, 2}).Max(), 9u);
+  EXPECT_EQ(Itemset({1}).Max(), 1u);
+}
+
+TEST(Itemset, SortedRangeIsSubsetEdges) {
+  const Item sub[] = {2, 3};
+  const Item super[] = {1, 2, 3, 4};
+  EXPECT_TRUE(SortedRangeIsSubset(sub, sub + 2, super, super + 4));
+  EXPECT_TRUE(SortedRangeIsSubset(sub, sub, super, super + 4));  // empty sub
+  EXPECT_FALSE(SortedRangeIsSubset(sub, sub + 2, super, super));  // empty sup
+  const Item dup[] = {2, 2};
+  // A strictly sorted superset cannot absorb a duplicated requirement.
+  EXPECT_FALSE(SortedRangeIsSubset(dup, dup + 2, super, super + 4));
+}
+
+}  // namespace
+}  // namespace disc

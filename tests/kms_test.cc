@@ -1,0 +1,180 @@
+// Apriori-KMS / Apriori-CKMS against the brute-force k-minimum oracle — the
+// test that guards the corrected extension rule (DESIGN.md deviation 2).
+#include "disc/core/kms.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "disc/common/rng.h"
+#include "disc/order/kmin_brute.h"
+#include "disc/seq/containment.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+// Builds a plausible frequent-(k-1) list from a pool of sequences: all
+// distinct (k-1)-subsequences that occur in at least `min_occurrence` pool
+// members.
+std::vector<Sequence> FrequentList(const std::vector<Sequence>& pool,
+                                   std::uint32_t k_minus_1,
+                                   std::uint32_t min_occurrence) {
+  std::vector<Sequence> candidates;
+  for (const Sequence& s : pool) {
+    const auto all = AllDistinctKSubsequences(s, k_minus_1);
+    candidates.insert(candidates.end(), all.begin(), all.end());
+  }
+  std::sort(candidates.begin(), candidates.end(), SequenceLess());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<Sequence> out;
+  for (const Sequence& c : candidates) {
+    std::uint32_t occ = 0;
+    for (const Sequence& s : pool) {
+      if (Contains(s, c)) ++occ;
+    }
+    if (occ >= min_occurrence) out.push_back(c);
+  }
+  return out;
+}
+
+TEST(AprioriKms, NonLeftmostItemsetExtension) {
+  // S = (a)(c)(c,z), frequent 2-list = {(a)(c)}: the unconditional
+  // 3-minimum is <(a)(c)(c)>, but once the bound passes it, the next key
+  // is <(a)(c,z)> — an itemset extension realized only through the second
+  // (c) transaction, which the paper's literal Figure 5/6 rule ("minimum
+  // item right of the leftmost matching point") cannot produce. The
+  // corrected extension scan finds it (DESIGN.md deviation 2).
+  const std::vector<Sequence> list = {Seq("(a)(c)")};
+  const Sequence s = Seq("(a)(c)(c,z)");
+  const KmsResult base = AprioriKms(s, list);
+  ASSERT_TRUE(base.found);
+  EXPECT_EQ(base.kmin.ToString(), "(a)(c)(c)");
+  const KmsResult next =
+      AprioriCkms(s, list, 0, base.kmin, /*strict=*/true);
+  ASSERT_TRUE(next.found);
+  EXPECT_EQ(next.kmin.ToString(), "(a)(c,z)");
+  const KmsResult last =
+      AprioriCkms(s, list, 0, next.kmin, /*strict=*/true);
+  ASSERT_TRUE(last.found);
+  EXPECT_EQ(last.kmin.ToString(), "(a)(c)(z)");
+  EXPECT_FALSE(AprioriCkms(s, list, 0, last.kmin, /*strict=*/true).found);
+}
+
+TEST(AprioriKms, SkipsUncontainedPrefixes) {
+  const std::vector<Sequence> list = {Seq("(a)(a,e)"), Seq("(a)(a,g)")};
+  const KmsResult r = AprioriKms(Seq("(a)(a,g,h)(c)"), list);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.kmin.ToString(), "(a)(a,g)(c)");
+  EXPECT_EQ(r.prefix_index, 1u);
+}
+
+TEST(AprioriKms, NoResultWhenNothingExtends) {
+  // (a) is contained but has no extension; (b) is absent.
+  const std::vector<Sequence> list = {Seq("(a)"), Seq("(b)")};
+  EXPECT_FALSE(AprioriKms(Seq("(a)"), list).found);
+}
+
+class KmsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KmsProperty, KmsMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Sequence> pool;
+    for (int i = 0; i < 8; ++i) {
+      pool.push_back(testutil::RandomSequence(&rng, 5, 4, 3));
+    }
+    for (std::uint32_t k = 2; k <= 4; ++k) {
+      const std::vector<Sequence> list = FrequentList(pool, k - 1, 3);
+      if (list.empty()) continue;
+      for (const Sequence& s : pool) {
+        const KmsResult got = AprioriKms(s, list);
+        const auto expected = BruteKMinWithFrequentPrefix(s, k, list);
+        ASSERT_EQ(got.found, expected.has_value())
+            << s.ToString() << " k=" << k;
+        if (got.found) {
+          EXPECT_EQ(CompareSequences(got.kmin, *expected), 0)
+              << "got " << got.kmin.ToString() << " expected "
+              << expected->ToString() << " for " << s.ToString();
+          EXPECT_EQ(CompareSequences(list[got.prefix_index],
+                                     got.kmin.Prefix(k - 1)),
+                    0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KmsProperty, CkmsMatchesBruteForce) {
+  Rng rng(GetParam() + 500);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Sequence> pool;
+    for (int i = 0; i < 8; ++i) {
+      pool.push_back(testutil::RandomSequence(&rng, 5, 4, 3));
+    }
+    for (std::uint32_t k = 2; k <= 3; ++k) {
+      const std::vector<Sequence> list = FrequentList(pool, k - 1, 3);
+      if (list.empty()) continue;
+      for (const Sequence& s : pool) {
+        // Bounds: every qualifying k-subsequence of a pool member.
+        for (const Sequence& other : pool) {
+          const auto bounds = AllDistinctKSubsequences(other, k);
+          for (const Sequence& bound : bounds) {
+            // CKMS requires the bound's prefix to be in the list.
+            if (!std::binary_search(list.begin(), list.end(),
+                                    bound.Prefix(k - 1), SequenceLess())) {
+              continue;
+            }
+            for (const bool strict : {false, true}) {
+              const KmsResult got =
+                  AprioriCkms(s, list, 0, bound, strict);
+              const auto expected =
+                  BruteConditionalKMin(s, k, list, bound, strict);
+              ASSERT_EQ(got.found, expected.has_value())
+                  << s.ToString() << " bound " << bound.ToString()
+                  << " strict " << strict;
+              if (got.found) {
+                EXPECT_EQ(CompareSequences(got.kmin, *expected), 0)
+                    << "got " << got.kmin.ToString() << " expected "
+                    << expected->ToString();
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(KmsProperty, AprioriPointerSpeedupIsTransparent) {
+  // Starting CKMS from the entry's true apriori pointer must give the same
+  // answer as starting from 0.
+  Rng rng(GetParam() + 900);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Sequence> pool;
+    for (int i = 0; i < 8; ++i) {
+      pool.push_back(testutil::RandomSequence(&rng, 5, 4, 3));
+    }
+    const std::uint32_t k = 3;
+    const std::vector<Sequence> list = FrequentList(pool, k - 1, 3);
+    if (list.empty()) continue;
+    for (const Sequence& s : pool) {
+      const KmsResult base = AprioriKms(s, list);
+      if (!base.found) continue;
+      const KmsResult a =
+          AprioriCkms(s, list, 0, base.kmin, /*strict=*/true);
+      const KmsResult b = AprioriCkms(s, list, base.prefix_index, base.kmin,
+                                      /*strict=*/true);
+      ASSERT_EQ(a.found, b.found);
+      if (a.found) EXPECT_EQ(CompareSequences(a.kmin, b.kmin), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KmsProperty, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace disc

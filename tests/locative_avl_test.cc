@@ -1,0 +1,152 @@
+// The locative AVL tree against a reference sorted vector, including
+// rank-selection (the tree's raison d'être: locating α_δ) and invariant
+// checks after every mutation.
+#include "disc/core/locative_avl.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "disc/common/rng.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(LocativeAvl, BasicInsertAndMin) {
+  LocativeAvlTree tree;
+  EXPECT_TRUE(tree.empty());
+  tree.Insert(Seq("(b)"), 0);
+  tree.Insert(Seq("(a)"), 1);
+  tree.Insert(Seq("(a)"), 2);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.NumKeys(), 2u);
+  EXPECT_EQ(tree.MinKey().ToString(), "(a)");
+  EXPECT_EQ(tree.MinBucket().size(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(LocativeAvl, SelectKeyCountsMultiplicity) {
+  LocativeAvlTree tree;
+  tree.Insert(Seq("(a)"), 0);
+  tree.Insert(Seq("(a)"), 1);
+  tree.Insert(Seq("(b)"), 2);
+  tree.Insert(Seq("(c)"), 3);
+  EXPECT_EQ(tree.SelectKey(1).ToString(), "(a)");
+  EXPECT_EQ(tree.SelectKey(2).ToString(), "(a)");
+  EXPECT_EQ(tree.SelectKey(3).ToString(), "(b)");
+  EXPECT_EQ(tree.SelectKey(4).ToString(), "(c)");
+}
+
+TEST(LocativeAvl, PopMinBucket) {
+  LocativeAvlTree tree;
+  tree.Insert(Seq("(b)"), 10);
+  tree.Insert(Seq("(a)"), 11);
+  tree.Insert(Seq("(a)"), 12);
+  std::vector<std::uint32_t> handles;
+  tree.PopMinBucket(&handles);
+  EXPECT_EQ(handles.size(), 2u);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.MinKey().ToString(), "(b)");
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(LocativeAvl, PopAllLess) {
+  LocativeAvlTree tree;
+  tree.Insert(Seq("(a)"), 0);
+  tree.Insert(Seq("(b)"), 1);
+  tree.Insert(Seq("(c)"), 2);
+  tree.Insert(Seq("(d)"), 3);
+  std::vector<std::uint32_t> handles;
+  tree.PopAllLess(Seq("(c)"), &handles);
+  EXPECT_EQ(handles, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.MinKey().ToString(), "(c)");
+}
+
+TEST(LocativeAvl, RandomizedAgainstReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    LocativeAvlTree tree;
+    std::vector<std::pair<Sequence, std::uint32_t>> reference;
+    std::uint32_t next_handle = 0;
+    for (int op = 0; op < 400; ++op) {
+      const std::uint64_t what = rng.NextBounded(10);
+      if (what < 6 || reference.empty()) {
+        const Sequence key = testutil::RandomSequence(&rng, 4, 2, 2);
+        tree.Insert(key, next_handle);
+        // Insert into the reference keeping equal keys grouped in
+        // insertion order within their run.
+        auto it = std::upper_bound(
+            reference.begin(), reference.end(), key,
+            [](const Sequence& k, const auto& entry) {
+              return CompareSequences(k, entry.first) < 0;
+            });
+        reference.insert(it, {key, next_handle});
+        ++next_handle;
+      } else if (what < 8) {
+        std::vector<std::uint32_t> handles;
+        tree.PopMinBucket(&handles);
+        // Remove the whole run of minimal keys from the reference.
+        const Sequence min_key = reference.front().first;
+        std::vector<std::uint32_t> expected;
+        while (!reference.empty() &&
+               CompareSequences(reference.front().first, min_key) == 0) {
+          expected.push_back(reference.front().second);
+          reference.erase(reference.begin());
+        }
+        std::sort(handles.begin(), handles.end());
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(handles, expected);
+      } else {
+        const Sequence bound = testutil::RandomSequence(&rng, 4, 2, 2);
+        std::vector<std::uint32_t> handles;
+        tree.PopAllLess(bound, &handles);
+        std::vector<std::uint32_t> expected;
+        while (!reference.empty() &&
+               CompareSequences(reference.front().first, bound) < 0) {
+          expected.push_back(reference.front().second);
+          reference.erase(reference.begin());
+        }
+        std::sort(handles.begin(), handles.end());
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(handles, expected);
+      }
+      ASSERT_TRUE(tree.CheckInvariants());
+      ASSERT_EQ(tree.size(), reference.size());
+      if (!reference.empty()) {
+        EXPECT_EQ(CompareSequences(tree.MinKey(), reference.front().first), 0);
+        // Spot-check a few ranks.
+        for (const std::size_t rank :
+             {std::size_t{1}, reference.size() / 2 + 1, reference.size()}) {
+          EXPECT_EQ(CompareSequences(tree.SelectKey(rank),
+                                     reference[rank - 1].first),
+                    0)
+              << "rank " << rank;
+        }
+      }
+    }
+  }
+}
+
+TEST(LocativeAvl, InorderKeysSorted) {
+  Rng rng(5);
+  LocativeAvlTree tree;
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(testutil::RandomSequence(&rng, 5, 3, 2), i);
+  }
+  std::vector<Sequence> keys;
+  tree.InorderKeys(&keys);
+  EXPECT_EQ(keys.size(), tree.NumKeys());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(CompareSequences(keys[i - 1], keys[i]), 0);
+  }
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,35 @@
+#include "disc/algo/miner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+TEST(MinerFactory, AllNamesResolveAndRoundTrip) {
+  for (const std::string& name : AllMinerNames()) {
+    const auto miner = CreateMiner(name);
+    ASSERT_NE(miner, nullptr) << name;
+    EXPECT_EQ(miner->name(), name);
+  }
+}
+
+TEST(MinerFactory, MinersAreReusable) {
+  // One miner instance must give identical answers across repeated runs
+  // and databases (no state leaks between Mine() calls).
+  const SequenceDatabase db1 = testutil::RandomDatabase(1);
+  const SequenceDatabase db2 = testutil::RandomDatabase(2);
+  MineOptions options;
+  options.min_support_count = 3;
+  for (const std::string& name : AllMinerNames()) {
+    const auto miner = CreateMiner(name);
+    const PatternSet first = miner->Mine(db1, options);
+    miner->Mine(db2, options);
+    const PatternSet again = miner->Mine(db1, options);
+    EXPECT_EQ(first, again) << name;
+  }
+}
+
+}  // namespace
+}  // namespace disc

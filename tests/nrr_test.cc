@@ -1,0 +1,84 @@
+#include "disc/core/nrr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/miner.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(Nrr, HandComputedExample) {
+  PatternSet p;
+  p.Add(Seq("(a)"), 10);
+  p.Add(Seq("(b)"), 20);
+  p.Add(Seq("(a)(b)"), 5);
+  p.Add(Seq("(a,b)"), 2);  // prefix (a)
+  p.Add(Seq("(b)(b)"), 10);
+  const auto nrr = AverageNrrByLevel(p, 100);
+  ASSERT_EQ(nrr.size(), 2u);
+  // Level 0: (10 + 20) / (2 * 100).
+  EXPECT_NEAR(nrr[0], 30.0 / 200.0, 1e-12);
+  // Level 1: partition (a): (5+2)/(2*10) = 0.35; partition (b): 10/20 = 0.5.
+  EXPECT_NEAR(nrr[1], (0.35 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(Nrr, LevelsWithoutChildrenAreNaN) {
+  PatternSet p;
+  p.Add(Seq("(a)"), 4);
+  p.Add(Seq("(b)"), 4);
+  const auto nrr = AverageNrrByLevel(p, 8);
+  ASSERT_EQ(nrr.size(), 1u);  // only the Original level
+  EXPECT_NEAR(nrr[0], (4.0 + 4.0) / (2.0 * 8.0), 1e-12);
+
+  // A gap: 1-sequences and 2-sequences but nothing longer.
+  PatternSet q;
+  q.Add(Seq("(a)"), 4);
+  q.Add(Seq("(a)(a)"), 2);
+  const auto nrr_q = AverageNrrByLevel(q, 8);
+  ASSERT_EQ(nrr_q.size(), 2u);
+  EXPECT_FALSE(std::isnan(nrr_q[1]));
+}
+
+TEST(Nrr, EmptyInputs) {
+  EXPECT_TRUE(AverageNrrByLevel(PatternSet(), 10).empty());
+  PatternSet p;
+  p.Add(Seq("(a)"), 1);
+  EXPECT_TRUE(AverageNrrByLevel(p, 0).empty());
+}
+
+TEST(Nrr, ValuesAreRatiosInUnitInterval) {
+  const SequenceDatabase db = testutil::RandomDatabase(12);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet mined = CreateMiner("disc-all")->Mine(db, options);
+  const auto nrr = AverageNrrByLevel(mined, db.size());
+  ASSERT_FALSE(nrr.empty());
+  for (const double v : nrr) {
+    if (std::isnan(v)) continue;
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(Nrr, DeeperLevelsTrendLarger) {
+  // The paper's §4.2 observation: partitions approach size δ at depth, so
+  // the NRR rises toward 1. Check the last reported level exceeds level 1
+  // on a workload with some depth.
+  SequenceDatabase db;
+  for (int i = 0; i < 6; ++i) db.Add(Seq("(a)(b)(c)(d)(e)"));
+  for (int i = 0; i < 6; ++i) db.Add(Seq("(a)(c)(e)"));
+  MineOptions options;
+  options.min_support_count = 6;
+  const PatternSet mined = CreateMiner("disc-all")->Mine(db, options);
+  const auto nrr = AverageNrrByLevel(mined, db.size());
+  ASSERT_GE(nrr.size(), 3u);
+  EXPECT_GT(nrr.back(), nrr[0]);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,106 @@
+// Property tests establishing that the comparative order has exactly the
+// structure the DISC lemmas require: a strict total order on sequences that
+// is prefix-compatible (F < F' implies every extension of F precedes every
+// extension of F').
+#include <gtest/gtest.h>
+
+#include "disc/common/rng.h"
+#include "disc/order/compare.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+class OrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderProperty, TotalOrderAxioms) {
+  Rng rng(GetParam());
+  std::vector<Sequence> pool;
+  for (int i = 0; i < 24; ++i) {
+    pool.push_back(testutil::RandomSequence(&rng, 4, 3, 2));
+  }
+  for (const Sequence& a : pool) {
+    EXPECT_EQ(CompareSequences(a, a), 0);  // reflexive equality
+    for (const Sequence& b : pool) {
+      const int ab = CompareSequences(a, b);
+      const int ba = CompareSequences(b, a);
+      // Antisymmetry of the three-way comparison.
+      EXPECT_EQ(ab < 0, ba > 0);
+      EXPECT_EQ(ab == 0, ba == 0);
+      // Comparison equality coincides with structural equality.
+      EXPECT_EQ(ab == 0, a == b);
+      for (const Sequence& c : pool) {
+        // Transitivity.
+        if (ab <= 0 && CompareSequences(b, c) <= 0) {
+          EXPECT_LE(CompareSequences(a, c), 0)
+              << a.ToString() << " " << b.ToString() << " " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OrderProperty, PrefixCompatibility) {
+  // For random same-length F < F', every one-item extension of F precedes
+  // every one-item extension of F'.
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Sequence f1 = testutil::RandomSequence(&rng, 4, 3, 2);
+    Sequence f2 = testutil::RandomSequence(&rng, 4, 3, 2);
+    if (f1.Length() != f2.Length()) continue;
+    const int cmp = CompareSequences(f1, f2);
+    if (cmp == 0) continue;
+    const Sequence& lo = cmp < 0 ? f1 : f2;
+    const Sequence& hi = cmp < 0 ? f2 : f1;
+    for (Item z = 1; z <= 5; ++z) {
+      for (Item w = 1; w <= 5; ++w) {
+        std::vector<Sequence> lo_exts = {Extend(lo, z, ExtType::kSequence)};
+        if (z > lo.LastItem()) {
+          lo_exts.push_back(Extend(lo, z, ExtType::kItemset));
+        }
+        std::vector<Sequence> hi_exts = {Extend(hi, w, ExtType::kSequence)};
+        if (w > hi.LastItem()) {
+          hi_exts.push_back(Extend(hi, w, ExtType::kItemset));
+        }
+        for (const Sequence& le : lo_exts) {
+          for (const Sequence& he : hi_exts) {
+            EXPECT_LT(CompareSequences(le, he), 0)
+                << le.ToString() << " should precede " << he.ToString()
+                << " (prefixes " << lo.ToString() << " < " << hi.ToString()
+                << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OrderProperty, ExtensionOrderMatchesSequenceOrder) {
+  // CompareExtensions must be the comparative order restricted to
+  // extensions of a common pattern.
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sequence base = testutil::RandomSequence(&rng, 4, 3, 2);
+    for (Item z = 1; z <= 5; ++z) {
+      for (Item w = 1; w <= 5; ++w) {
+        for (const ExtType tz : {ExtType::kItemset, ExtType::kSequence}) {
+          for (const ExtType tw : {ExtType::kItemset, ExtType::kSequence}) {
+            if (tz == ExtType::kItemset && z <= base.LastItem()) continue;
+            if (tw == ExtType::kItemset && w <= base.LastItem()) continue;
+            const int ext_cmp = CompareExtensions(z, tz, w, tw);
+            const int seq_cmp =
+                CompareSequences(Extend(base, z, tz), Extend(base, w, tw));
+            EXPECT_EQ(ext_cmp < 0, seq_cmp < 0);
+            EXPECT_EQ(ext_cmp == 0, seq_cmp == 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,84 @@
+#include "disc/order/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(Order, PositionwiseTokens) {
+  // At the differential point the item decides first...
+  EXPECT_LT(CompareSequences(Seq("(a)(b)(h)"), Seq("(a)(c)(f)")), 0);
+  EXPECT_GT(CompareSequences(Seq("(b)"), Seq("(a)(z)")), 0);
+  // ... and on equal items the earlier transaction wins.
+  EXPECT_LT(CompareSequences(Seq("(a,b)(c)"), Seq("(a)(b,c)")), 0);
+  EXPECT_LT(CompareSequences(Seq("(a,b,c)"), Seq("(a,b)(c)")), 0);
+  EXPECT_LT(CompareSequences(Seq("(a)(b,c)"), Seq("(a)(b)(c)")), 0);
+}
+
+TEST(Order, GlobalItemTiebreakWouldBreakPrefixCompat) {
+  // Regression: under a "compare all items first, transactions as a global
+  // tiebreak" order, (b)(c)(d,e) < (b)(c,d)(g) (items [b,c,d,e] <
+  // [b,c,d,g]) while their prefixes order the other way — which breaks
+  // prefix-compatibility and livelocks the CKMS walk. The positionwise
+  // token order decides both comparisons at position 3 (same item d,
+  // transaction 2 vs 3), consistently.
+  EXPECT_LT(CompareSequences(Seq("(b)(c,d)"), Seq("(b)(c)(d)")), 0);
+  EXPECT_LT(CompareSequences(Seq("(b)(c,d)(g)"), Seq("(b)(c)(d,e)")), 0);
+}
+
+TEST(Order, PrefixIsSmaller) {
+  EXPECT_LT(CompareSequences(Seq("(a)"), Seq("(a)(b)")), 0);
+  EXPECT_LT(CompareSequences(Seq("(a)"), Seq("(a,b)")), 0);
+  EXPECT_LT(CompareSequences(Seq("(a,b)"), Seq("(a,b)(a)")), 0);
+}
+
+TEST(Order, Equality) {
+  EXPECT_EQ(CompareSequences(Seq("(a,b)(c)"), Seq("(b,a)(c)")), 0);
+  EXPECT_EQ(CompareSequences(Sequence(), Sequence()), 0);
+}
+
+TEST(Order, Table9SortOrder) {
+  // The row order of the paper's Table 9.
+  const char* rows[] = {"(a)(a,e)(c)", "(a)(a,e,g)", "(a)(a,g)(c)"};
+  for (int i = 0; i + 1 < 3; ++i) {
+    EXPECT_LT(CompareSequences(Seq(rows[i]), Seq(rows[i + 1])), 0)
+        << rows[i] << " vs " << rows[i + 1];
+  }
+}
+
+TEST(Order, ExtensionOrder) {
+  // Order by item, then itemset-extension before sequence-extension.
+  EXPECT_LT(CompareExtensions(1, ExtType::kItemset, 2, ExtType::kItemset), 0);
+  EXPECT_LT(CompareExtensions(1, ExtType::kSequence, 2, ExtType::kItemset), 0);
+  EXPECT_LT(CompareExtensions(3, ExtType::kItemset, 3, ExtType::kSequence), 0);
+  EXPECT_EQ(CompareExtensions(3, ExtType::kSequence, 3, ExtType::kSequence), 0);
+  EXPECT_GT(CompareExtensions(4, ExtType::kItemset, 3, ExtType::kSequence), 0);
+}
+
+TEST(Order, ExtendMatchesExtensionOrder) {
+  // Extending the same pattern: the comparative order of the results equals
+  // CompareExtensions.
+  const Sequence base = Seq("(a)(b)");
+  const Sequence i_ext = Extend(base, 3, ExtType::kItemset);
+  const Sequence s_ext = Extend(base, 3, ExtType::kSequence);
+  EXPECT_EQ(i_ext.ToString(), "(a)(b,c)");
+  EXPECT_EQ(s_ext.ToString(), "(a)(b)(c)");
+  EXPECT_LT(CompareSequences(i_ext, s_ext), 0);
+}
+
+TEST(Order, SequenceLessUsableInContainers) {
+  std::vector<Sequence> v = {Seq("(b)"), Seq("(a)(b)"), Seq("(a,b)"),
+                             Seq("(a)")};
+  std::sort(v.begin(), v.end(), SequenceLess());
+  EXPECT_EQ(v[0].ToString(), "(a)");
+  EXPECT_EQ(v[1].ToString(), "(a,b)");
+  EXPECT_EQ(v[2].ToString(), "(a)(b)");
+  EXPECT_EQ(v[3].ToString(), "(b)");
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "disc/seq/io.h"
+#include "disc/seq/parse.h"
+
+namespace disc {
+namespace {
+
+TEST(Parse, LettersAndAngleBrackets) {
+  const Sequence s = ParseSequence("<(a, e, g)(b)>");
+  EXPECT_EQ(s.NumTransactions(), 2u);
+  EXPECT_EQ(s.ToString(), "(a,e,g)(b)");
+}
+
+TEST(Parse, Numeric) {
+  const Sequence s = ParseSequence("(1,5,7)(2)");
+  EXPECT_EQ(s.Length(), 4u);
+  EXPECT_EQ(s.ItemAt(2), 7u);
+}
+
+TEST(Parse, MixedCaseAndWhitespace) {
+  EXPECT_EQ(ParseSequence("( A , b )( C )"), ParseSequence("(a,b)(c)"));
+}
+
+TEST(Parse, UnsortedInputIsNormalized) {
+  EXPECT_EQ(ParseSequence("(d,b)").ToString(), "(b,d)");
+}
+
+TEST(Parse, Database) {
+  const SequenceDatabase db = ParseDatabase("(a)(b)\n\n(c)\n");
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].ToString(), "(a)(b)");
+  EXPECT_EQ(db[1].ToString(), "(c)");
+  EXPECT_EQ(db.max_item(), 3u);
+}
+
+TEST(Io, SpmfRoundTrip) {
+  const SequenceDatabase db = MakeDatabase({
+      "(a,e,g)(b)(h)(f)(c)(b,f)",
+      "(b)(d,f)(e)",
+  });
+  const std::string text = ToSpmfString(db);
+  EXPECT_EQ(text, "1 5 7 -1 2 -1 8 -1 6 -1 3 -1 2 6 -1 -2\n2 -1 4 6 -1 5 -1 -2\n");
+  const SequenceDatabase back = FromSpmfString(text);
+  ASSERT_EQ(back.size(), db.size());
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    EXPECT_EQ(back[cid], db[cid]) << cid;
+  }
+}
+
+TEST(Io, FileRoundTrip) {
+  const SequenceDatabase db = MakeDatabase({"(a)(b,c)", "(z)"});
+  const std::string path = ::testing::TempDir() + "/disc_io_test.spmf";
+  ASSERT_TRUE(SaveSpmf(db, path));
+  const SequenceDatabase back = LoadSpmf(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], db[0]);
+  EXPECT_EQ(back[1], db[1]);
+}
+
+TEST(Io, DatabaseStats) {
+  const SequenceDatabase db = MakeDatabase({"(a,b)(c)", "(d)"});
+  EXPECT_EQ(db.TotalItems(), 4u);
+  EXPECT_DOUBLE_EQ(db.AvgTransactionsPerCustomer(), 1.5);
+  EXPECT_DOUBLE_EQ(db.AvgItemsPerTransaction(), 4.0 / 3.0);
+  EXPECT_EQ(db.max_item(), 4u);
+}
+
+}  // namespace
+}  // namespace disc

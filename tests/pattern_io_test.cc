@@ -1,0 +1,57 @@
+#include "disc/algo/pattern_io.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/miner.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(PatternIo, SpmfFormat) {
+  PatternSet p;
+  p.Add(Seq("(a,e)(b)"), 4);
+  p.Add(Seq("(a)"), 7);
+  EXPECT_EQ(ToSpmfPatternString(p),
+            "1 -1 #SUP: 7\n1 5 -1 2 -1 #SUP: 4\n");
+}
+
+TEST(PatternIo, RoundTripMinedResults) {
+  const SequenceDatabase db = testutil::RandomDatabase(44);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet mined = CreateMiner("disc-all")->Mine(db, options);
+  ASSERT_FALSE(mined.empty());
+  const PatternSet back = FromSpmfPatternString(ToSpmfPatternString(mined));
+  EXPECT_EQ(back, mined) << mined.Diff(back);
+}
+
+TEST(PatternIo, FileRoundTrip) {
+  PatternSet p;
+  p.Add(Seq("(a)(b,c)"), 2);
+  const std::string path = ::testing::TempDir() + "/disc_patterns.spmf";
+  ASSERT_TRUE(SavePatterns(p, path));
+  EXPECT_EQ(LoadPatterns(path), p);
+}
+
+TEST(PatternIo, ToleratesBlankLinesAndSpacing) {
+  const PatternSet p =
+      FromSpmfPatternString("\n  1 -1   #SUP:  3 \n\n2 5 -1 #SUP: 1\n");
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.SupportOf(Seq("(a)")), 3u);
+  EXPECT_EQ(p.SupportOf(Seq("(b,e)")), 1u);
+}
+
+TEST(PatternIoDeathTest, MalformedInputAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(FromSpmfPatternString("1 -1 4\n"), "lacks #SUP");
+  EXPECT_DEATH(FromSpmfPatternString("1 #SUP: 4\n"), "not closed");
+  EXPECT_DEATH(FromSpmfPatternString("#SUP: 4\n"), "empty pattern");
+  EXPECT_DEATH(FromSpmfPatternString("1 -1 #SUP: x\n"), "missing support");
+  EXPECT_DEATH(LoadPatterns("/no/such/file"), "cannot open");
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,83 @@
+#include "disc/algo/pattern_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(PatternSet, AddAndQuery) {
+  PatternSet p;
+  p.Add(Seq("(a)"), 5);
+  p.Add(Seq("(a)(b)"), 3);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.Contains(Seq("(a)")));
+  EXPECT_EQ(p.SupportOf(Seq("(a)(b)")), 3u);
+  EXPECT_EQ(p.SupportOf(Seq("(b)")), 0u);
+  EXPECT_FALSE(p.Contains(Seq("(b)")));
+}
+
+TEST(PatternSet, DuplicateAddWithSameSupportIsIdempotent) {
+  PatternSet p;
+  p.Add(Seq("(a)"), 5);
+  p.Add(Seq("(a)"), 5);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(PatternSet, IterationIsInComparativeOrder) {
+  PatternSet p;
+  p.Add(Seq("(b)"), 1);
+  p.Add(Seq("(a)(b)"), 1);
+  p.Add(Seq("(a,b)"), 1);
+  p.Add(Seq("(a)"), 1);
+  std::vector<std::string> order;
+  for (const auto& [pat, sup] : p) {
+    (void)sup;
+    order.push_back(pat.ToString());
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"(a)", "(a,b)", "(a)(b)", "(b)"}));
+}
+
+TEST(PatternSet, LengthHelpers) {
+  PatternSet p;
+  p.Add(Seq("(a)"), 1);
+  p.Add(Seq("(b)"), 1);
+  p.Add(Seq("(a)(b)"), 1);
+  EXPECT_EQ(p.MaxLength(), 2u);
+  const auto by_len = p.CountByLength();
+  EXPECT_EQ(by_len.at(1), 2u);
+  EXPECT_EQ(by_len.at(2), 1u);
+  const auto len2 = p.PatternsOfLength(2);
+  ASSERT_EQ(len2.size(), 1u);
+  EXPECT_EQ(len2[0].ToString(), "(a)(b)");
+}
+
+TEST(PatternSet, EqualityAndDiff) {
+  PatternSet a;
+  a.Add(Seq("(a)"), 2);
+  a.Add(Seq("(b)"), 3);
+  PatternSet b;
+  b.Add(Seq("(a)"), 2);
+  b.Add(Seq("(b)"), 3);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.Diff(b).empty());
+  b.Add(Seq("(c)"), 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.Diff(b).find("only in right"), std::string::npos);
+  PatternSet c;
+  c.Add(Seq("(a)"), 2);
+  c.Add(Seq("(b)"), 4);
+  EXPECT_NE(a.Diff(c).find("support mismatch"), std::string::npos);
+}
+
+TEST(PatternSet, ToStringDump) {
+  PatternSet p;
+  p.Add(Seq("(a)(b)"), 7);
+  EXPECT_EQ(p.ToString(), "(a)(b) #7\n");
+}
+
+}  // namespace
+}  // namespace disc

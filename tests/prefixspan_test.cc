@@ -1,0 +1,97 @@
+#include "disc/algo/prefixspan.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/seq/containment.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(PrefixSpan, Table2ProjectionSemantics) {
+  // §1.1: the projected database of <(a)> over Table 1 contains CIDs 1 and
+  // 4; frequent 2-sequences with prefix (a) at delta=2 follow from it.
+  const SequenceDatabase db = testutil::Table1Database();
+  MineOptions options;
+  options.min_support_count = 2;
+  options.max_length = 2;
+  const PatternSet got =
+      PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options);
+  // From CIDs 1 and 4: (a)(b), (a)(f), (a)(h)? CID1 has h after a, CID4 has
+  // h after a -> support 2. (a,g) i-extension in both.
+  EXPECT_EQ(got.SupportOf(Seq("(a)(b)")), 2u);
+  EXPECT_EQ(got.SupportOf(Seq("(a)(f)")), 2u);
+  EXPECT_EQ(got.SupportOf(Seq("(a)(h)")), 2u);
+  EXPECT_EQ(got.SupportOf(Seq("(a,g)")), 2u);
+  EXPECT_FALSE(got.Contains(Seq("(a)(c)")));  // only CID 1
+  EXPECT_FALSE(got.Contains(Seq("(a,e)")));   // only CID 1
+}
+
+TEST(PrefixSpan, PhysicalAndPseudoAgree) {
+  for (std::uint64_t seed = 60; seed < 70; ++seed) {
+    const SequenceDatabase db = testutil::RandomDatabase(seed);
+    for (const std::uint32_t delta : {2u, 4u}) {
+      MineOptions options;
+      options.min_support_count = delta;
+      const PatternSet a =
+          PrefixSpan(PrefixSpan::Projection::kPhysical).Mine(db, options);
+      const PatternSet b =
+          PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options);
+      EXPECT_EQ(a, b) << "seed " << seed << " delta " << delta << "\n"
+                      << a.Diff(b);
+    }
+  }
+}
+
+TEST(PrefixSpan, SupportsAreExact) {
+  const SequenceDatabase db = testutil::RandomDatabase(71);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet got =
+      PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options);
+  ASSERT_FALSE(got.empty());
+  for (const auto& [p, sup] : got) {
+    EXPECT_EQ(sup, CountSupport(db, p)) << p.ToString();
+  }
+}
+
+TEST(PrefixSpan, ClosureUnderPrefixes) {
+  // Every mined pattern's every prefix is also mined with >= support
+  // (anti-monotonicity sanity).
+  const SequenceDatabase db = testutil::RandomDatabase(72);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet got =
+      PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options);
+  for (const auto& [p, sup] : got) {
+    for (std::uint32_t k = 1; k < p.Length(); ++k) {
+      const Sequence prefix = p.Prefix(k);
+      EXPECT_TRUE(got.Contains(prefix)) << prefix.ToString();
+      EXPECT_GE(got.SupportOf(prefix), sup);
+    }
+  }
+}
+
+TEST(PrefixSpan, ItemsetExtensionViaLaterTransaction) {
+  // The postfix rule for non-leftmost itemset extensions: pattern (a)(c,z)
+  // is frequent even though the leftmost (c) after (a) has no z.
+  SequenceDatabase db;
+  db.Add(Seq("(a)(c)(c,z)"));
+  db.Add(Seq("(a)(c,z)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got =
+      PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a)(c,z)")), 2u);
+}
+
+TEST(PrefixSpan, NamesAreStable) {
+  EXPECT_EQ(PrefixSpan(PrefixSpan::Projection::kPhysical).name(),
+            "prefixspan");
+  EXPECT_EQ(PrefixSpan(PrefixSpan::Projection::kPseudo).name(), "pseudo");
+}
+
+}  // namespace
+}  // namespace disc

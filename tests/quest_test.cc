@@ -1,0 +1,111 @@
+#include "disc/gen/quest.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/miner.h"
+
+namespace disc {
+namespace {
+
+TEST(Quest, DeterministicUnderSeed) {
+  QuestParams p;
+  p.ncust = 200;
+  p.nitems = 100;
+  p.npats = 50;
+  p.nlits = 100;
+  p.seed = 123;
+  const SequenceDatabase a = GenerateQuestDatabase(p);
+  const SequenceDatabase b = GenerateQuestDatabase(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (Cid cid = 0; cid < a.size(); ++cid) {
+    ASSERT_EQ(a[cid], b[cid]) << cid;
+  }
+  p.seed = 124;
+  const SequenceDatabase c = GenerateQuestDatabase(p);
+  bool any_diff = false;
+  for (Cid cid = 0; cid < a.size() && !any_diff; ++cid) {
+    if (!(a[cid] == c[cid])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Quest, RespectsBasicShapeKnobs) {
+  QuestParams p;
+  p.ncust = 1500;
+  p.slen = 10.0;
+  p.tlen = 2.5;
+  p.nitems = 400;
+  p.npats = 200;
+  p.nlits = 500;
+  const SequenceDatabase db = GenerateQuestDatabase(p);
+  EXPECT_EQ(db.size(), 1500u);
+  // Average transactions per customer tracks slen within a loose band
+  // (corruption and dedup shave a little off).
+  EXPECT_NEAR(db.AvgTransactionsPerCustomer(), p.slen, 2.5);
+  // Average items per transaction tracks tlen within a loose band.
+  EXPECT_NEAR(db.AvgItemsPerTransaction(), p.tlen, 1.0);
+  EXPECT_LE(db.max_item(), p.nitems);
+}
+
+TEST(Quest, ThetaKnobScales) {
+  QuestParams p;
+  p.ncust = 600;
+  p.nitems = 300;
+  p.npats = 100;
+  p.nlits = 200;
+  p.slen = 6.0;
+  const double t6 =
+      GenerateQuestDatabase(p).AvgTransactionsPerCustomer();
+  p.slen = 18.0;
+  const double t18 =
+      GenerateQuestDatabase(p).AvgTransactionsPerCustomer();
+  EXPECT_GT(t18, 2.0 * t6);
+}
+
+TEST(Quest, AllSequencesWellFormedAndNonEmpty) {
+  QuestParams p;
+  p.ncust = 400;
+  p.nitems = 60;
+  p.npats = 40;
+  p.nlits = 80;
+  p.tlen = 1.2;
+  p.slen = 2.0;
+  const SequenceDatabase db = GenerateQuestDatabase(p);
+  for (const Sequence& s : db.sequences()) {
+    EXPECT_TRUE(s.IsWellFormed());
+    EXPECT_GE(s.Length(), 1u);
+  }
+}
+
+TEST(Quest, EmbedsMineablePatterns) {
+  // The whole point of the generator: at a sane threshold the database
+  // contains multi-item sequential patterns, with a long tail (more
+  // 1-sequences than 3-sequences).
+  QuestParams p;
+  p.ncust = 800;
+  p.nitems = 120;
+  p.npats = 40;
+  p.nlits = 80;
+  p.slen = 6.0;
+  p.tlen = 2.0;
+  p.seq_patlen = 4.0;
+  const SequenceDatabase db = GenerateQuestDatabase(p);
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), 0.02);
+  options.max_length = 4;
+  const PatternSet mined = CreateMiner("pseudo")->Mine(db, options);
+  const auto by_len = mined.CountByLength();
+  ASSERT_TRUE(by_len.count(1));
+  EXPECT_TRUE(by_len.count(2)) << "no frequent 2-sequences generated";
+  EXPECT_TRUE(by_len.count(3)) << "no frequent 3-sequences generated";
+}
+
+TEST(Quest, CountForFraction) {
+  EXPECT_EQ(MineOptions::CountForFraction(1000, 0.005), 5u);
+  EXPECT_EQ(MineOptions::CountForFraction(1000, 0.0049), 5u);  // ceil
+  EXPECT_EQ(MineOptions::CountForFraction(10, 0.001), 1u);     // floor of 1
+  EXPECT_EQ(MineOptions::CountForFraction(100, 1.0), 100u);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,109 @@
+#include "disc/common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disc/common/distributions.h"
+
+namespace disc {
+namespace {
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(43);
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 10 && !differs; ++i) {
+    differs = a2.Next() != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+}
+
+TEST(Distributions, PoissonMean) {
+  Rng rng(11);
+  for (const double mean : {0.5, 2.5, 10.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += SamplePoisson(&rng, mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.06 + 0.05) << mean;
+  }
+  EXPECT_EQ(SamplePoisson(&rng, 0.0), 0u);
+}
+
+TEST(Distributions, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += SampleExponential(&rng, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.12);
+}
+
+TEST(Distributions, NormalMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sq = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double v = SampleNormal(&rng, 0.75, 0.1);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.75, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 0.1, 0.01);
+}
+
+TEST(Distributions, CumulativeSampling) {
+  Rng rng(19);
+  const double cum[3] = {1.0, 1.5, 4.0};  // weights 1.0, 0.5, 2.5
+  std::vector<int> hits(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++hits[SampleFromCumulative(&rng, cum, 3)];
+  }
+  EXPECT_NEAR(hits[0] / double(n), 1.0 / 4.0, 0.02);
+  EXPECT_NEAR(hits[1] / double(n), 0.5 / 4.0, 0.02);
+  EXPECT_NEAR(hits[2] / double(n), 2.5 / 4.0, 0.02);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,96 @@
+#include "disc/seq/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/seq/parse.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(Sequence, BasicShape) {
+  const Sequence s = Seq("(a,c,d)(b,d)");
+  EXPECT_EQ(s.Length(), 5u);  // paper: length = item occurrences
+  EXPECT_EQ(s.NumTransactions(), 2u);
+  EXPECT_EQ(s.TxnSize(0), 3u);
+  EXPECT_EQ(s.TxnSize(1), 2u);
+  EXPECT_TRUE(s.IsWellFormed());
+}
+
+TEST(Sequence, FlattenedAccessAndTxnOf) {
+  const Sequence s = Seq("(a)(b,c)(d)");
+  const Item expected_items[] = {1, 2, 3, 4};
+  const std::uint32_t expected_txn[] = {0, 1, 1, 2};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.ItemAt(i), expected_items[i]);
+    EXPECT_EQ(s.TxnOf(i), expected_txn[i]);
+  }
+}
+
+TEST(Sequence, TxnContainsAndItemset) {
+  const Sequence s = Seq("(a,c)(b)");
+  EXPECT_TRUE(s.TxnContains(0, 1));
+  EXPECT_TRUE(s.TxnContains(0, 3));
+  EXPECT_FALSE(s.TxnContains(0, 2));
+  EXPECT_TRUE(s.TxnContains(1, 2));
+  EXPECT_EQ(s.TxnItemset(0), Itemset({1, 3}));
+}
+
+TEST(Sequence, AppendOperations) {
+  Sequence s;
+  EXPECT_TRUE(s.Empty());
+  s.AppendNewItemset(2);
+  s.AppendToLastItemset(5);
+  s.AppendNewItemset(1);
+  EXPECT_EQ(s.ToString(), "(b,e)(a)");
+  EXPECT_EQ(s.LastItem(), 1u);
+  EXPECT_TRUE(s.IsWellFormed());
+}
+
+TEST(Sequence, PrefixMatchesPaper) {
+  // "the 3-prefix of <(a)(a,g,h)(c)> is <(a)(a,g)>" (§3.2).
+  const Sequence s = Seq("(a)(a,g,h)(c)");
+  EXPECT_EQ(s.Prefix(3).ToString(), "(a)(a,g)");
+  EXPECT_EQ(s.Prefix(1).ToString(), "(a)");
+  EXPECT_EQ(s.Prefix(4).ToString(), "(a)(a,g,h)");
+  EXPECT_EQ(s.Prefix(5), s);
+  EXPECT_TRUE(s.Prefix(0).Empty());
+}
+
+TEST(Sequence, DropLastItem) {
+  Sequence s = Seq("(a)(b,c)");
+  s.DropLastItem();
+  EXPECT_EQ(s.ToString(), "(a)(b)");
+  s.DropLastItem();
+  EXPECT_EQ(s.ToString(), "(a)");
+  s.DropLastItem();
+  EXPECT_TRUE(s.Empty());
+  EXPECT_TRUE(s.IsWellFormed());
+}
+
+TEST(Sequence, ToStringNumericFallback) {
+  Sequence s;
+  s.AppendNewItemset(27);
+  s.AppendToLastItemset(100);
+  EXPECT_EQ(s.ToString(), "(27,100)");
+  EXPECT_EQ(Sequence().ToString(), "<>");
+}
+
+TEST(Sequence, EqualityIsStructural) {
+  EXPECT_EQ(Seq("(a,b)(c)"), Seq("(b,a)(c)"));  // itemsets are sets
+  EXPECT_NE(Seq("(a,b)(c)"), Seq("(a)(b,c)"));  // same items, different shape
+  EXPECT_NE(Seq("(a)"), Seq("(a)(a)"));
+}
+
+TEST(Sequence, PrefixOfEverySubsequenceIsWellFormed) {
+  const Sequence s = Seq("(a,e,g)(b)(h)(f)(c)(b,f)");
+  for (std::uint32_t k = 0; k <= s.Length(); ++k) {
+    EXPECT_TRUE(s.Prefix(k).IsWellFormed()) << k;
+    EXPECT_EQ(s.Prefix(k).Length(), k);
+  }
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,89 @@
+#include "disc/algo/spade.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/prefixspan.h"
+#include "disc/seq/containment.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(Spade, PaperIdListExample) {
+  // §1.1: "the ID-list of sequence <(a,g)(b)> is <(1,2),(1,6),(4,3),(4,4)>"
+  // — support 2; the merge of <(a,g)(h)> with <(a,g)(f)> yields
+  // <(a,g)(h)(f)> with support 2.
+  const SequenceDatabase db = testutil::Table1Database();
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Spade().Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a,g)(b)")), 2u);
+  EXPECT_EQ(got.SupportOf(Seq("(a,g)(h)")), 2u);
+  EXPECT_EQ(got.SupportOf(Seq("(a,g)(f)")), 2u);
+  EXPECT_EQ(got.SupportOf(Seq("(a,g)(h)(f)")), 2u);
+  EXPECT_EQ(got,
+            PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options));
+}
+
+TEST(Spade, RepeatedItemPatterns) {
+  // Temporal self-joins: <(a)(a)> style patterns.
+  SequenceDatabase db;
+  db.Add(Seq("(a)(a)(a)"));
+  db.Add(Seq("(a)(b)(a)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Spade().Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a)(a)")), 2u);
+  EXPECT_FALSE(got.Contains(Seq("(a)(a)(a)")));
+}
+
+TEST(Spade, ItemsetExtensionsRequireSameTransaction) {
+  SequenceDatabase db;
+  db.Add(Seq("(a,b)(c)"));
+  db.Add(Seq("(a)(b,c)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Spade().Mine(db, options);
+  EXPECT_FALSE(got.Contains(Seq("(a,b)")));  // only CID 0
+  EXPECT_FALSE(got.Contains(Seq("(b,c)")));  // only CID 1
+  EXPECT_EQ(got.SupportOf(Seq("(b)")), 2u);
+  EXPECT_EQ(got.SupportOf(Seq("(a)")), 2u);
+}
+
+TEST(Spade, MixedTypeClassesStayCorrect) {
+  // Regression for the sibling-join rule: classes holding both i- and
+  // s-atoms must not cross temporal-join with i-atoms.
+  SequenceDatabase db;
+  db.Add(Seq("(a)(b)(c)(b,d)"));
+  db.Add(Seq("(a)(b,d)(c)"));
+  db.Add(Seq("(a)(b)(b,d)(c)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Spade().Mine(db, options);
+  EXPECT_EQ(got,
+            PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options))
+      << got.ToString();
+}
+
+TEST(Spade, SupportsAreExact) {
+  const SequenceDatabase db = testutil::RandomDatabase(16);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet got = Spade().Mine(db, options);
+  for (const auto& [p, sup] : got) {
+    EXPECT_EQ(sup, CountSupport(db, p)) << p.ToString();
+  }
+}
+
+TEST(Spade, MaxLength) {
+  const SequenceDatabase db = testutil::RandomDatabase(18);
+  MineOptions options;
+  options.min_support_count = 2;
+  options.max_length = 3;
+  EXPECT_LE(Spade().Mine(db, options).MaxLength(), 3u);
+}
+
+}  // namespace
+}  // namespace disc

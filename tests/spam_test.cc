@@ -1,0 +1,85 @@
+#include "disc/algo/spam.h"
+
+#include <gtest/gtest.h>
+
+#include "disc/algo/prefixspan.h"
+#include "disc/seq/containment.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(Spam, Table1Baseline) {
+  const SequenceDatabase db = testutil::Table1Database();
+  MineOptions options;
+  options.min_support_count = 2;
+  EXPECT_EQ(Spam().Mine(db, options),
+            PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options));
+}
+
+TEST(Spam, SStepSemantics) {
+  // The S-step sets bits strictly after the FIRST set bit per sequence: a
+  // pattern occurring late must still chain correctly.
+  SequenceDatabase db;
+  db.Add(Seq("(b)(a)(b)"));
+  db.Add(Seq("(a)(b)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Spam().Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a)(b)")), 2u);
+  EXPECT_FALSE(got.Contains(Seq("(b)(a)")));  // only CID 0
+}
+
+TEST(Spam, IStepRequiresSameTransaction) {
+  SequenceDatabase db;
+  db.Add(Seq("(a,b,c)"));
+  db.Add(Seq("(a,b)(c)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Spam().Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a,b)")), 2u);
+  EXPECT_FALSE(got.Contains(Seq("(a,c)")));
+  EXPECT_FALSE(got.Contains(Seq("(b,c)")));
+}
+
+TEST(Spam, LongSingleSequenceRanges) {
+  // Sequences of very different lengths exercise the per-sequence bit
+  // ranges (non-power-of-two, crossing 64-bit block boundaries).
+  SequenceDatabase db;
+  std::vector<Itemset> long_seq;
+  for (int t = 0; t < 150; ++t) {
+    long_seq.push_back(Itemset({static_cast<Item>(1 + (t % 3))}));
+  }
+  db.Add(Sequence(long_seq));
+  db.Add(Seq("(a)(b)(c)"));
+  MineOptions options;
+  options.min_support_count = 2;
+  const PatternSet got = Spam().Mine(db, options);
+  EXPECT_EQ(got.SupportOf(Seq("(a)(b)(c)")), 2u);
+  for (const auto& [p, sup] : got) {
+    EXPECT_EQ(sup, CountSupport(db, p)) << p.ToString();
+  }
+}
+
+TEST(Spam, SupportsAreExact) {
+  const SequenceDatabase db = testutil::RandomDatabase(19);
+  MineOptions options;
+  options.min_support_count = 3;
+  const PatternSet got = Spam().Mine(db, options);
+  for (const auto& [p, sup] : got) {
+    EXPECT_EQ(sup, CountSupport(db, p)) << p.ToString();
+  }
+}
+
+TEST(Spam, MaxLength) {
+  const SequenceDatabase db = testutil::RandomDatabase(20);
+  MineOptions options;
+  options.min_support_count = 2;
+  options.max_length = 2;
+  EXPECT_LE(Spam().Mine(db, options).MaxLength(), 2u);
+}
+
+}  // namespace
+}  // namespace disc

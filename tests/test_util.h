@@ -1,0 +1,114 @@
+// Shared helpers for the test suite: small deterministic random databases
+// and convenience constructors.
+#ifndef DISC_TESTS_TEST_UTIL_H_
+#define DISC_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "disc/common/rng.h"
+#include "disc/seq/database.h"
+#include "disc/seq/parse.h"
+#include "disc/seq/sequence.h"
+
+namespace disc {
+namespace testutil {
+
+/// Shape of a random database.
+struct RandomDbSpec {
+  std::uint32_t num_seqs = 30;
+  std::uint32_t alphabet = 8;
+  std::uint32_t max_txns = 5;
+  std::uint32_t max_items_per_txn = 3;
+};
+
+/// Deterministic random database: every sequence has 1..max_txns
+/// transactions of 1..max_items_per_txn distinct items from 1..alphabet.
+inline SequenceDatabase RandomDatabase(std::uint64_t seed,
+                                       const RandomDbSpec& spec = {}) {
+  Rng rng(seed);
+  SequenceDatabase db;
+  for (std::uint32_t i = 0; i < spec.num_seqs; ++i) {
+    std::vector<Itemset> itemsets;
+    const std::uint32_t ntx =
+        1 + static_cast<std::uint32_t>(rng.NextBounded(spec.max_txns));
+    for (std::uint32_t t = 0; t < ntx; ++t) {
+      std::vector<Item> items;
+      const std::uint32_t n =
+          1 + static_cast<std::uint32_t>(
+                  rng.NextBounded(spec.max_items_per_txn));
+      for (std::uint32_t j = 0; j < n; ++j) {
+        items.push_back(
+            1 + static_cast<Item>(rng.NextBounded(spec.alphabet)));
+      }
+      itemsets.emplace_back(std::move(items));
+    }
+    db.Add(Sequence(itemsets));
+  }
+  return db;
+}
+
+/// A random sequence (for per-sequence property tests).
+inline Sequence RandomSequence(Rng* rng, std::uint32_t alphabet,
+                               std::uint32_t max_txns,
+                               std::uint32_t max_items_per_txn) {
+  std::vector<Itemset> itemsets;
+  const std::uint32_t ntx =
+      1 + static_cast<std::uint32_t>(rng->NextBounded(max_txns));
+  for (std::uint32_t t = 0; t < ntx; ++t) {
+    std::vector<Item> items;
+    const std::uint32_t n =
+        1 + static_cast<std::uint32_t>(rng->NextBounded(max_items_per_txn));
+    for (std::uint32_t j = 0; j < n; ++j) {
+      items.push_back(1 + static_cast<Item>(rng->NextBounded(alphabet)));
+    }
+    itemsets.emplace_back(std::move(items));
+  }
+  return Sequence(itemsets);
+}
+
+/// The paper's Table 1 example database.
+inline SequenceDatabase Table1Database() {
+  return MakeDatabase({
+      "(a,e,g)(b)(h)(f)(c)(b,f)",
+      "(b)(d,f)(e)",
+      "(b,f,g)",
+      "(f)(a,g)(b,f,h)(b,f)",
+  });
+}
+
+/// The paper's Table 6 example database.
+inline SequenceDatabase Table6Database() {
+  return MakeDatabase({
+      "(a,d)(d)(a,g,h)(c)",
+      "(b)(a)(f)(a,c,e,g)",
+      "(a,f,g)(a,e,g,h)(c,g,h)",
+      "(f)(a,c,f)(a,c,e,g,h)",
+      "(a,g)",
+      "(a,f)(a,e,g,h)",
+      "(a,b,g)(a,e,g)(g,h)",
+      "(b,f)(b,e)(e,f,h)",
+      "(d,f)(d,f,g,h)",
+      "(b,f,g)(c,e,h)",
+      "(e,g)(f)(e,f)",
+  });
+}
+
+/// The paper's Table 8 <(a)(a)>-partition (already reduced).
+inline SequenceDatabase Table8Partition() {
+  return MakeDatabase({
+      "(a)(a,g,h)(c)",
+      "(b)(a)(a,c,e,g)",
+      "(a,f,g)(a,e,g,h)(c,g,h)",
+      "(f)(a,f)(a,c,e,g,h)",
+      "(a,f)(a,e,g,h)",
+      "(a,g)(a,e,g)(g,h)",
+  });
+}
+
+inline Sequence Seq(const std::string& text) { return ParseSequence(text); }
+
+}  // namespace testutil
+}  // namespace disc
+
+#endif  // DISC_TESTS_TEST_UTIL_H_
