@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_theta.dir/bench_fig10_theta.cc.o"
+  "CMakeFiles/bench_fig10_theta.dir/bench_fig10_theta.cc.o.d"
+  "bench_fig10_theta"
+  "bench_fig10_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dbsize.dir/bench_fig8_dbsize.cc.o"
+  "CMakeFiles/bench_fig8_dbsize.dir/bench_fig8_dbsize.cc.o.d"
+  "bench_fig8_dbsize"
+  "bench_fig8_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

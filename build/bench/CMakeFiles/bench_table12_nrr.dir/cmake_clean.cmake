@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_nrr.dir/bench_table12_nrr.cc.o"
+  "CMakeFiles/bench_table12_nrr.dir/bench_table12_nrr.cc.o.d"
+  "bench_table12_nrr"
+  "bench_table12_nrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_nrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_nrr_theta.dir/bench_table14_nrr_theta.cc.o"
+  "CMakeFiles/bench_table14_nrr_theta.dir/bench_table14_nrr_theta.cc.o.d"
+  "bench_table14_nrr_theta"
+  "bench_table14_nrr_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_nrr_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

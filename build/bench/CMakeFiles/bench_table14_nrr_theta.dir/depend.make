@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table14_nrr_theta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream.dir/clickstream.cpp.o"
+  "CMakeFiles/clickstream.dir/clickstream.cpp.o.d"
+  "clickstream"
+  "clickstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

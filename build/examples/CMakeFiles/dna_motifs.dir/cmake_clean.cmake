@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_motifs.dir/dna_motifs.cpp.o"
+  "CMakeFiles/dna_motifs.dir/dna_motifs.cpp.o.d"
+  "dna_motifs"
+  "dna_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

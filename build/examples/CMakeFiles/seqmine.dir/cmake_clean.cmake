@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqmine.dir/seqmine.cpp.o"
+  "CMakeFiles/seqmine.dir/seqmine.cpp.o.d"
+  "seqmine"
+  "seqmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

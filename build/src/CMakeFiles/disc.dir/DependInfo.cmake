@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disc/algo/gsp.cc" "src/CMakeFiles/disc.dir/disc/algo/gsp.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/gsp.cc.o.d"
+  "/root/repo/src/disc/algo/hash_tree.cc" "src/CMakeFiles/disc.dir/disc/algo/hash_tree.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/hash_tree.cc.o.d"
+  "/root/repo/src/disc/algo/miner.cc" "src/CMakeFiles/disc.dir/disc/algo/miner.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/miner.cc.o.d"
+  "/root/repo/src/disc/algo/pattern_io.cc" "src/CMakeFiles/disc.dir/disc/algo/pattern_io.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/pattern_io.cc.o.d"
+  "/root/repo/src/disc/algo/pattern_set.cc" "src/CMakeFiles/disc.dir/disc/algo/pattern_set.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/pattern_set.cc.o.d"
+  "/root/repo/src/disc/algo/postprocess.cc" "src/CMakeFiles/disc.dir/disc/algo/postprocess.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/postprocess.cc.o.d"
+  "/root/repo/src/disc/algo/prefixspan.cc" "src/CMakeFiles/disc.dir/disc/algo/prefixspan.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/prefixspan.cc.o.d"
+  "/root/repo/src/disc/algo/spade.cc" "src/CMakeFiles/disc.dir/disc/algo/spade.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/spade.cc.o.d"
+  "/root/repo/src/disc/algo/spam.cc" "src/CMakeFiles/disc.dir/disc/algo/spam.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/spam.cc.o.d"
+  "/root/repo/src/disc/algo/topk.cc" "src/CMakeFiles/disc.dir/disc/algo/topk.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/algo/topk.cc.o.d"
+  "/root/repo/src/disc/benchlib/report.cc" "src/CMakeFiles/disc.dir/disc/benchlib/report.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/benchlib/report.cc.o.d"
+  "/root/repo/src/disc/benchlib/workload.cc" "src/CMakeFiles/disc.dir/disc/benchlib/workload.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/benchlib/workload.cc.o.d"
+  "/root/repo/src/disc/common/distributions.cc" "src/CMakeFiles/disc.dir/disc/common/distributions.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/common/distributions.cc.o.d"
+  "/root/repo/src/disc/common/flags.cc" "src/CMakeFiles/disc.dir/disc/common/flags.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/common/flags.cc.o.d"
+  "/root/repo/src/disc/common/rng.cc" "src/CMakeFiles/disc.dir/disc/common/rng.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/common/rng.cc.o.d"
+  "/root/repo/src/disc/common/table.cc" "src/CMakeFiles/disc.dir/disc/common/table.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/common/table.cc.o.d"
+  "/root/repo/src/disc/core/counting_array.cc" "src/CMakeFiles/disc.dir/disc/core/counting_array.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/counting_array.cc.o.d"
+  "/root/repo/src/disc/core/disc_all.cc" "src/CMakeFiles/disc.dir/disc/core/disc_all.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/disc_all.cc.o.d"
+  "/root/repo/src/disc/core/discovery.cc" "src/CMakeFiles/disc.dir/disc/core/discovery.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/discovery.cc.o.d"
+  "/root/repo/src/disc/core/dynamic_disc_all.cc" "src/CMakeFiles/disc.dir/disc/core/dynamic_disc_all.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/dynamic_disc_all.cc.o.d"
+  "/root/repo/src/disc/core/kms.cc" "src/CMakeFiles/disc.dir/disc/core/kms.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/kms.cc.o.d"
+  "/root/repo/src/disc/core/ksorted.cc" "src/CMakeFiles/disc.dir/disc/core/ksorted.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/ksorted.cc.o.d"
+  "/root/repo/src/disc/core/locative_avl.cc" "src/CMakeFiles/disc.dir/disc/core/locative_avl.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/locative_avl.cc.o.d"
+  "/root/repo/src/disc/core/nrr.cc" "src/CMakeFiles/disc.dir/disc/core/nrr.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/nrr.cc.o.d"
+  "/root/repo/src/disc/core/partition.cc" "src/CMakeFiles/disc.dir/disc/core/partition.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/partition.cc.o.d"
+  "/root/repo/src/disc/core/weighted.cc" "src/CMakeFiles/disc.dir/disc/core/weighted.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/core/weighted.cc.o.d"
+  "/root/repo/src/disc/gen/quest.cc" "src/CMakeFiles/disc.dir/disc/gen/quest.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/gen/quest.cc.o.d"
+  "/root/repo/src/disc/order/compare.cc" "src/CMakeFiles/disc.dir/disc/order/compare.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/order/compare.cc.o.d"
+  "/root/repo/src/disc/order/kmin_brute.cc" "src/CMakeFiles/disc.dir/disc/order/kmin_brute.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/order/kmin_brute.cc.o.d"
+  "/root/repo/src/disc/seq/containment.cc" "src/CMakeFiles/disc.dir/disc/seq/containment.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/containment.cc.o.d"
+  "/root/repo/src/disc/seq/database.cc" "src/CMakeFiles/disc.dir/disc/seq/database.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/database.cc.o.d"
+  "/root/repo/src/disc/seq/extension.cc" "src/CMakeFiles/disc.dir/disc/seq/extension.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/extension.cc.o.d"
+  "/root/repo/src/disc/seq/index.cc" "src/CMakeFiles/disc.dir/disc/seq/index.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/index.cc.o.d"
+  "/root/repo/src/disc/seq/io.cc" "src/CMakeFiles/disc.dir/disc/seq/io.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/io.cc.o.d"
+  "/root/repo/src/disc/seq/itemset.cc" "src/CMakeFiles/disc.dir/disc/seq/itemset.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/itemset.cc.o.d"
+  "/root/repo/src/disc/seq/parse.cc" "src/CMakeFiles/disc.dir/disc/seq/parse.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/parse.cc.o.d"
+  "/root/repo/src/disc/seq/sequence.cc" "src/CMakeFiles/disc.dir/disc/seq/sequence.cc.o" "gcc" "src/CMakeFiles/disc.dir/disc/seq/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_all_test.dir/disc_all_test.cc.o"
+  "CMakeFiles/disc_all_test.dir/disc_all_test.cc.o.d"
+  "disc_all_test"
+  "disc_all_test.pdb"
+  "disc_all_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_all_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_disc_all_test.dir/dynamic_disc_all_test.cc.o"
+  "CMakeFiles/dynamic_disc_all_test.dir/dynamic_disc_all_test.cc.o.d"
+  "dynamic_disc_all_test"
+  "dynamic_disc_all_test.pdb"
+  "dynamic_disc_all_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_disc_all_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsp_test.dir/gsp_test.cc.o"
+  "CMakeFiles/gsp_test.dir/gsp_test.cc.o.d"
+  "gsp_test"
+  "gsp_test.pdb"
+  "gsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

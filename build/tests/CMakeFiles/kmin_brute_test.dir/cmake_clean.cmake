@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmin_brute_test.dir/kmin_brute_test.cc.o"
+  "CMakeFiles/kmin_brute_test.dir/kmin_brute_test.cc.o.d"
+  "kmin_brute_test"
+  "kmin_brute_test.pdb"
+  "kmin_brute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmin_brute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

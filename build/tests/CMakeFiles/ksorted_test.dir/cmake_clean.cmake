@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksorted_test.dir/ksorted_test.cc.o"
+  "CMakeFiles/ksorted_test.dir/ksorted_test.cc.o.d"
+  "ksorted_test"
+  "ksorted_test.pdb"
+  "ksorted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksorted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locative_avl_test.dir/locative_avl_test.cc.o"
+  "CMakeFiles/locative_avl_test.dir/locative_avl_test.cc.o.d"
+  "locative_avl_test"
+  "locative_avl_test.pdb"
+  "locative_avl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locative_avl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

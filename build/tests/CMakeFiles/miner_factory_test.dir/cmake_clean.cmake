@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_factory_test.dir/miner_factory_test.cc.o"
+  "CMakeFiles/miner_factory_test.dir/miner_factory_test.cc.o.d"
+  "miner_factory_test"
+  "miner_factory_test.pdb"
+  "miner_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

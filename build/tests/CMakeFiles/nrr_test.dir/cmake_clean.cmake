@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nrr_test.dir/nrr_test.cc.o"
+  "CMakeFiles/nrr_test.dir/nrr_test.cc.o.d"
+  "nrr_test"
+  "nrr_test.pdb"
+  "nrr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

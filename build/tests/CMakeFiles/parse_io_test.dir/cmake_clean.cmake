@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parse_io_test.dir/parse_io_test.cc.o"
+  "CMakeFiles/parse_io_test.dir/parse_io_test.cc.o.d"
+  "parse_io_test"
+  "parse_io_test.pdb"
+  "parse_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parse_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

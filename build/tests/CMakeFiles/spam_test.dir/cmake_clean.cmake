@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_test.dir/spam_test.cc.o"
+  "CMakeFiles/spam_test.dir/spam_test.cc.o.d"
+  "spam_test"
+  "spam_test.pdb"
+  "spam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
