@@ -35,6 +35,11 @@ int main(int argc, char** argv) {
   MineOptions options;
   options.min_support_count = MineOptions::CountForFraction(db.size(), minsup);
 
+  ObsSession obs("ablations", flags);
+  WorkloadInfo workload = MakeWorkloadInfo(db, "quest:fig9");
+  workload.min_support_count = options.min_support_count;
+  obs.SetWorkload(workload);
+
   PrintBanner("Ablation A: bi-level vs plain DISC passes",
               DescribeDatabase(db) + ", minsup=" + std::to_string(minsup),
               !full);
@@ -47,10 +52,12 @@ int main(int argc, char** argv) {
       DiscAll miner(config);
       Timer timer;
       const PatternSet result = miner.Mine(db, options);
+      obs.Record(miner.last_stats());
       table.AddRow({bilevel ? "bi-level" : "plain",
                     TablePrinter::Num(timer.Seconds()),
                     std::to_string(result.size()),
-                    std::to_string(miner.last_stats().disc_iterations)});
+                    std::to_string(
+                        miner.last_stats().Counter("disc.iterations"))});
     }
     table.Print();
   }
@@ -68,10 +75,13 @@ int main(int argc, char** argv) {
       DynamicDiscAll miner(config);
       Timer timer;
       const PatternSet result = miner.Mine(db, options);
+      obs.Record(miner.last_stats());
       table.AddRow({TablePrinter::Num(gamma, 2),
                     TablePrinter::Num(timer.Seconds()),
-                    std::to_string(miner.last_stats().partitions_split),
-                    std::to_string(miner.last_stats().partitions_to_disc),
+                    std::to_string(miner.last_stats().Counter(
+                        "dynamic.partitions_split")),
+                    std::to_string(miner.last_stats().Counter(
+                        "dynamic.partitions_to_disc")),
                     std::to_string(result.size())});
     }
     table.Print();
@@ -130,10 +140,11 @@ int main(int argc, char** argv) {
     for (const std::string& name : AllMinerNames()) {
       const MineTiming t =
           TimeMine(CreateMiner(name).get(), small_db, small_options);
+      obs.Record(t.stats);
       table.AddRow({name, TablePrinter::Num(t.seconds),
                     std::to_string(t.num_patterns)});
     }
     table.Print();
   }
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

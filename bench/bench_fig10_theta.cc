@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
                   std::to_string(ncust),
               !full);
 
+  ObsSession obs("fig10_theta", flags);
   TablePrinter table({"theta", "dynamic (s)", "disc-all (s)",
                       "prefixspan (s)", "pseudo (s)", "#patterns"});
   for (const double theta : thetas) {
@@ -63,6 +64,13 @@ int main(int argc, char** argv) {
         TimeMine(CreateMiner("prefixspan").get(), db, options);
     const MineTiming pseudo_t =
         TimeMine(CreateMiner("pseudo").get(), db, options);
+    WorkloadInfo workload = MakeWorkloadInfo(db, "quest:theta");
+    workload.min_support_count = options.min_support_count;
+    obs.SetWorkload(workload);
+    obs.Record(dyn_t.stats);
+    obs.Record(disc_t.stats);
+    obs.Record(ps_t.stats);
+    obs.Record(pseudo_t.stats);
     table.AddRow({TablePrinter::Num(theta, 0),
                   TablePrinter::Num(dyn_t.seconds),
                   TablePrinter::Num(disc_t.seconds),
@@ -74,5 +82,5 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   table.Print();
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   }
   const double minsup = flags.GetDouble("minsup", 0.0025);
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  ObsSession obs("fig8_dbsize", flags);
 
   PrintBanner("Figure 8: runtime vs database size (minsup = " +
                   std::to_string(minsup) + ")",
@@ -59,6 +60,12 @@ int main(int argc, char** argv) {
         TimeMine(CreateMiner("prefixspan").get(), db, options);
     const MineTiming pseudo_t =
         TimeMine(CreateMiner("pseudo").get(), db, options);
+    WorkloadInfo workload = MakeWorkloadInfo(db, "quest:fig8");
+    workload.min_support_count = options.min_support_count;
+    obs.SetWorkload(workload);
+    obs.Record(disc_t.stats);
+    obs.Record(ps_t.stats);
+    obs.Record(pseudo_t.stats);
     table.AddRow({std::to_string(ncust),
                   std::to_string(options.min_support_count),
                   TablePrinter::Num(disc_t.seconds),
@@ -71,5 +78,5 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   table.Print();
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   QuestParams params = Fig9Params(ncust);
   params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const SequenceDatabase db = GenerateQuestDatabase(params);
+  ObsSession obs("fig9_minsup", flags);
+  obs.SetWorkload(MakeWorkloadInfo(db, "quest:fig9"));
 
   PrintBanner("Figure 9: runtime vs minimum support",
               "Quest slen=tlen=seq.patlen=8, nitems=1K; " +
@@ -49,6 +51,9 @@ int main(int argc, char** argv) {
         TimeMine(CreateMiner("prefixspan").get(), db, options);
     const MineTiming pseudo_t =
         TimeMine(CreateMiner("pseudo").get(), db, options);
+    obs.Record(disc_t.stats);
+    obs.Record(ps_t.stats);
+    obs.Record(pseudo_t.stats);
     table.AddRow({TablePrinter::Num(minsup, 4),
                   std::to_string(options.min_support_count),
                   TablePrinter::Num(disc_t.seconds),
@@ -61,5 +66,5 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   table.Print();
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

@@ -1,8 +1,21 @@
 // Microbenchmarks (google-benchmark) for the library's hot primitives:
 // comparative order, containment, extension scan, Apriori-KMS, the
 // locative AVL tree, the counting array, and Quest generation throughput.
+//
+// Besides the google-benchmark suite, the binary doubles as the
+// observability smoke driver: any of --stats, --trace-out=<file>,
+// --json-out=<file>, or --validate switches it into a sweep of every
+// miner over a tiny Quest workload, recording MineStats per run.
+// --validate re-parses the emitted report through
+// ValidateBenchReportJson and fails the process on schema drift (this is
+// what the ctest smoke test runs).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "disc/benchlib/report.h"
+#include "disc/benchlib/workload.h"
+#include "disc/common/flags.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/kms.h"
 #include "disc/core/locative_avl.h"
@@ -115,7 +128,61 @@ void BM_QuestGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_QuestGenerate)->Arg(500)->Arg(2000);
 
+// Runs every miner once over a tiny Quest workload and routes the
+// MineStats through ObsSession (--stats / --json-out / --trace-out).
+// With --validate the serialized report is parsed back and checked
+// against the schema; any violation fails the run.
+int RunMinerSweep(const Flags& flags) {
+  QuestParams p;
+  p.ncust = static_cast<std::uint32_t>(flags.GetInt("ncust", 300));
+  p.nitems = 100;
+  p.slen = 6;
+  p.tlen = 2.5;
+  p.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const SequenceDatabase db = GenerateQuestDatabase(p);
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(
+      db.size(), flags.GetDouble("minsup", 0.05));
+
+  ObsSession obs("micro", flags);
+  WorkloadInfo workload = MakeWorkloadInfo(db, "quest:micro");
+  workload.min_support_count = options.min_support_count;
+  obs.SetWorkload(workload);
+  BenchReport report("micro", workload);
+
+  std::printf("miner sweep: %s, delta=%u\n", DescribeDatabase(db).c_str(),
+              options.min_support_count);
+  for (const std::string& name : AllMinerNames()) {
+    const MineTiming t = TimeMine(CreateMiner(name).get(), db, options);
+    obs.Record(t.stats);
+    report.AddRun(t.stats);
+    std::printf("  %-18s %8.3fs  %zu patterns\n", name.c_str(), t.seconds,
+                t.num_patterns);
+  }
+  bool ok = obs.Finish();
+  if (flags.GetBool("validate", false)) {
+    std::string error;
+    if (ValidateBenchReportJson(report.ToJson(), &error)) {
+      std::printf("validate: report JSON matches the schema\n");
+    } else {
+      std::fprintf(stderr, "validate: %s\n", error.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace disc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const disc::Flags flags = disc::Flags::Parse(argc, argv);
+  if (flags.Has("json-out") || flags.Has("trace-out") ||
+      flags.GetBool("stats", false) || flags.GetBool("validate", false)) {
+    return disc::RunMinerSweep(flags);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const SequenceDatabase db = GenerateQuestDatabase(params);
 
+  ObsSession obs("table12_nrr", flags);
+  obs.SetWorkload(MakeWorkloadInfo(db, "quest:fig9"));
+
   PrintBanner("Table 12: average NRR per partition level vs minsup",
               DescribeDatabase(db), !full);
 
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
         MineOptions::CountForFraction(db.size(), minsup);
     DiscAll miner;
     const PatternSet mined = miner.Mine(db, options);
+    obs.Record(miner.last_stats());
     const std::vector<double> nrr = AverageNrrByLevel(mined, db.size());
     std::vector<std::string> row = {TablePrinter::Num(minsup, 4)};
     for (std::uint32_t l = 0; l < max_levels; ++l) {
@@ -62,8 +66,10 @@ int main(int argc, char** argv) {
     table.AddRow(std::move(row));
     physical.AddRow(
         {TablePrinter::Num(minsup, 4),
-         TablePrinter::Num(miner.last_stats().physical_nrr_level0, 4),
-         TablePrinter::Num(miner.last_stats().physical_nrr_level1, 2)});
+         TablePrinter::Num(miner.last_stats().Gauge("disc.physical_nrr.level0"),
+                           4),
+         TablePrinter::Num(miner.last_stats().Gauge("disc.physical_nrr.level1"),
+                           2)});
     std::printf("  [minsup %.4f] %zu patterns, %u levels\n", minsup,
                 mined.size(), mined.MaxLength());
     std::fflush(stdout);
@@ -73,5 +79,5 @@ int main(int argc, char** argv) {
       "\nPhysical-partition variant (actual partition sizes, as the paper's "
       "'Original' column):\n");
   physical.Print();
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
   params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const SequenceDatabase db = GenerateQuestDatabase(params);
 
+  ObsSession obs("table13_ratio", flags);
+  obs.SetWorkload(MakeWorkloadInfo(db, "quest:fig9"));
+
   PrintBanner("Table 13: Pseudo / DISC-all runtime ratio",
               DescribeDatabase(db), !full);
 
@@ -39,6 +42,8 @@ int main(int argc, char** argv) {
         TimeMine(CreateMiner("pseudo").get(), db, options);
     const MineTiming disc_t =
         TimeMine(CreateMiner("disc-all").get(), db, options);
+    obs.Record(pseudo_t.stats);
+    obs.Record(disc_t.stats);
     table.AddRow({TablePrinter::Num(minsup, 4),
                   TablePrinter::Num(pseudo_t.seconds),
                   TablePrinter::Num(disc_t.seconds),
@@ -49,5 +54,5 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   table.Print();
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

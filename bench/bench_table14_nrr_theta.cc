@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       flags.GetInt("ncust", full ? 50000 : 2000));
   const double minsup = flags.GetDouble("minsup", full ? 0.005 : 0.02);
   const std::vector<double> thetas = {10, 15, 20, 25, 30, 35, 40};
+  ObsSession obs("table14_nrr_theta", flags);
 
   PrintBanner("Table 14: average NRR per level vs theta (minsup = " +
                   std::to_string(minsup) + ")",
@@ -41,7 +42,12 @@ int main(int argc, char** argv) {
     MineOptions options;
     options.min_support_count =
         MineOptions::CountForFraction(db.size(), minsup);
-    const PatternSet mined = CreateMiner("disc-all")->Mine(db, options);
+    const std::unique_ptr<Miner> miner = CreateMiner("disc-all");
+    const PatternSet mined = miner->Mine(db, options);
+    WorkloadInfo workload = MakeWorkloadInfo(db, "quest:theta");
+    workload.min_support_count = options.min_support_count;
+    obs.SetWorkload(workload);
+    obs.Record(miner->last_stats());
     const std::vector<double> nrr = AverageNrrByLevel(mined, db.size());
     std::vector<std::string> row = {TablePrinter::Num(theta, 0)};
     for (std::uint32_t l = 0; l < max_levels; ++l) {
@@ -54,5 +60,5 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   table.Print();
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

@@ -39,5 +39,9 @@ int main() {
   const disc::Sequence probe = disc::ParseSequence("(a,g)(h)(f)");
   std::printf("\nsupport of %s = %u\n", probe.ToString().c_str(),
               patterns.SupportOf(probe));
+
+  // Every run leaves a MineStats behind: wall time, result shape, peak
+  // RSS, and the work counters the mining pass incremented.
+  std::printf("\n%s\n", miner->last_stats().ToString().c_str());
   return 0;
 }

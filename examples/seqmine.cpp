@@ -4,7 +4,11 @@
 //
 //   $ ./seqmine input.spmf [--algo=disc-all] [--minsup=0.01 | --delta=25]
 //               [--max-length=N] [--top-k=K] [--maximal] [--closed]
-//               [--out=patterns.spmf] [--quiet]
+//               [--out=patterns.spmf] [--quiet] [--stats]
+//               [--trace-out=trace.json] [--json-out=report.json]
+//
+// --stats prints the per-run work counters, --trace-out writes a
+// chrome://tracing span file, --json-out a machine-readable report.
 //
 // Uses the umbrella header, exercising the full public API.
 #include <cstdio>
@@ -20,7 +24,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: seqmine <input.spmf> [--algo=NAME] [--minsup=F | --delta=N]\n"
         "               [--max-length=N] [--top-k=K] [--maximal] [--closed]\n"
-        "               [--out=FILE] [--quiet]\n"
+        "               [--out=FILE] [--quiet] [--stats]\n"
+        "               [--trace-out=FILE] [--json-out=FILE]\n"
         "algorithms:");
     for (const std::string& name : disc::AllMinerNames()) {
       std::fprintf(stderr, " %s", name.c_str());
@@ -29,9 +34,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  disc::ObsSession obs("seqmine", flags);
   disc::Timer total;
   const disc::SequenceDatabase db =
       disc::LoadSpmf(flags.positional()[0]);
+  obs.SetWorkload(
+      disc::MakeWorkloadInfo(db, "spmf:" + flags.positional()[0]));
   const bool quiet = flags.GetBool("quiet", false);
   if (!quiet) {
     std::printf("loaded %zu sequences (%llu items, %u distinct) in %.2fs\n",
@@ -61,7 +69,9 @@ int main(int argc, char** argv) {
     }
     options.max_length =
         static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
-    patterns = disc::CreateMiner(algo)->Mine(db, options);
+    const std::unique_ptr<disc::Miner> miner = disc::CreateMiner(algo);
+    patterns = miner->Mine(db, options);
+    obs.Record(miner->last_stats());
   }
   const double mine_s = mine_timer.Seconds();
 
@@ -90,5 +100,5 @@ int main(int argc, char** argv) {
   } else if (quiet) {
     std::fputs(disc::ToSpmfPatternString(patterns).c_str(), stdout);
   }
-  return 0;
+  return obs.Finish() ? 0 : 1;
 }

@@ -6,11 +6,18 @@
 
 #include "disc/algo/hash_tree.h"
 #include "disc/common/check.h"
+#include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 #include "disc/seq/containment.h"
 
 namespace disc {
 namespace {
+
+DISC_OBS_COUNTER(g_candidates, "gsp.candidates");
+DISC_OBS_COUNTER(g_survivors, "gsp.survivors");
+DISC_OBS_COUNTER(g_containment_tests, "gsp.containment_tests");
+DISC_OBS_COUNTER(g_support_inc, "support.increments");
+DISC_OBS_COUNTER(g_support_inc_k4, "support.increments.k4plus");
 
 // Sequence with its first flattened item removed (dropping an emptied
 // leading transaction).
@@ -54,7 +61,8 @@ bool LastItemAlone(const Sequence& s) {
 
 }  // namespace
 
-PatternSet Gsp::Mine(const SequenceDatabase& db, const MineOptions& options) {
+PatternSet Gsp::DoMine(const SequenceDatabase& db,
+                       const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
   PatternSet out;
   const std::uint32_t delta = options.min_support_count;
@@ -68,6 +76,7 @@ PatternSet Gsp::Mine(const SequenceDatabase& db, const MineOptions& options) {
       if (seen[x] != cid + 1u) {
         seen[x] = cid + 1u;
         ++item_support[x];
+        DISC_OBS_INC(g_support_inc);
       }
     }
   }
@@ -126,6 +135,7 @@ PatternSet Gsp::Mine(const SequenceDatabase& db, const MineOptions& options) {
         }
       }
     }
+    DISC_OBS_ADD(g_candidates, candidates.size());
     // ---- Prune: every delete-one-item subsequence must be frequent.
     std::vector<Sequence> survivors;
     for (const Sequence& c : candidates) {
@@ -137,6 +147,7 @@ PatternSet Gsp::Mine(const SequenceDatabase& db, const MineOptions& options) {
       }
       if (ok) survivors.push_back(c);
     }
+    DISC_OBS_ADD(g_survivors, survivors.size());
     // ---- Count supports with one database scan per level. The candidate
     // hash tree (EDBT'96 §3.2.1) pays off when customer sequences are short
     // enough that their items miss most hash buckets; long dense sequences
@@ -166,10 +177,23 @@ PatternSet Gsp::Mine(const SequenceDatabase& db, const MineOptions& options) {
               break;
             }
           }
-          if (maybe && Contains(s, survivors[i])) ++support[i];
+          if (maybe) {
+            DISC_OBS_INC(g_containment_tests);
+            if (Contains(s, survivors[i])) ++support[i];
+          }
         }
       }
     }
+#if DISC_OBS_ENABLED
+    {
+      // Every unit of support was one counting increment this level; GSP
+      // support-counts at every length, unlike the DISC strategy.
+      std::uint64_t total = 0;
+      for (const std::uint32_t sup : support) total += sup;
+      DISC_OBS_ADD(g_support_inc, total);
+      if (k >= 4) DISC_OBS_ADD(g_support_inc_k4, total);
+    }
+#endif
     frequent.clear();
     for (std::size_t i = 0; i < survivors.size(); ++i) {
       if (support[i] >= delta) {

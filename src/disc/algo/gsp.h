@@ -17,10 +17,11 @@ namespace disc {
 /// GSP frequent-sequence miner. See file comment.
 class Gsp : public Miner {
  public:
-  PatternSet Mine(const SequenceDatabase& db,
-                  const MineOptions& options) override;
-
   std::string name() const override { return "gsp"; }
+
+ protected:
+  PatternSet DoMine(const SequenceDatabase& db,
+                    const MineOptions& options) override;
 };
 
 }  // namespace disc

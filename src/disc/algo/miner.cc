@@ -7,10 +7,27 @@
 #include "disc/algo/spade.h"
 #include "disc/algo/spam.h"
 #include "disc/common/check.h"
+#include "disc/common/timer.h"
 #include "disc/core/disc_all.h"
 #include "disc/core/dynamic_disc_all.h"
+#include "disc/obs/trace.h"
 
 namespace disc {
+
+PatternSet Miner::Mine(const SequenceDatabase& db, const MineOptions& options) {
+  stats_ = MineStats{};
+  stats_.miner = name();
+  stats_.db_sequences = db.size();
+  obs::StatsHarvest harvest;
+  obs::ScopedSpan span("mine/" + name());
+  Timer timer;
+  PatternSet result = DoMine(db, options);
+  stats_.wall_seconds = timer.Seconds();
+  stats_.num_patterns = result.size();
+  stats_.max_length = result.MaxLength();
+  harvest.Finish(&stats_);
+  return result;
+}
 
 std::uint32_t MineOptions::CountForFraction(std::size_t db_size,
                                             double fraction) {

@@ -9,9 +9,12 @@
 #include <vector>
 
 #include "disc/algo/pattern_set.h"
+#include "disc/obs/mine_stats.h"
 #include "disc/seq/database.h"
 
 namespace disc {
+
+using obs::MineStats;
 
 /// Mining parameters shared by all algorithms.
 struct MineOptions {
@@ -29,16 +32,33 @@ struct MineOptions {
 };
 
 /// Abstract sequential-pattern miner.
+///
+/// Mine() is a template method: it wraps the algorithm-specific DoMine()
+/// with the observability harness (a "mine/<name>" trace span, wall-clock
+/// timing, a metrics-registry snapshot diff, and a peak-RSS probe) so every
+/// miner exposes a uniform MineStats without bespoke bookkeeping.
 class Miner {
  public:
   virtual ~Miner() = default;
 
-  /// Mines all frequent sequences of `db` under `options`.
-  virtual PatternSet Mine(const SequenceDatabase& db,
-                          const MineOptions& options) = 0;
+  /// Mines all frequent sequences of `db` under `options`, collecting
+  /// last_stats() as a side effect.
+  PatternSet Mine(const SequenceDatabase& db, const MineOptions& options);
+
+  /// Work and resource report of the most recent Mine() call (empty before
+  /// the first call). Counter names are catalogued in docs/OBSERVABILITY.md.
+  const MineStats& last_stats() const { return stats_; }
 
   /// Stable short name ("disc-all", "prefixspan", ...).
   virtual std::string name() const = 0;
+
+ protected:
+  /// The algorithm itself, implemented by each miner.
+  virtual PatternSet DoMine(const SequenceDatabase& db,
+                            const MineOptions& options) = 0;
+
+ private:
+  MineStats stats_;
 };
 
 /// Creates a miner by name; aborts on an unknown name. Known names:

@@ -4,11 +4,19 @@
 #include <deque>
 
 #include "disc/common/check.h"
+#include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 #include "disc/seq/itemset.h"
 
 namespace disc {
 namespace {
+
+DISC_OBS_COUNTER(g_nodes, "prefixspan.nodes");
+DISC_OBS_COUNTER(g_points, "prefixspan.projection_points");
+DISC_OBS_COUNTER(g_materialized, "prefixspan.materialized_sequences");
+DISC_OBS_COUNTER(g_support_inc, "support.increments");
+DISC_OBS_COUNTER(g_support_inc_k4, "support.increments.k4plus");
+DISC_OBS_HISTOGRAM(g_projected_db, "prefixspan.projected_db_size");
 
 // A pseudo-projection point: the postfix of *seq starting at item index
 // next_i inside transaction txn (the partial transaction), followed by the
@@ -43,6 +51,7 @@ class Context {
         if (s_seen_[x] != tag_) {
           s_seen_[x] = tag_;
           if (s_count_[x]++ == 0) touched_s_.push_back(x);
+          DISC_OBS_INC(g_support_inc);
         }
       }
     }
@@ -89,6 +98,13 @@ class Context {
     if (options_.max_length != 0 && prefix.Length() >= options_.max_length) {
       return;
     }
+    DISC_OBS_INC(g_nodes);
+    DISC_OBS_ADD(g_points, points.size());
+    DISC_OBS_RECORD(g_projected_db, points.size());
+#if DISC_OBS_ENABLED
+    // Length of the patterns the Mark* calls below are counting support for.
+    counting_length_ = prefix.Length() + 1;
+#endif
     const Item last_max = last_itemset.back();
 
     for (const Point& p : points) {
@@ -231,6 +247,7 @@ class Context {
       copy.AppendItemset(s.TxnItemset(t));
     }
     arena->push_back(std::move(copy));
+    DISC_OBS_INC(g_materialized);
     return {&arena->back(), 0, p.next_i};
   }
 
@@ -238,12 +255,21 @@ class Context {
     if (i_seen_[x] == tag_) return;
     i_seen_[x] = tag_;
     if (i_count_[x]++ == 0) touched_i_.push_back(x);
+    CountSupportIncrement();
   }
 
   void MarkS(Item x) {
     if (s_seen_[x] == tag_) return;
     s_seen_[x] = tag_;
     if (s_count_[x]++ == 0) touched_s_.push_back(x);
+    CountSupportIncrement();
+  }
+
+  void CountSupportIncrement() {
+    DISC_OBS_INC(g_support_inc);
+#if DISC_OBS_ENABLED
+    if (counting_length_ >= 4) DISC_OBS_INC(g_support_inc_k4);
+#endif
   }
 
   const SequenceDatabase& db_;
@@ -256,12 +282,15 @@ class Context {
   std::vector<std::uint64_t> i_seen_, s_seen_;
   std::vector<Item> touched_i_, touched_s_;
   std::uint64_t tag_ = 0;
+#if DISC_OBS_ENABLED
+  std::uint32_t counting_length_ = 1;
+#endif
 };
 
 }  // namespace
 
-PatternSet PrefixSpan::Mine(const SequenceDatabase& db,
-                            const MineOptions& options) {
+PatternSet PrefixSpan::DoMine(const SequenceDatabase& db,
+                              const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
   Context ctx(db, options, mode_);
   return ctx.Run();

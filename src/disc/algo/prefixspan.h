@@ -27,12 +27,13 @@ class PrefixSpan : public Miner {
 
   explicit PrefixSpan(Projection mode) : mode_(mode) {}
 
-  PatternSet Mine(const SequenceDatabase& db,
-                  const MineOptions& options) override;
-
   std::string name() const override {
     return mode_ == Projection::kPhysical ? "prefixspan" : "pseudo";
   }
+
+ protected:
+  PatternSet DoMine(const SequenceDatabase& db,
+                    const MineOptions& options) override;
 
  private:
   Projection mode_;

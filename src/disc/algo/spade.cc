@@ -3,10 +3,17 @@
 #include <algorithm>
 
 #include "disc/common/check.h"
+#include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 
 namespace disc {
 namespace {
+
+DISC_OBS_COUNTER(g_temporal_joins, "spade.temporal_joins");
+DISC_OBS_COUNTER(g_equality_joins, "spade.equality_joins");
+DISC_OBS_COUNTER(g_support_inc, "support.increments");
+DISC_OBS_COUNTER(g_support_inc_k4, "support.increments.k4plus");
+DISC_OBS_HISTOGRAM(g_idlist_size, "spade.idlist_size");
 
 // (sid, eid) occurrence: the pattern's last itemset is contained in
 // transaction eid of sequence sid, with the earlier itemsets embeddable
@@ -97,6 +104,7 @@ class Run {
     for (Item x = 1; x <= db_.max_item(); ++x) {
       if (item_ids[x].empty()) continue;
       const std::uint32_t sup = SupportOf(item_ids[x]);
+      DISC_OBS_ADD(g_support_inc, sup);
       if (sup < delta) continue;
       roots.push_back({x, ExtType::kSequence, std::move(item_ids[x]), sup});
     }
@@ -116,14 +124,26 @@ class Run {
         continue;
       }
       std::vector<Atom> children;
+      // Supports computed below belong to (|pattern| + 1)-sequences; an
+      // ID-list's SupportOf walk counts each supporting sequence once, so
+      // it is SPADE's form of support-count increments.
+      const std::uint32_t child_len = pattern.Length() + 1;
+      auto count_support = [&](const IdList& ids) {
+        DISC_OBS_RECORD(g_idlist_size, ids.size());
+        const std::uint32_t sup = SupportOf(ids);
+        DISC_OBS_ADD(g_support_inc, sup);
+        if (child_len >= 4) DISC_OBS_ADD(g_support_inc_k4, sup);
+        return sup;
+      };
       for (const Atom& b : atoms) {
         // Sequence extension: only an S-type sibling's ID-list enumerates
         // every transaction carrying its item with the class prefix before
         // it; an I-type sibling's list is restricted to transactions that
         // also contain the prefix's last itemset and would undercount.
         if (b.type == ExtType::kSequence) {
+          DISC_OBS_INC(g_temporal_joins);
           IdList ids = TemporalJoin(a.ids, b.ids);
-          const std::uint32_t sup = SupportOf(ids);
+          const std::uint32_t sup = count_support(ids);
           if (sup >= options_.min_support_count) {
             children.push_back(
                 {b.item, ExtType::kSequence, std::move(ids), sup});
@@ -132,8 +152,9 @@ class Run {
         // Itemset extension: a same-type sibling with a larger item joins
         // A's last itemset.
         if (b.type == a.type && b.item > a.item) {
+          DISC_OBS_INC(g_equality_joins);
           IdList ids = EqualityJoin(a.ids, b.ids);
-          const std::uint32_t sup = SupportOf(ids);
+          const std::uint32_t sup = count_support(ids);
           if (sup >= options_.min_support_count) {
             children.push_back(
                 {b.item, ExtType::kItemset, std::move(ids), sup});
@@ -156,8 +177,8 @@ class Run {
 
 }  // namespace
 
-PatternSet Spade::Mine(const SequenceDatabase& db,
-                       const MineOptions& options) {
+PatternSet Spade::DoMine(const SequenceDatabase& db,
+                         const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
   Run run(db, options);
   return run.Execute();

@@ -17,10 +17,11 @@ namespace disc {
 /// SPADE frequent-sequence miner. See file comment.
 class Spade : public Miner {
  public:
-  PatternSet Mine(const SequenceDatabase& db,
-                  const MineOptions& options) override;
-
   std::string name() const override { return "spade"; }
+
+ protected:
+  PatternSet DoMine(const SequenceDatabase& db,
+                    const MineOptions& options) override;
 };
 
 }  // namespace disc

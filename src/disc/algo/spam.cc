@@ -3,10 +3,16 @@
 #include <bit>
 
 #include "disc/common/check.h"
+#include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 
 namespace disc {
 namespace {
+
+DISC_OBS_COUNTER(g_bitmap_ands, "spam.bitmap_ands");
+DISC_OBS_COUNTER(g_s_transforms, "spam.s_transforms");
+DISC_OBS_COUNTER(g_support_inc, "support.increments");
+DISC_OBS_COUNTER(g_support_inc_k4, "support.increments.k4plus");
 
 // Transaction-granular bitmap over the whole database. Sequence boundaries
 // live in the shared layout (bit offsets per sequence).
@@ -112,6 +118,7 @@ class Run {
       Sequence p;
       p.AppendNewItemset(x);
       const std::uint32_t sup = item_bm_[x].CountSupport(layout_);
+      DISC_OBS_ADD(g_support_inc, sup);
       out_.Add(p, sup);
       std::vector<Item> i_cands;
       for (const Item y : freq_items) {
@@ -130,14 +137,26 @@ class Run {
       return;
     }
     const std::uint32_t delta = options_.min_support_count;
+    DISC_OBS_INC(g_s_transforms);
     const Bitmap sbm = bm.STransform(layout_);
+    DISC_OBS_ADD(g_bitmap_ands, s_cands.size() + i_cands.size());
+
+    // Every child support evaluation counts each supporting sequence once —
+    // bitmap counting is still support counting, just vectorized.
+    const std::uint32_t child_len = pattern.Length() + 1;
+    auto count_support = [&](const Bitmap& child) {
+      const std::uint32_t sup = child.CountSupport(layout_);
+      DISC_OBS_ADD(g_support_inc, sup);
+      if (child_len >= 4) DISC_OBS_ADD(g_support_inc_k4, sup);
+      return sup;
+    };
 
     // S-step and I-step pruning: keep only the locally frequent candidates.
     std::vector<Item> s_freq;
     std::vector<std::pair<Bitmap, std::uint32_t>> s_maps;
     for (const Item x : s_cands) {
       Bitmap child = Bitmap::And(sbm, item_bm_[x]);
-      const std::uint32_t sup = child.CountSupport(layout_);
+      const std::uint32_t sup = count_support(child);
       if (sup >= delta) {
         s_freq.push_back(x);
         s_maps.emplace_back(std::move(child), sup);
@@ -147,7 +166,7 @@ class Run {
     std::vector<std::pair<Bitmap, std::uint32_t>> i_maps;
     for (const Item y : i_cands) {
       Bitmap child = Bitmap::And(bm, item_bm_[y]);
-      const std::uint32_t sup = child.CountSupport(layout_);
+      const std::uint32_t sup = count_support(child);
       if (sup >= delta) {
         i_freq.push_back(y);
         i_maps.emplace_back(std::move(child), sup);
@@ -183,7 +202,8 @@ class Run {
 
 }  // namespace
 
-PatternSet Spam::Mine(const SequenceDatabase& db, const MineOptions& options) {
+PatternSet Spam::DoMine(const SequenceDatabase& db,
+                        const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
   Run run(db, options);
   return run.Execute();

@@ -19,10 +19,11 @@ namespace disc {
 /// SPAM frequent-sequence miner. See file comment.
 class Spam : public Miner {
  public:
-  PatternSet Mine(const SequenceDatabase& db,
-                  const MineOptions& options) override;
-
   std::string name() const override { return "spam"; }
+
+ protected:
+  PatternSet DoMine(const SequenceDatabase& db,
+                    const MineOptions& options) override;
 };
 
 }  // namespace disc

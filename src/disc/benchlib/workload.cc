@@ -42,6 +42,7 @@ MineTiming TimeMine(Miner* miner, const SequenceDatabase& db,
   t.seconds = timer.Seconds();
   t.num_patterns = result.size();
   t.max_length = result.MaxLength();
+  t.stats = miner->last_stats();
   return t;
 }
 

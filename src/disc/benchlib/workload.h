@@ -25,11 +25,13 @@ QuestParams Fig9Params(std::uint32_t ncust);
 /// θ 10-40, minsup 0.005).
 QuestParams ThetaParams(std::uint32_t ncust, double theta);
 
-/// Runs one timed Mine() and reports seconds and the result size.
+/// Runs one timed Mine() and reports seconds, the result size, and the
+/// full MineStats harvested from the run (for --stats / --json-out).
 struct MineTiming {
   double seconds = 0.0;
   std::size_t num_patterns = 0;
   std::uint32_t max_length = 0;
+  obs::MineStats stats;
 };
 MineTiming TimeMine(Miner* miner, const SequenceDatabase& db,
                     const MineOptions& options);

@@ -12,6 +12,10 @@ CountingArray::CountingArray(Item max_item)
 
 void CountingArray::Add(Item x, ExtType type, Cid cid) {
   DISC_DCHECK(static_cast<std::size_t>(x) < i_entries_.size());
+  DISC_OBS_COUNTER(g_probes, "counting_array.probes");
+  DISC_OBS_COUNTER(g_increments, "counting_array.increments");
+  DISC_OBS_COUNTER(g_support_increments, "support.increments");
+  DISC_OBS_INC(g_probes);
   Entry& e =
       type == ExtType::kItemset ? i_entries_[x] : s_entries_[x];
   if (e.last_cid_plus1 == cid + 1) return;
@@ -20,6 +24,11 @@ void CountingArray::Add(Item x, ExtType type, Cid cid) {
   }
   e.last_cid_plus1 = cid + 1;
   ++e.count;
+  DISC_OBS_INC(g_increments);
+  DISC_OBS_INC(g_support_increments);
+#if DISC_OBS_ENABLED
+  ++increments_since_reset_;
+#endif
 }
 
 std::uint32_t CountingArray::Count(Item x, ExtType type) const {
@@ -46,6 +55,9 @@ void CountingArray::Reset() {
     s_entries_[x] = Entry{};
   }
   touched_.clear();
+#if DISC_OBS_ENABLED
+  increments_since_reset_ = 0;
+#endif
 }
 
 }  // namespace disc

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 #include "disc/seq/types.h"
 
@@ -38,6 +39,16 @@ class CountingArray {
   /// Clears all counts (O(#items touched since the last Reset)).
   void Reset();
 
+#if DISC_OBS_ENABLED
+  /// Support-count increments (non-idempotent Adds) since the last Reset().
+  /// Lets call sites attribute increments to a pattern length — e.g. the
+  /// "support.increments.k4plus" counter behind the no-support-counting
+  /// invariant test. Only compiled with the observability layer.
+  std::uint64_t increments_since_reset() const {
+    return increments_since_reset_;
+  }
+#endif
+
  private:
   struct Entry {
     std::uint32_t count = 0;
@@ -46,6 +57,9 @@ class CountingArray {
   std::vector<Entry> i_entries_;
   std::vector<Entry> s_entries_;
   std::vector<Item> touched_;  // items with any nonzero entry
+#if DISC_OBS_ENABLED
+  std::uint64_t increments_since_reset_ = 0;
+#endif
 };
 
 }  // namespace disc

@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <deque>
-#include <limits>
 
 #include "disc/common/check.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
+#include "disc/obs/metrics.h"
+#include "disc/obs/trace.h"
 #include "disc/seq/extension.h"
 
 namespace disc {
 namespace {
+
+DISC_OBS_COUNTER(g_first_level_partitions, "disc.partitions.first_level");
+DISC_OBS_COUNTER(g_second_level_partitions, "disc.partitions.second_level");
+DISC_OBS_GAUGE(g_physical_nrr_level0, "disc.physical_nrr.level0");
+DISC_OBS_GAUGE(g_physical_nrr_level1, "disc.physical_nrr.level1");
+DISC_OBS_HISTOGRAM(g_first_level_size, "disc.partition_size.first_level");
+DISC_OBS_HISTOGRAM(g_second_level_size, "disc.partition_size.second_level");
 
 // Smallest item of s strictly greater than floor (kNoItem floor = smallest
 // overall); kNoItem if none. Used for first-level reassignment.
@@ -25,12 +33,8 @@ Item NextMinItem(const Sequence& s, Item floor) {
 class Run {
  public:
   Run(const SequenceDatabase& db, const MineOptions& options,
-      const DiscAll::Config& config, DiscAll::Stats* stats)
-      : db_(db),
-        options_(options),
-        config_(config),
-        stats_(stats),
-        counts_(db.max_item()) {}
+      const DiscAll::Config& config)
+      : db_(db), options_(options), config_(config), counts_(db.max_item()) {}
 
   PatternSet Execute() {
     const std::uint32_t delta = options_.min_support_count;
@@ -66,12 +70,15 @@ class Run {
 
     // ---- Step 2: process first-level partitions in ascending item order,
     // reassigning members forward after each.
+    DISC_OBS_SPAN("disc/partitions");
     for (Item lambda = 1; lambda <= max_item; ++lambda) {
       std::vector<Cid> members = std::move(first_level[lambda]);
       if (members.empty()) continue;
       if (item_support[lambda] >= delta) {
         DISC_CHECK(members.size() == item_support[lambda]);
-        ++stats_->first_level_partitions;
+        ++first_level_partitions_;
+        DISC_OBS_INC(g_first_level_partitions);
+        DISC_OBS_RECORD(g_first_level_size, members.size());
         level0_ratio_sum_ +=
             static_cast<double>(members.size()) /
             static_cast<double>(db_.size());
@@ -86,18 +93,20 @@ class Run {
     return Finish();
   }
 
-  // Folds the physical-NRR accumulators into the stats and hands out the
-  // result set.
+  // Folds the physical-NRR accumulators into the registry gauges (only set
+  // when at least one partition was processed at that level, so MineStats
+  // simply lacks the gauge otherwise) and hands out the result set.
   PatternSet Finish() {
-    stats_->physical_nrr_level0 =
-        stats_->first_level_partitions == 0
-            ? std::numeric_limits<double>::quiet_NaN()
-            : level0_ratio_sum_ /
-                  static_cast<double>(stats_->first_level_partitions);
-    stats_->physical_nrr_level1 =
-        level1_partitions_ == 0
-            ? std::numeric_limits<double>::quiet_NaN()
-            : level1_ratio_sum_ / static_cast<double>(level1_partitions_);
+    if (first_level_partitions_ > 0) {
+      DISC_OBS_SET(g_physical_nrr_level0,
+                   level0_ratio_sum_ /
+                       static_cast<double>(first_level_partitions_));
+    }
+    if (level1_partitions_ > 0) {
+      DISC_OBS_SET(g_physical_nrr_level1,
+                   level1_ratio_sum_ /
+                       static_cast<double>(level1_partitions_));
+    }
     return std::move(out_);
   }
 
@@ -180,7 +189,8 @@ class Run {
       std::vector<std::uint32_t> slots = std::move(second_level[j]);
       if (slots.empty()) continue;
       if (slots.size() >= delta) {
-        ++stats_->second_level_partitions;
+        DISC_OBS_INC(g_second_level_partitions);
+        DISC_OBS_RECORD(g_second_level_size, slots.size());
         ProcessSecondLevel(Extend(pat1, freq2[j].first, freq2[j].second),
                            reduced, indexes, slots, delta, max_item);
       }
@@ -225,16 +235,16 @@ class Run {
       pairs.push_back({&reduced[slot], &indexes[slot], slot});
     }
     RunDiscLoop(pairs, std::move(sorted_list), 4, delta, config_.bilevel,
-                max_item, options_.max_length, &out_,
-                &stats_->disc_iterations, config_.use_avl);
+                max_item, options_.max_length, &out_, nullptr,
+                config_.use_avl);
   }
 
   const SequenceDatabase& db_;
   const MineOptions& options_;
   const DiscAll::Config& config_;
-  DiscAll::Stats* stats_;
   CountingArray counts_;
   PatternSet out_;
+  std::uint64_t first_level_partitions_ = 0;
   double level0_ratio_sum_ = 0.0;
   double level1_ratio_sum_ = 0.0;
   std::uint64_t level1_partitions_ = 0;
@@ -242,11 +252,10 @@ class Run {
 
 }  // namespace
 
-PatternSet DiscAll::Mine(const SequenceDatabase& db,
-                         const MineOptions& options) {
+PatternSet DiscAll::DoMine(const SequenceDatabase& db,
+                           const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  stats_ = Stats{};
-  Run run(db, options, config_, &stats_);
+  Run run(db, options, config_);
   return run.Execute();
 }
 

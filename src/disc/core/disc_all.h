@@ -35,31 +35,21 @@ class DiscAll : public Miner {
   DiscAll() : DiscAll(Config{}) {}
   explicit DiscAll(const Config& config) : config_(config) {}
 
-  PatternSet Mine(const SequenceDatabase& db,
-                  const MineOptions& options) override;
-
   std::string name() const override {
     return config_.bilevel ? "disc-all" : "disc-all-nobilevel";
   }
 
-  /// Instrumentation from the last Mine() call.
-  struct Stats {
-    std::uint64_t disc_iterations = 0;       ///< α₁/α_δ comparisons
-    std::uint64_t first_level_partitions = 0;   ///< processed (λ frequent)
-    std::uint64_t second_level_partitions = 0;  ///< processed (size >= δ)
-    /// Physical non-reduction rates (Equation 2 over *actual* partition
-    /// sizes, the variant behind Table 12's "Original" column):
-    /// level 0 = avg first-level-partition size / |DB| over processed
-    /// partitions; level 1 = avg of (avg second-level size / first-level
-    /// size). NaN when no partition was processed at that level.
-    double physical_nrr_level0 = 0.0;
-    double physical_nrr_level1 = 0.0;
-  };
-  const Stats& last_stats() const { return stats_; }
+ protected:
+  // Work accounting lands in last_stats() via the obs registry: counters
+  // "disc.iterations", "disc.partitions.first_level" /
+  // ".second_level", and gauges "disc.physical_nrr.level0" / ".level1"
+  // (Equation 2 over actual partition sizes, Table 12's "Original" column;
+  // unset when no partition was processed at that level).
+  PatternSet DoMine(const SequenceDatabase& db,
+                    const MineOptions& options) override;
 
  private:
   Config config_;
-  Stats stats_;
 };
 
 }  // namespace disc

@@ -6,11 +6,36 @@
 #include "disc/common/check.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/ksorted.h"
+#include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 #include "disc/seq/extension.h"
 
 namespace disc {
 namespace {
+
+DISC_OBS_COUNTER(g_iterations, "disc.iterations");
+DISC_OBS_COUNTER(g_frequent_buckets, "disc.frequent_buckets");
+DISC_OBS_COUNTER(g_infrequent_skips, "disc.infrequent_skips");
+DISC_OBS_COUNTER(g_virtual_partitions, "disc.virtual_partitions");
+DISC_OBS_HISTOGRAM(g_bucket_size, "disc.bucket_size");
+
+// Attributes the increments of a just-finished counting-array pass to the
+// length of the patterns being counted. "k4plus" is the invariant the DISC
+// strategy is about: pure DISC never support-counts patterns of length >= 4
+// (the bi-level technique's k+1 harvests do, which is why the invariant test
+// pins disc-all-nobilevel).
+void AttributeSupportIncrements(const CountingArray& counts,
+                                std::uint32_t pattern_len) {
+#if DISC_OBS_ENABLED
+  if (pattern_len >= 4) {
+    DISC_OBS_COUNTER(g_k4plus, "support.increments.k4plus");
+    DISC_OBS_ADD(g_k4plus, counts.increments_since_reset());
+  }
+#else
+  (void)counts;
+  (void)pattern_len;
+#endif
+}
 
 // The re-sort ablation: a flat (key, entry) vector, fully std::sort-ed
 // after every advance batch, in place of the locative AVL tree. Same
@@ -47,6 +72,7 @@ DiscoveryResult DiscoverFrequentKResort(
   CountingArray counts(options.bilevel ? options.max_item : 0);
   while (slots.size() >= options.delta) {
     ++result.iterations;
+    DISC_OBS_INC(g_iterations);
     const Sequence alpha1 = slots.front().key;
     const Sequence alpha_delta = slots[options.delta - 1].key;
     const bool frequent = CompareSequences(alpha1, alpha_delta) == 0;
@@ -60,9 +86,12 @@ DiscoveryResult DiscoverFrequentKResort(
       ++cut;
     }
     if (frequent) {
+      DISC_OBS_INC(g_frequent_buckets);
+      DISC_OBS_RECORD(g_bucket_size, cut);
       result.frequent_k.emplace_back(alpha1,
                                      static_cast<std::uint32_t>(cut));
       if (options.bilevel) {
+        DISC_OBS_INC(g_virtual_partitions);
         counts.Reset();
         for (std::size_t i = 0; i < cut; ++i) {
           ForEachExtension(
@@ -77,7 +106,10 @@ DiscoveryResult DiscoverFrequentKResort(
           result.frequent_k1.emplace_back(Extend(alpha1, x, type),
                                           counts.Count(x, type));
         }
+        AttributeSupportIncrements(counts, options.k + 1);
       }
+    } else {
+      DISC_OBS_INC(g_infrequent_skips);
     }
     const CkmsBound bound = CkmsBound::Make(alpha_delta, frequent);
     std::size_t keep = 0;
@@ -116,6 +148,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
 
   while (sd.size() >= options.delta) {
     ++result.iterations;
+    DISC_OBS_INC(g_iterations);
     // Copies, not references: the tree nodes holding these keys are about to
     // be removed.
     const Sequence alpha1 = sd.MinKey();
@@ -127,6 +160,8 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
       // does, so the bucket size is the exact support.
       sd.PopMinBucket(&handles);
       DISC_CHECK(handles.size() >= options.delta);
+      DISC_OBS_INC(g_frequent_buckets);
+      DISC_OBS_RECORD(g_bucket_size, handles.size());
       result.frequent_k.emplace_back(
           alpha1, static_cast<std::uint32_t>(handles.size()));
       if (options.bilevel) {
@@ -135,6 +170,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
         // (k+1)-sequences with k-prefix α₁ in the same pass. The counting
         // array is idempotent per customer, so the raw (duplicated)
         // extension stream suffices.
+        DISC_OBS_INC(g_virtual_partitions);
         counts.Reset();
         for (const std::uint32_t h : handles) {
           const KSortedEntry& e = sd.entry(h);
@@ -150,6 +186,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
           result.frequent_k1.emplace_back(Extend(alpha1, x, type),
                                           counts.Count(x, type));
         }
+        AttributeSupportIncrements(counts, options.k + 1);
       }
       // Supporters move strictly past α_δ (== α₁ here).
       const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/true);
@@ -159,6 +196,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
     } else {
       // Lemma 2.2: every k-sequence in [α₁, α_δ) is non-frequent; skip them
       // all by advancing the sub-δ entries to >= α_δ.
+      DISC_OBS_INC(g_infrequent_skips);
       sd.PopAllLess(alpha_delta, &handles);
       DISC_CHECK(!handles.empty());
       const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/false);

@@ -6,18 +6,23 @@
 #include "disc/common/check.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
+#include "disc/obs/metrics.h"
 #include "disc/seq/extension.h"
 
 namespace disc {
 namespace {
+
+DISC_OBS_COUNTER(g_partitions_split, "dynamic.partitions_split");
+DISC_OBS_COUNTER(g_partitions_to_disc, "dynamic.partitions_to_disc");
+DISC_OBS_HISTOGRAM(g_partition_nrr, "dynamic.partition_nrr_x1000");
 
 using Members = PartitionMembers;
 
 class Run {
  public:
   Run(const SequenceDatabase& db, const MineOptions& options,
-      const DynamicDiscAll::Config& config, DynamicDiscAll::Stats* stats)
-      : db_(db), options_(options), config_(config), stats_(stats) {}
+      const DynamicDiscAll::Config& config)
+      : db_(db), options_(options), config_(config) {}
 
   PatternSet Execute() {
     if (db_.empty() || options_.min_support_count > db_.size()) {
@@ -54,6 +59,14 @@ class Run {
           m.index);
     }
     const auto freq = counts.FrequentExtensions(delta);
+#if DISC_OBS_ENABLED
+    // Dynamic DISC-all does support-count patterns of any length while it
+    // keeps partitioning; attribute them like the bi-level harvests do.
+    if (k + 1 >= 4) {
+      DISC_OBS_COUNTER(g_k4plus, "support.increments.k4plus");
+      DISC_OBS_ADD(g_k4plus, counts.increments_since_reset());
+    }
+#endif
     std::uint64_t child_support_sum = 0;
     for (const auto& [x, type] : freq) {
       const std::uint32_t sup = counts.Count(x, type);
@@ -73,11 +86,13 @@ class Run {
         config_.fixed_levels >= 0
             ? k < static_cast<std::uint32_t>(config_.fixed_levels)
             : nrr < config_.gamma;
+    DISC_OBS_RECORD(g_partition_nrr,
+                    static_cast<std::uint64_t>(nrr * 1000.0));
 
     if (split) {
       // Step 3: partition one level deeper and recurse, reassigning each
       // member to its next child partition afterwards.
-      ++stats_->partitions_split;
+      DISC_OBS_INC(g_partitions_split);
       ExtFilter filter;
       filter.Build(freq, db_.max_item());
       auto ext_index = [&](const std::pair<Item, ExtType>& e) {
@@ -112,7 +127,7 @@ class Run {
     } else {
       // Step 4: the partitioning overhead no longer pays; DISC finds every
       // remaining length in this partition.
-      ++stats_->partitions_to_disc;
+      DISC_OBS_INC(g_partitions_to_disc);
       std::vector<Sequence> sorted_list;
       sorted_list.reserve(freq.size());
       for (const auto& [x, type] : freq) {
@@ -120,25 +135,23 @@ class Run {
       }
       RunDiscLoop(members, std::move(sorted_list), k + 2, delta,
                   config_.bilevel, db_.max_item(), options_.max_length,
-                  &out_, &stats_->disc_iterations);
+                  &out_, nullptr);
     }
   }
 
   const SequenceDatabase& db_;
   const MineOptions& options_;
   const DynamicDiscAll::Config& config_;
-  DynamicDiscAll::Stats* stats_;
   std::deque<SequenceIndex> indexes_;
   PatternSet out_;
 };
 
 }  // namespace
 
-PatternSet DynamicDiscAll::Mine(const SequenceDatabase& db,
-                                const MineOptions& options) {
+PatternSet DynamicDiscAll::DoMine(const SequenceDatabase& db,
+                                  const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  stats_ = Stats{};
-  Run run(db, options, config_, &stats_);
+  Run run(db, options, config_);
   return run.Execute();
 }
 

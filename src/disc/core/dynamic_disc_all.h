@@ -40,22 +40,18 @@ class DynamicDiscAll : public Miner {
   DynamicDiscAll() : DynamicDiscAll(Config{}) {}
   explicit DynamicDiscAll(const Config& config) : config_(config) {}
 
-  PatternSet Mine(const SequenceDatabase& db,
-                  const MineOptions& options) override;
-
   std::string name() const override { return "dynamic-disc-all"; }
 
-  /// Instrumentation from the last Mine() call.
-  struct Stats {
-    std::uint64_t partitions_split = 0;    ///< partitions that descended
-    std::uint64_t partitions_to_disc = 0;  ///< partitions that switched to DISC
-    std::uint64_t disc_iterations = 0;
-  };
-  const Stats& last_stats() const { return stats_; }
+ protected:
+  // Work accounting lands in last_stats() via the obs registry: counters
+  // "dynamic.partitions_split" (partitions that descended),
+  // "dynamic.partitions_to_disc" (partitions that switched to DISC), and
+  // "disc.iterations".
+  PatternSet DoMine(const SequenceDatabase& db,
+                    const MineOptions& options) override;
 
  private:
   Config config_;
-  Stats stats_;
 };
 
 }  // namespace disc

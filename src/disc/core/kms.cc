@@ -1,6 +1,7 @@
 #include "disc/core/kms.h"
 
 #include "disc/common/check.h"
+#include "disc/obs/metrics.h"
 #include "disc/seq/extension.h"
 
 namespace disc {
@@ -19,6 +20,8 @@ ExtType LastExtType(const Sequence& bound) {
 KmsResult AprioriKms(const Sequence& s,
                      const std::vector<Sequence>& sorted_list,
                      const SequenceIndex* index) {
+  DISC_OBS_COUNTER(g_initial_scans, "kms.initial_scans");
+  DISC_OBS_INC(g_initial_scans);
   KmsResult result;
   for (std::uint32_t idx = 0; idx < sorted_list.size(); ++idx) {
     const MinExtension ext =
@@ -45,6 +48,8 @@ KmsResult AprioriCkms(const Sequence& s,
                       const std::vector<Sequence>& sorted_list,
                       std::uint32_t start_index, const CkmsBound& bound,
                       const SequenceIndex* index) {
+  DISC_OBS_COUNTER(g_ckms_advances, "kms.ckms_advances");
+  DISC_OBS_INC(g_ckms_advances);
   KmsResult result;
   // Steps 4-7 of Figure 6: advance to the first list entry >= the bound's
   // prefix. The apriori pointer makes this a short walk.

@@ -4,15 +4,20 @@
 #include <limits>
 #include <map>
 
+#include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 
 namespace disc {
+
+DISC_OBS_COUNTER(g_nrr_levels, "nrr.levels_evaluated");
+DISC_OBS_COUNTER(g_nrr_prefix_groups, "nrr.prefix_groups");
 
 std::vector<double> AverageNrrByLevel(const PatternSet& patterns,
                                       std::size_t db_size) {
   const std::uint32_t max_len = patterns.MaxLength();
   std::vector<double> out;
   if (max_len == 0 || db_size == 0) return out;
+  DISC_OBS_ADD(g_nrr_levels, max_len);
 
   // Level 0: the database itself; children are the frequent 1-sequences.
   {
@@ -44,6 +49,7 @@ std::vector<double> AverageNrrByLevel(const PatternSet& patterns,
       out.push_back(std::numeric_limits<double>::quiet_NaN());
       continue;
     }
+    DISC_OBS_ADD(g_nrr_prefix_groups, by_prefix.size());
     double total = 0.0;
     std::size_t partitions = 0;
     for (const auto& [prefix, agg] : by_prefix) {

@@ -2,6 +2,7 @@
 
 #include "disc/common/check.h"
 #include "disc/core/discovery.h"
+#include "disc/obs/metrics.h"
 #include "disc/seq/containment.h"
 
 namespace disc {
@@ -67,6 +68,8 @@ std::optional<std::pair<Item, ExtType>> ScanMinFrequentExt(
 Sequence ReduceCustomerSequence(const Sequence& s, Item lambda,
                                 const CountingArray& counts2,
                                 std::uint32_t delta) {
+  DISC_OBS_COUNTER(g_reduced, "partition.reduced_sequences");
+  DISC_OBS_INC(g_reduced);
   // Minimum point: leftmost transaction containing λ (λ is the minimum item
   // of the sequence within its partition, so it exists).
   std::uint32_t min_txn = kNoTxn;

@@ -39,4 +39,12 @@
 // Synthetic data.
 #include "disc/gen/quest.h"  // IWYU pragma: export
 
+// Observability: metrics registry, span tracer, per-run MineStats.
+#include "disc/obs/metrics.h"     // IWYU pragma: export
+#include "disc/obs/mine_stats.h"  // IWYU pragma: export
+#include "disc/obs/trace.h"       // IWYU pragma: export
+
+// Bench reporting: banners, machine-readable reports, flag wiring.
+#include "disc/benchlib/report.h"  // IWYU pragma: export
+
 #endif  // DISC_DISC_H_

@@ -6,6 +6,7 @@
 #include "disc/common/check.h"
 #include "disc/common/distributions.h"
 #include "disc/common/rng.h"
+#include "disc/obs/trace.h"
 
 namespace disc {
 namespace {
@@ -98,6 +99,7 @@ PatternTable BuildTables(const QuestParams& p, Rng* rng) {
 }  // namespace
 
 SequenceDatabase GenerateQuestDatabase(const QuestParams& params) {
+  DISC_OBS_SPAN("gen/quest");
   DISC_CHECK(params.ncust > 0);
   DISC_CHECK(params.nitems > 0);
   DISC_CHECK(params.npats > 0 && params.nlits > 0);

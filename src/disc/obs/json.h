@@ -1,0 +1,96 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (trace files, BENCH_*.json reports) and a small recursive-descent parser
+// used to validate emitted documents in tests and the bench smoke test.
+// No external dependencies; covers the JSON subset the library emits
+// (finite numbers, UTF-8 passthrough strings with standard escapes).
+#ifndef DISC_OBS_JSON_H_
+#define DISC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace disc {
+namespace obs {
+
+/// Appends a JSON-escaped representation of `s` (without quotes) to `out`.
+void JsonEscape(const std::string& s, std::string* out);
+
+/// Streaming JSON writer. Commas between container elements are inserted
+/// automatically; the caller is responsible for well-formed nesting (every
+/// BeginX matched by EndX, Key only inside objects).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Writes an object key; the next value call is its value.
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Uint(std::uint64_t v);
+  JsonWriter& Int(std::int64_t v);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void Comma();
+
+  std::string out_;
+  // Per nesting level: has an element already been written?
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (tree form).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_items() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// True when the object has `key` (any type).
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses `text`; returns false (and sets `error` if non-null) on malformed
+/// input. Trailing non-whitespace after the document is an error.
+bool JsonParse(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace disc
+
+#endif  // DISC_OBS_JSON_H_

@@ -1,0 +1,54 @@
+#include "disc/obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace disc {
+namespace obs {
+namespace {
+
+// Reads a "VmHWM:   12345 kB" style field from /proc/self/status; 0 when
+// the file or field is missing (non-Linux).
+std::uint64_t ProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t PeakRssBytes() {
+  const std::uint64_t hwm_kb = ProcStatusKb("VmHWM");
+  if (hwm_kb > 0) return hwm_kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t CurrentRssBytes() { return ProcStatusKb("VmRSS") * 1024; }
+
+}  // namespace obs
+}  // namespace disc

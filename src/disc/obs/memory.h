@@ -1,0 +1,22 @@
+// Peak-RSS memory probe for MineStats and the bench reports.
+#ifndef DISC_OBS_MEMORY_H_
+#define DISC_OBS_MEMORY_H_
+
+#include <cstdint>
+
+namespace disc {
+namespace obs {
+
+/// The process's peak resident set size in bytes (the high-water mark, not
+/// the current RSS — Linux VmHWM, with a getrusage fallback). Returns 0 when
+/// the platform offers neither. Monotone over the process lifetime, so
+/// per-run values reflect the largest run so far.
+std::uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (Linux VmRSS); 0 when unavailable.
+std::uint64_t CurrentRssBytes();
+
+}  // namespace obs
+}  // namespace disc
+
+#endif  // DISC_OBS_MEMORY_H_

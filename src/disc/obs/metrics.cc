@@ -1,0 +1,87 @@
+#include "disc/obs/metrics.h"
+
+#include <bit>
+
+namespace disc {
+namespace obs {
+
+void Gauge::Set(double v) {
+  value_ = v;
+  tick_ = ++MetricsRegistry::Global().gauge_tick_;
+}
+
+void Histogram::Record(std::uint64_t v) {
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  ++buckets_[std::bit_width(v)];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.counters[name + ".count"] = h->count();
+    snap.counters[name + ".sum"] = h->sum();
+  }
+  snap.gauge_tick = gauge_tick_;
+  return snap;
+}
+
+void MetricsRegistry::HarvestSince(
+    const MetricsSnapshot& before,
+    std::vector<std::pair<std::string, std::uint64_t>>* counters,
+    std::vector<std::pair<std::string, double>>* gauges) const {
+  const MetricsSnapshot now = Snapshot();
+  for (const auto& [name, value] : now.counters) {
+    std::uint64_t old = 0;
+    const auto it = before.counters.find(name);
+    if (it != before.counters.end()) old = it->second;
+    if (value > old) counters->emplace_back(name, value - old);
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g->tick_ > before.gauge_tick) gauges->emplace_back(name, g->value_);
+  }
+}
+
+void MetricsRegistry::ResetAll() {
+  for (const auto& [name, c] : counters_) c->value_ = 0;
+  for (const auto& [name, g] : gauges_) {
+    g->value_ = 0.0;
+    g->tick_ = 0;
+  }
+  for (const auto& [name, h] : histograms_) *h = Histogram();
+  gauge_tick_ = 0;
+}
+
+}  // namespace obs
+}  // namespace disc

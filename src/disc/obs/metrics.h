@@ -1,0 +1,200 @@
+// Metrics registry: named counters, gauges, and size/latency histograms for
+// the whole library. The mining hot paths (comparative-order comparisons,
+// KMS advances, counting-array probes, ...) bump process-global counters via
+// the DISC_OBS_* macros below; `Miner::Mine` snapshots the registry around
+// each run and reports the per-run deltas as a `MineStats` record.
+//
+// Cost model:
+//   * compile-time off (CMake -DDISC_ENABLE_OBS=OFF -> DISC_OBS_ENABLED=0):
+//     the macros expand to nothing, the instrumentation has zero cost;
+//   * runtime off (MetricsRegistry::Global().set_enabled(false)): one
+//     global-bool branch per instrumentation point;
+//   * on (the default): branch + plain 64-bit increment. The registry is
+//     NOT thread-safe, matching the single-threaded mining kernels.
+#ifndef DISC_OBS_METRICS_H_
+#define DISC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef DISC_OBS_ENABLED
+#define DISC_OBS_ENABLED 1
+#endif
+
+namespace disc {
+namespace obs {
+
+/// Monotone event count (work performed: comparisons, probes, joins, ...).
+class Counter {
+ public:
+  void Add(std::uint64_t n) { value_ += n; }
+  void Increment() { ++value_; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value (rates, ratios; e.g. the physical NRR of a run).
+/// Each Set stamps a registry-global tick so per-run harvesting can tell
+/// fresh values from stale ones.
+class Gauge {
+ public:
+  void Set(double v);
+  double value() const { return value_; }
+  std::uint64_t last_set_tick() const { return tick_; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0.0;
+  std::uint64_t tick_ = 0;  // 0 = never set
+};
+
+/// Power-of-two bucketed histogram for sizes and latencies. Bucket b counts
+/// values v with bit_width(v) == b, i.e. bucket 0 holds v == 0, bucket 1
+/// holds v == 1, bucket 2 holds 2..3, bucket 3 holds 4..7, ...
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void Record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded value; 0 when count() == 0.
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+  const std::uint64_t* buckets() const { return buckets_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+/// A point-in-time copy of every counter (and histogram aggregate) plus the
+/// gauge tick, used to compute per-run deltas.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;  // incl. hist .count/.sum
+  std::uint64_t gauge_tick = 0;
+};
+
+/// Process-global registry. Metric objects are created on first lookup and
+/// live forever; handles returned by counter()/gauge()/histogram() stay
+/// valid, so hot paths resolve a name once (see DISC_OBS_COUNTER) and then
+/// touch only the object.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Runtime toggle, honored by the DISC_OBS_* macros. Direct method calls
+  /// on metric objects are not gated.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Snapshot of all counter values (histograms contribute "<name>.count"
+  /// and "<name>.sum" entries) and the current gauge tick.
+  MetricsSnapshot Snapshot() const;
+
+  /// Appends to `counters` every counter whose value grew since `before`
+  /// (as name -> delta) and to `gauges` every gauge Set() since `before`.
+  /// Both outputs are sorted by name.
+  void HarvestSince(const MetricsSnapshot& before,
+                    std::vector<std::pair<std::string, std::uint64_t>>* counters,
+                    std::vector<std::pair<std::string, double>>* gauges) const;
+
+  /// Zeroes every metric (tests). Handles stay valid.
+  void ResetAll();
+
+  std::uint64_t gauge_tick() const { return gauge_tick_; }
+
+ private:
+  friend class Gauge;
+  MetricsRegistry() = default;
+
+  bool enabled_ = true;
+  std::uint64_t gauge_tick_ = 0;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// True when the runtime toggle is on (macro fast path).
+inline bool MetricsEnabled() { return MetricsRegistry::Global().enabled(); }
+
+}  // namespace obs
+}  // namespace disc
+
+// Instrumentation macros. Declare a handle once (file or function scope),
+// then bump it; everything disappears when DISC_OBS_ENABLED is 0.
+//
+//   DISC_OBS_COUNTER(g_compares, "order.seq_compares");
+//   ...
+//   DISC_OBS_INC(g_compares);
+#if DISC_OBS_ENABLED
+
+#define DISC_OBS_COUNTER(var, name)        \
+  static ::disc::obs::Counter* const var = \
+      ::disc::obs::MetricsRegistry::Global().counter(name)
+#define DISC_OBS_GAUGE(var, name)        \
+  static ::disc::obs::Gauge* const var = \
+      ::disc::obs::MetricsRegistry::Global().gauge(name)
+#define DISC_OBS_HISTOGRAM(var, name)        \
+  static ::disc::obs::Histogram* const var = \
+      ::disc::obs::MetricsRegistry::Global().histogram(name)
+
+#define DISC_OBS_ADD(var, n)                                     \
+  do {                                                           \
+    if (::disc::obs::MetricsEnabled()) (var)->Add(n);            \
+  } while (0)
+#define DISC_OBS_INC(var)                                        \
+  do {                                                           \
+    if (::disc::obs::MetricsEnabled()) (var)->Increment();       \
+  } while (0)
+#define DISC_OBS_SET(var, v)                                     \
+  do {                                                           \
+    if (::disc::obs::MetricsEnabled()) (var)->Set(v);            \
+  } while (0)
+#define DISC_OBS_RECORD(var, v)                                  \
+  do {                                                           \
+    if (::disc::obs::MetricsEnabled()) (var)->Record(v);         \
+  } while (0)
+
+#else  // !DISC_OBS_ENABLED
+
+#define DISC_OBS_COUNTER(var, name) static constexpr int var = 0
+#define DISC_OBS_GAUGE(var, name) static constexpr int var = 0
+#define DISC_OBS_HISTOGRAM(var, name) static constexpr int var = 0
+#define DISC_OBS_ADD(var, n) \
+  do {                       \
+    (void)(var);             \
+  } while (0)
+#define DISC_OBS_INC(var) \
+  do {                    \
+    (void)(var);          \
+  } while (0)
+#define DISC_OBS_SET(var, v) \
+  do {                       \
+    (void)(var);             \
+  } while (0)
+#define DISC_OBS_RECORD(var, v) \
+  do {                          \
+    (void)(var);                \
+  } while (0)
+
+#endif  // DISC_OBS_ENABLED
+
+#endif  // DISC_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#include "disc/obs/mine_stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "disc/obs/memory.h"
+
+namespace disc {
+namespace obs {
+
+std::uint64_t MineStats::Counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MineStats::Gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+bool MineStats::HasGauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    (void)v;
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::string MineStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "[%s] %.3fs, %zu patterns (max length %u), |DB|=%zu, peak RSS "
+                "%.1f MiB",
+                miner.c_str(), wall_seconds, num_patterns, max_length,
+                db_sequences,
+                static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
+  std::string out = buf;
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "\n  %-36s %llu", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "\n  %-36s %.4f", name.c_str(), value);
+    out += buf;
+  }
+  return out;
+}
+
+StatsHarvest::StatsHarvest()
+    : before_(MetricsRegistry::Global().Snapshot()) {}
+
+void StatsHarvest::Finish(MineStats* stats) const {
+  stats->counters.clear();
+  stats->gauges.clear();
+  MetricsRegistry::Global().HarvestSince(before_, &stats->counters,
+                                         &stats->gauges);
+  stats->peak_rss_bytes = PeakRssBytes();
+}
+
+}  // namespace obs
+}  // namespace disc

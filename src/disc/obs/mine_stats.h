@@ -1,0 +1,64 @@
+// MineStats: the uniform per-run work report every miner exposes through
+// the common Miner interface. Populated automatically by Miner::Mine from
+// a metrics-registry snapshot diff, so an algorithm only has to bump the
+// relevant global counters (see docs/OBSERVABILITY.md for the name
+// catalogue) and the report assembles itself.
+#ifndef DISC_OBS_MINE_STATS_H_
+#define DISC_OBS_MINE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "disc/obs/metrics.h"
+
+namespace disc {
+namespace obs {
+
+/// Work and resource accounting for one Mine() call. Counters are the
+/// registry deltas accumulated during the run (histograms appear as
+/// "<name>.count" / "<name>.sum" entries); gauges are the values Set()
+/// during the run. Both lists are sorted by name.
+struct MineStats {
+  std::string miner;             ///< Miner::name() of the producing run
+  double wall_seconds = 0.0;     ///< Mine() wall-clock time
+  std::size_t num_patterns = 0;  ///< frequent sequences found
+  std::uint32_t max_length = 0;  ///< longest frequent sequence
+  std::size_t db_sequences = 0;  ///< |DB| mined
+  /// Process peak RSS (bytes) observed after the run. The high-water mark
+  /// is monotone per process: in a multi-run binary this reflects the
+  /// largest run so far, not this run alone.
+  std::uint64_t peak_rss_bytes = 0;
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+
+  /// Value of a work counter; 0 when the run never touched it.
+  std::uint64_t Counter(std::string_view name) const;
+  /// Value of a gauge; NaN when the run never set it.
+  double Gauge(std::string_view name) const;
+  bool HasGauge(std::string_view name) const;
+
+  /// Multi-line human-readable summary (used by --stats and quickstart).
+  std::string ToString() const;
+};
+
+/// Captures a registry snapshot on construction; Finish() fills a MineStats
+/// with everything that changed since. Used by Miner::Mine; benches or
+/// tests can use it directly around arbitrary code regions.
+class StatsHarvest {
+ public:
+  StatsHarvest();
+  /// Writes counter deltas, fresh gauges, and the peak RSS into `stats`.
+  void Finish(MineStats* stats) const;
+
+ private:
+  MetricsSnapshot before_;
+};
+
+}  // namespace obs
+}  // namespace disc
+
+#endif  // DISC_OBS_MINE_STATS_H_

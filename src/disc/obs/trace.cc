@@ -1,0 +1,110 @@
+#include "disc/obs/trace.h"
+
+#include <fstream>
+
+#include "disc/obs/json.h"
+
+namespace disc {
+namespace obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_enabled(bool on) {
+  enabled_ = on;
+  if (on && !epoch_set_) {
+    epoch_ = std::chrono::steady_clock::now();
+    epoch_set_ = true;
+  }
+}
+
+std::uint64_t Tracer::NowMicros() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Begin(std::string name) {
+  if (!enabled_) return;
+  stack_.push_back({std::move(name), NowMicros()});
+}
+
+void Tracer::End() {
+  if (stack_.empty()) return;
+  Open open = std::move(stack_.back());
+  stack_.pop_back();
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.name = std::move(open.name);
+  e.start_us = open.start_us;
+  e.dur_us = NowMicros() - open.start_us;
+  e.depth = static_cast<std::uint32_t>(stack_.size());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  // The Chrome trace-event format: one "X" (complete) event per span;
+  // nesting is inferred from timestamp containment within a (pid, tid).
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("name").String("process_name");
+  w.Key("ph").String("M");
+  w.Key("pid").Uint(1);
+  w.Key("tid").Uint(1);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name").String("disc");
+  w.EndObject();
+  w.EndObject();
+  for (const Event& e : events_) {
+    w.BeginObject();
+    w.Key("name").String(e.name);
+    w.Key("cat").String("disc");
+    w.Key("ph").String("X");
+    w.Key("ts").Uint(e.start_us);
+    w.Key("dur").Uint(e.dur_us);
+    w.Key("pid").Uint(1);
+    w.Key("tid").Uint(1);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  if (dropped_ > 0) {
+    w.Key("droppedSpans").Uint(dropped_);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path,
+                              std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << ToChromeTraceJson();
+  out.close();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace disc

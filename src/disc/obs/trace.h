@@ -1,0 +1,122 @@
+// Scoped span tracer: records nested phase timings (load -> freq1 ->
+// freq2/counting-array -> disc/level-k -> nrr, ...) and exports them in the
+// Chrome trace-event JSON format, loadable by chrome://tracing or Perfetto.
+//
+// The tracer is off by default; enabling it (typically via a bench driver's
+// --trace-out flag) starts recording. Disabled Begin/End calls cost one
+// branch. Single-threaded, like the mining kernels.
+#ifndef DISC_OBS_TRACE_H_
+#define DISC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef DISC_OBS_ENABLED
+#define DISC_OBS_ENABLED 1
+#endif
+
+namespace disc {
+namespace obs {
+
+/// Span tracer. See file comment.
+class Tracer {
+ public:
+  /// One completed span. Timestamps are microseconds relative to the
+  /// tracer's epoch (first enable). `depth` is the nesting level (0 =
+  /// outermost) at the time the span was open.
+  struct Event {
+    std::string name;
+    std::uint64_t start_us = 0;
+    std::uint64_t dur_us = 0;
+    std::uint32_t depth = 0;
+  };
+
+  static Tracer& Global();
+
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_; }
+
+  /// Opens a span. Every Begin must be balanced by an End (use ScopedSpan).
+  void Begin(std::string name);
+  /// Closes the innermost open span and records its Event.
+  void End();
+
+  const std::vector<Event>& events() const { return events_; }
+  /// Spans discarded after the in-memory cap was hit.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Depth of currently open spans.
+  std::size_t open_spans() const { return stack_.size(); }
+
+  /// Discards all recorded events (open spans stay open).
+  void Clear();
+
+  /// The recorded events as a Chrome trace-event JSON document.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`. On failure returns false and, if
+  /// `error` is non-null, stores a description.
+  bool WriteChromeTrace(const std::string& path,
+                        std::string* error = nullptr) const;
+
+ private:
+  Tracer() = default;
+  std::uint64_t NowMicros() const;
+
+  struct Open {
+    std::string name;
+    std::uint64_t start_us;
+  };
+
+  // In-memory cap: a runaway per-partition span pattern must not eat the
+  // heap; past the cap spans are counted in dropped_ instead.
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
+  bool epoch_set_ = false;
+  std::vector<Open> stack_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: opens on construction (when the tracer is enabled), closes on
+/// destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name) {
+    if (Tracer::Global().enabled()) {
+      active_ = true;
+      Tracer::Global().Begin(std::move(name));
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) Tracer::Global().End();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace disc
+
+#define DISC_OBS_SPAN_CONCAT2(a, b) a##b
+#define DISC_OBS_SPAN_CONCAT(a, b) DISC_OBS_SPAN_CONCAT2(a, b)
+
+#if DISC_OBS_ENABLED
+/// Opens a span for the rest of the enclosing scope. `name` may be any
+/// std::string expression; it is evaluated even when tracing is disabled at
+/// runtime, so keep it cheap on hot paths.
+#define DISC_OBS_SPAN(name) \
+  ::disc::obs::ScopedSpan DISC_OBS_SPAN_CONCAT(disc_obs_span_, __LINE__)(name)
+#else
+#define DISC_OBS_SPAN(name) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // DISC_OBS_TRACE_H_

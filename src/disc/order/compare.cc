@@ -3,10 +3,13 @@
 #include <algorithm>
 
 #include "disc/common/check.h"
+#include "disc/obs/metrics.h"
 
 namespace disc {
 
 int CompareSequences(const Sequence& a, const Sequence& b) {
+  DISC_OBS_COUNTER(g_seq_compares, "order.seq_compares");
+  DISC_OBS_INC(g_seq_compares);
   const std::vector<Item>& ia = a.items();
   const std::vector<Item>& ib = b.items();
   const std::size_t n = std::min(ia.size(), ib.size());

@@ -9,28 +9,22 @@ Cid SequenceDatabase::Add(Sequence seq) {
   for (const Item x : seq.items()) {
     if (x > max_item_) max_item_ = x;
   }
+  total_items_ += seq.Length();
+  total_txns_ += seq.NumTransactions();
   sequences_.push_back(std::move(seq));
   return static_cast<Cid>(sequences_.size() - 1);
 }
 
-std::uint64_t SequenceDatabase::TotalItems() const {
-  std::uint64_t n = 0;
-  for (const Sequence& s : sequences_) n += s.Length();
-  return n;
-}
-
 double SequenceDatabase::AvgTransactionsPerCustomer() const {
   if (sequences_.empty()) return 0.0;
-  std::uint64_t n = 0;
-  for (const Sequence& s : sequences_) n += s.NumTransactions();
-  return static_cast<double>(n) / static_cast<double>(sequences_.size());
+  return static_cast<double>(total_txns_) /
+         static_cast<double>(sequences_.size());
 }
 
 double SequenceDatabase::AvgItemsPerTransaction() const {
-  std::uint64_t txns = 0;
-  for (const Sequence& s : sequences_) txns += s.NumTransactions();
-  if (txns == 0) return 0.0;
-  return static_cast<double>(TotalItems()) / static_cast<double>(txns);
+  if (total_txns_ == 0) return 0.0;
+  return static_cast<double>(total_items_) /
+         static_cast<double>(total_txns_);
 }
 
 }  // namespace disc

@@ -29,18 +29,25 @@ class SequenceDatabase {
   /// sized max_item()+1.
   Item max_item() const { return max_item_; }
 
-  /// Total item occurrences across all sequences.
-  std::uint64_t TotalItems() const;
+  /// Total item occurrences across all sequences. O(1): maintained by Add,
+  /// so shape summaries (bench banners, JSON reports) never rescan the
+  /// database.
+  std::uint64_t TotalItems() const { return total_items_; }
 
-  /// Average transactions per customer (the paper's theta).
+  /// Total transactions across all sequences. O(1).
+  std::uint64_t TotalTransactions() const { return total_txns_; }
+
+  /// Average transactions per customer (the paper's theta). O(1).
   double AvgTransactionsPerCustomer() const;
 
-  /// Average items per transaction.
+  /// Average items per transaction. O(1).
   double AvgItemsPerTransaction() const;
 
  private:
   std::vector<Sequence> sequences_;
   Item max_item_ = 0;
+  std::uint64_t total_items_ = 0;
+  std::uint64_t total_txns_ = 0;
 };
 
 }  // namespace disc

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "disc/common/check.h"
+#include "disc/obs/trace.h"
 
 namespace disc {
 
@@ -56,6 +57,7 @@ bool SaveSpmf(const SequenceDatabase& db, const std::string& path) {
 }
 
 SequenceDatabase LoadSpmf(const std::string& path) {
+  DISC_OBS_SPAN("io/load_spmf");
   std::ifstream in(path);
   DISC_CHECK_MSG(static_cast<bool>(in), "cannot open SPMF file");
   std::ostringstream buf;

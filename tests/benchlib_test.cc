@@ -52,5 +52,55 @@ TEST(Benchlib, DescribeDatabaseMentionsShape) {
   EXPECT_NE(desc.find("3 item occurrences"), std::string::npos);
 }
 
+TEST(Benchlib, DatabaseAggregatesStayInSyncWithAdds) {
+  SequenceDatabase db;
+  EXPECT_EQ(db.TotalItems(), 0u);
+  EXPECT_EQ(db.TotalTransactions(), 0u);
+  db.Add(ParseSequence("(a,b)(c)"));
+  db.Add(ParseSequence("(d)"));
+  EXPECT_EQ(db.TotalItems(), 4u);
+  EXPECT_EQ(db.TotalTransactions(), 3u);
+  EXPECT_DOUBLE_EQ(db.AvgTransactionsPerCustomer(), 1.5);
+  EXPECT_DOUBLE_EQ(db.AvgItemsPerTransaction(), 4.0 / 3.0);
+}
+
+TEST(Benchlib, BenchReportJsonRoundTripsThroughTheValidator) {
+  SequenceDatabase db;
+  db.Add(ParseSequence("(a)(b)(a,b)"));
+  db.Add(ParseSequence("(a)(b)"));
+  WorkloadInfo workload = MakeWorkloadInfo(db, "inline");
+  workload.min_support_count = 2;
+  BenchReport report("unit", workload);
+
+  obs::MineStats stats;
+  stats.miner = "disc-all";
+  stats.wall_seconds = 0.25;
+  stats.num_patterns = 7;
+  stats.max_length = 3;
+  stats.db_sequences = db.size();
+  stats.peak_rss_bytes = 1 << 20;
+  stats.counters.push_back({"order.seq_compares", 12});
+  stats.gauges.push_back({"disc.physical_nrr.level0", 0.5});
+  report.AddRun(stats);
+
+  std::string error;
+  EXPECT_TRUE(ValidateBenchReportJson(report.ToJson(), &error)) << error;
+}
+
+TEST(Benchlib, ValidatorRejectsBrokenReports) {
+  std::string error;
+  EXPECT_FALSE(ValidateBenchReportJson("not json", &error));
+  EXPECT_FALSE(ValidateBenchReportJson("{}", &error));
+  // Structurally close but missing the per-run wall_seconds.
+  const std::string no_wall =
+      "{\"bench\":\"b\",\"library_version\":\"v\","
+      "\"workload\":{\"db_sequences\":1,\"total_items\":2,"
+      "\"avg_txns_per_customer\":1.0},"
+      "\"runs\":[{\"miner\":\"m\",\"num_patterns\":0,"
+      "\"peak_rss_bytes\":0,\"counters\":{}}]}";
+  EXPECT_FALSE(ValidateBenchReportJson(no_wall, &error));
+  EXPECT_NE(error.find("wall_seconds"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace disc

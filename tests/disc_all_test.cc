@@ -23,7 +23,7 @@ TEST(DiscAll, Table6AtDelta3MatchesPrefixSpan) {
   const PatternSet got = disc.Mine(db, options);
   const PatternSet expected = ps.Mine(db, options);
   EXPECT_EQ(got, expected) << expected.Diff(got);
-  EXPECT_GT(disc.last_stats().first_level_partitions, 0u);
+  EXPECT_GT(disc.last_stats().Counter("disc.partitions.first_level"), 0u);
 }
 
 TEST(DiscAll, MaxLengthIsRespectedAtEveryBoundary) {
@@ -82,14 +82,19 @@ TEST(DiscAll, StatsAccumulate) {
   options.min_support_count = 2;
   DiscAll disc;
   disc.Mine(db, options);
-  const DiscAll::Stats s = disc.last_stats();
-  EXPECT_GT(s.first_level_partitions, 0u);
-  EXPECT_GT(s.second_level_partitions, 0u);
-  EXPECT_GT(s.disc_iterations, 0u);
-  // A fresh run resets the stats.
+  const MineStats s = disc.last_stats();
+  EXPECT_EQ(s.miner, "disc-all");
+  EXPECT_EQ(s.db_sequences, db.size());
+  EXPECT_GT(s.num_patterns, 0u);
+  EXPECT_GT(s.Counter("disc.partitions.first_level"), 0u);
+  EXPECT_GT(s.Counter("disc.partitions.second_level"), 0u);
+  EXPECT_GT(s.Counter("disc.iterations"), 0u);
+  // Counters are per-run deltas, not process totals: a fresh run on an
+  // empty database reports no work even though the globals keep growing.
   SequenceDatabase empty;
   disc.Mine(empty, options);
-  EXPECT_EQ(disc.last_stats().first_level_partitions, 0u);
+  EXPECT_EQ(disc.last_stats().Counter("disc.partitions.first_level"), 0u);
+  EXPECT_EQ(disc.last_stats().num_patterns, 0u);
 }
 
 TEST(DiscAll, PhysicalNrrInstrumentation) {
@@ -98,18 +103,20 @@ TEST(DiscAll, PhysicalNrrInstrumentation) {
   options.min_support_count = 2;
   DiscAll disc;
   disc.Mine(db, options);
-  const DiscAll::Stats& s = disc.last_stats();
+  const MineStats& s = disc.last_stats();
   // First-level partitions cover disjoint subsets at creation but members
   // are revisited via reassignment, so the per-partition ratio is a
   // genuine fraction of the database.
-  EXPECT_GT(s.physical_nrr_level0, 0.0);
-  EXPECT_LE(s.physical_nrr_level0, 1.0);
-  EXPECT_GT(s.physical_nrr_level1, 0.0);
-  EXPECT_LE(s.physical_nrr_level1, 1.0);
-  // Degenerate runs report NaN, not garbage.
+  EXPECT_GT(s.Gauge("disc.physical_nrr.level0"), 0.0);
+  EXPECT_LE(s.Gauge("disc.physical_nrr.level0"), 1.0);
+  EXPECT_GT(s.Gauge("disc.physical_nrr.level1"), 0.0);
+  EXPECT_LE(s.Gauge("disc.physical_nrr.level1"), 1.0);
+  // Degenerate runs never set the gauges (and Gauge() reports NaN).
   DiscAll empty_miner;
   empty_miner.Mine(SequenceDatabase(), options);
-  EXPECT_TRUE(std::isnan(empty_miner.last_stats().physical_nrr_level0));
+  EXPECT_FALSE(empty_miner.last_stats().HasGauge("disc.physical_nrr.level0"));
+  EXPECT_TRUE(
+      std::isnan(empty_miner.last_stats().Gauge("disc.physical_nrr.level0")));
 }
 
 TEST(DiscAll, RepeatedItemsAcrossTransactions) {

@@ -34,15 +34,15 @@ TEST(DynamicDiscAll, GammaExtremes) {
   disc_only.gamma = 0.0;
   DynamicDiscAll a(disc_only);
   EXPECT_EQ(a.Mine(db, options), reference);
-  EXPECT_EQ(a.last_stats().partitions_split, 0u);
-  EXPECT_GT(a.last_stats().partitions_to_disc, 0u);
+  EXPECT_EQ(a.last_stats().Counter("dynamic.partitions_split"), 0u);
+  EXPECT_GT(a.last_stats().Counter("dynamic.partitions_to_disc"), 0u);
 
   DynamicDiscAll::Config growth_only;
   growth_only.gamma = 1.01;
   DynamicDiscAll b(growth_only);
   EXPECT_EQ(b.Mine(db, options), reference);
-  EXPECT_EQ(b.last_stats().partitions_to_disc, 0u);
-  EXPECT_GT(b.last_stats().partitions_split, 0u);
+  EXPECT_EQ(b.last_stats().Counter("dynamic.partitions_to_disc"), 0u);
+  EXPECT_GT(b.last_stats().Counter("dynamic.partitions_split"), 0u);
 }
 
 TEST(DynamicDiscAll, MidGammaMixesStrategies) {
@@ -55,7 +55,9 @@ TEST(DynamicDiscAll, MidGammaMixesStrategies) {
   const PatternSet got = miner.Mine(db, options);
   EXPECT_EQ(got, PrefixSpan(PrefixSpan::Projection::kPseudo).Mine(db, options));
   const auto& stats = miner.last_stats();
-  EXPECT_GT(stats.partitions_split + stats.partitions_to_disc, 0u);
+  EXPECT_GT(stats.Counter("dynamic.partitions_split") +
+                stats.Counter("dynamic.partitions_to_disc"),
+            0u);
 }
 
 TEST(DynamicDiscAll, FixedLevelsSweepAgrees) {
@@ -78,12 +80,12 @@ TEST(DynamicDiscAll, FixedLevelsSweepAgrees) {
   zero.fixed_levels = 0;
   DynamicDiscAll z(zero);
   z.Mine(db, options);
-  EXPECT_EQ(z.last_stats().partitions_split, 0u);
+  EXPECT_EQ(z.last_stats().Counter("dynamic.partitions_split"), 0u);
   DynamicDiscAll::Config deep;
   deep.fixed_levels = 100;
   DynamicDiscAll d(deep);
   d.Mine(db, options);
-  EXPECT_EQ(d.last_stats().partitions_to_disc, 0u);
+  EXPECT_EQ(d.last_stats().Counter("dynamic.partitions_to_disc"), 0u);
 }
 
 TEST(DynamicDiscAll, SupportsAreExact) {
