@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
     MineOptions options;
     options.min_support_count =
         MineOptions::CountForFraction(db.size(), minsup);
+    options.threads = ThreadsFromFlags(flags);
     const MineTiming dyn_t =
         TimeMine(CreateMiner("dynamic-disc-all").get(), db, options);
     const MineTiming disc_t =

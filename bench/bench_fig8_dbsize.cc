@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
     MineOptions options;
     options.min_support_count =
         MineOptions::CountForFraction(db.size(), minsup);
+    options.threads = ThreadsFromFlags(flags);
     const MineTiming disc_t =
         TimeMine(CreateMiner("disc-all").get(), db, options);
     const MineTiming ps_t =

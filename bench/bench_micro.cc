@@ -143,6 +143,7 @@ int RunMinerSweep(const Flags& flags) {
   MineOptions options;
   options.min_support_count = MineOptions::CountForFraction(
       db.size(), flags.GetDouble("minsup", 0.05));
+  options.threads = ThreadsFromFlags(flags);
 
   ObsSession obs("micro", flags);
   WorkloadInfo workload = MakeWorkloadInfo(db, "quest:micro");

@@ -3,8 +3,8 @@
 // and report summary statistics.
 //
 //   $ ./seqmine input.spmf [--algo=disc-all] [--minsup=0.01 | --delta=25]
-//               [--max-length=N] [--top-k=K] [--maximal] [--closed]
-//               [--out=patterns.spmf] [--quiet] [--stats]
+//               [--max-length=N] [--threads=N] [--top-k=K] [--maximal]
+//               [--closed] [--out=patterns.spmf] [--quiet] [--stats]
 //               [--trace-out=trace.json] [--json-out=report.json]
 //
 // --stats prints the per-run work counters, --trace-out writes a
@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "disc/disc.h"
+#include "disc/benchlib/workload.h"
 #include "disc/common/flags.h"
 #include "disc/common/timer.h"
 
@@ -23,9 +24,9 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: seqmine <input.spmf> [--algo=NAME] [--minsup=F | --delta=N]\n"
-        "               [--max-length=N] [--top-k=K] [--maximal] [--closed]\n"
-        "               [--out=FILE] [--quiet] [--stats]\n"
-        "               [--trace-out=FILE] [--json-out=FILE]\n"
+        "               [--max-length=N] [--threads=N] [--top-k=K]\n"
+        "               [--maximal] [--closed] [--out=FILE] [--quiet]\n"
+        "               [--stats] [--trace-out=FILE] [--json-out=FILE]\n"
         "algorithms:");
     for (const std::string& name : disc::AllMinerNames()) {
       std::fprintf(stderr, " %s", name.c_str());
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
     }
     options.max_length =
         static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
+    options.threads = disc::ThreadsFromFlags(flags);
     const std::unique_ptr<disc::Miner> miner = disc::CreateMiner(algo);
     patterns = miner->Mine(db, options);
     obs.Record(miner->last_stats());

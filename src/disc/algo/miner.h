@@ -26,8 +26,25 @@ struct MineOptions {
   /// If non-zero, patterns longer than this are not reported (or explored).
   std::uint32_t max_length = 0;
 
-  /// Computes the support-count threshold for a relative minimum support
-  /// (fraction of |db|), as used throughout the paper's evaluation.
+  /// Worker threads for the partition-scheduled miners ("disc-all",
+  /// "disc-all-nobilevel", "dynamic-disc-all"): the independent
+  /// first-level ⟨λ⟩-partitions are fanned out largest-first to a thread
+  /// pool and the per-partition results merged deterministically, so the
+  /// mined PatternSet is identical for every value. 1 (the default) mines
+  /// serially on the calling thread; 0 resolves to the hardware
+  /// concurrency. The other algorithms ignore the knob.
+  std::uint32_t threads = 1;
+
+  /// Computes the support-count threshold delta for a relative minimum
+  /// support (fraction of |db|), as used throughout the paper's evaluation.
+  ///
+  /// Convention (paper Lemma 2.1): delta is an *inclusive* threshold — a
+  /// pattern is frequent iff support >= delta — so this returns
+  /// ceil(fraction * db_size), i.e. the smallest count whose relative
+  /// support reaches `fraction`. Products that land exactly on an integer
+  /// stay there (an epsilon guard absorbs floating-point noise, so e.g.
+  /// 0.005 * 200 yields 1, not 2), fraction 1.0 yields db_size, and the
+  /// result is clamped to >= 1. `fraction` must be in (0, 1]; 0 aborts.
   static std::uint32_t CountForFraction(std::size_t db_size, double fraction);
 };
 

@@ -1,5 +1,6 @@
 #include "disc/benchlib/workload.h"
 
+#include "disc/common/check.h"
 #include "disc/common/timer.h"
 
 namespace disc {
@@ -32,6 +33,12 @@ QuestParams ThetaParams(std::uint32_t ncust, double theta) {
   p.nitems = 1000;
   p.seq_patlen = 4.0;
   return p;
+}
+
+std::uint32_t ThreadsFromFlags(const Flags& flags) {
+  const std::int64_t threads = flags.GetInt("threads", 1);
+  DISC_CHECK(threads >= 0);
+  return static_cast<std::uint32_t>(threads);
 }
 
 MineTiming TimeMine(Miner* miner, const SequenceDatabase& db,

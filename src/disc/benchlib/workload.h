@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "disc/algo/miner.h"
+#include "disc/common/flags.h"
 #include "disc/gen/quest.h"
 #include "disc/seq/database.h"
 
@@ -35,6 +36,11 @@ struct MineTiming {
 };
 MineTiming TimeMine(Miner* miner, const SequenceDatabase& db,
                     const MineOptions& options);
+
+/// Reads the --threads=N knob shared by the drivers into a
+/// MineOptions::threads value (default 1 = serial; 0 = hardware
+/// concurrency). Aborts on negative values.
+std::uint32_t ThreadsFromFlags(const Flags& flags);
 
 }  // namespace disc
 

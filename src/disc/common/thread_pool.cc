@@ -1,0 +1,97 @@
+#include "disc/common/thread_pool.h"
+
+#include <chrono>
+#include <string>
+
+#include "disc/obs/metrics.h"
+#include "disc/obs/trace.h"
+
+namespace disc {
+namespace {
+
+DISC_OBS_COUNTER(g_pool_tasks, "pool.tasks");
+DISC_OBS_HISTOGRAM(g_queue_wait_us, "pool.queue_wait_us");
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker) {
+#if DISC_OBS_ENABLED
+  obs::Tracer::Global().SetCurrentThreadName("pool-worker-" +
+                                             std::to_string(worker));
+#endif
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (queue_.empty() && !stop_) {
+      // Record how long this worker starved while the run was still in
+      // progress (another worker holds in-flight work); idle waits between
+      // runs are not interesting, so only time waits with work in flight.
+      const bool starving = in_flight_ > 0;
+      const auto wait_start = std::chrono::steady_clock::now();
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (starving) {
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - wait_start);
+        DISC_OBS_RECORD(g_queue_wait_us,
+                        static_cast<std::uint64_t>(waited.count()));
+      }
+      continue;
+    }
+    if (queue_.empty() && stop_) return;
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    {
+      DISC_OBS_SPAN("pool/task");
+      DISC_OBS_INC(g_pool_tasks);
+      task(worker);
+    }
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+std::size_t ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t ResolveThreadCount(std::uint32_t requested) {
+  return requested == 0 ? ThreadPool::HardwareThreads()
+                        : static_cast<std::size_t>(requested);
+}
+
+}  // namespace disc

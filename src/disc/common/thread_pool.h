@@ -1,0 +1,75 @@
+// Dependency-free fixed-size thread pool backing the partition-scheduled
+// parallel miners (DISC-all, Dynamic DISC-all) and the bench drivers.
+//
+// Design: one shared FIFO queue under a mutex + condvar. Tasks receive the
+// executing worker's index (0 .. threads()-1) so callers can hand each
+// worker its own scratch state (counting arrays, second-level partition
+// tables) without locking. The scheduler pattern is: sort the work
+// largest-first, Submit() everything, Wait().
+//
+// The queue lock is cold by construction — a task is a whole ⟨λ⟩-partition
+// mine, so pops are orders of magnitude rarer than the work they dispatch.
+//
+// Observability: workers register a "pool-worker-<i>" trace lane, every
+// executed task bumps the "pool.tasks" counter inside a "pool/task" span,
+// and time a worker spends blocked on an empty queue while tasks are still
+// outstanding is recorded in the "pool.queue_wait_us" histogram.
+#ifndef DISC_COMMON_THREAD_POOL_H_
+#define DISC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace disc {
+
+/// Fixed-size worker pool. See file comment.
+class ThreadPool {
+ public:
+  /// A unit of work; `worker` is the index of the executing thread.
+  using Task = std::function<void(std::size_t worker)>;
+
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks start in FIFO order (submit largest-first to
+  /// bound tail latency).
+  void Submit(Task task);
+
+  /// Blocks until every submitted task has finished. The pool is reusable
+  /// afterwards.
+  void Wait();
+
+  /// Number of hardware threads; at least 1.
+  static std::size_t HardwareThreads();
+
+ private:
+  void WorkerLoop(std::size_t worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // Wait(): queue empty and nothing running
+  std::deque<Task> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves a MineOptions-style thread request: 0 = hardware concurrency,
+/// anything else is taken as-is. Always >= 1.
+std::size_t ResolveThreadCount(std::uint32_t requested);
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_THREAD_POOL_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
+#include <vector>
 
 #include "disc/common/check.h"
+#include "disc/common/thread_pool.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
 #include "disc/obs/metrics.h"
@@ -15,122 +18,95 @@ namespace {
 
 DISC_OBS_COUNTER(g_first_level_partitions, "disc.partitions.first_level");
 DISC_OBS_COUNTER(g_second_level_partitions, "disc.partitions.second_level");
+DISC_OBS_COUNTER(g_scratch_reuses, "disc.scratch.reuses");
 DISC_OBS_GAUGE(g_physical_nrr_level0, "disc.physical_nrr.level0");
 DISC_OBS_GAUGE(g_physical_nrr_level1, "disc.physical_nrr.level1");
+DISC_OBS_GAUGE(g_mine_threads, "mine.threads");
 DISC_OBS_HISTOGRAM(g_first_level_size, "disc.partition_size.first_level");
 DISC_OBS_HISTOGRAM(g_second_level_size, "disc.partition_size.second_level");
 
-// Smallest item of s strictly greater than floor (kNoItem floor = smallest
-// overall); kNoItem if none. Used for first-level reassignment.
-Item NextMinItem(const Sequence& s, Item floor) {
-  Item best = kNoItem;
-  for (const Item x : s.items()) {
-    if (x > floor && (best == kNoItem || x < best)) best = x;
-  }
-  return best;
-}
+// Per-worker reusable mining state. A worker processes many ⟨λ⟩-partitions;
+// reconstructing the counting array, the reduced-sequence stores, and the
+// second-level slot tables for each one is pure allocation churn, so each
+// worker keeps one Scratch and the partition miner clears (not frees) it
+// between partitions. `warm` distinguishes the first use from a reuse for
+// the "disc.scratch.reuses" counter.
+struct Scratch {
+  explicit Scratch(Item max_item) : counts(max_item) {}
 
-class Run {
+  CountingArray counts;
+  std::deque<Sequence> reduced;
+  std::deque<SequenceIndex> indexes;
+  // Second-level partition table; inner vectors keep their capacity across
+  // partitions (cleared, never moved from).
+  std::vector<std::vector<std::uint32_t>> second_level;
+  PartitionMembers pairs;
+  bool warm = false;
+};
+
+// What one first-level partition task reports back. Folded into the run's
+// output and gauges on the scheduling thread in ascending-λ (comparative)
+// order, so the merged result and the NRR gauges are bit-identical for
+// every thread count.
+struct PartitionResult {
+  PatternSet patterns;
+  double level0_ratio = 0.0;  ///< |partition| / |DB| (Equation 2, level 0)
+  double level1_ratio = 0.0;  ///< avg second-level size / |partition|
+  bool has_level1 = false;
+};
+
+// Mines one first-level ⟨λ⟩-partition into `result`, using (and warming)
+// `scratch`. Pure function of (db, options, config, lambda, members):
+// distinct partitions share nothing but the read-only database, which is
+// what makes the partition fan-out safe.
+class PartitionMiner {
  public:
-  Run(const SequenceDatabase& db, const MineOptions& options,
-      const DiscAll::Config& config)
-      : db_(db), options_(options), config_(config), counts_(db.max_item()) {}
+  PartitionMiner(const SequenceDatabase& db, const MineOptions& options,
+                 const DiscAll::Config& config, Item max_item,
+                 Scratch* scratch, PartitionResult* result)
+      : db_(db),
+        options_(options),
+        config_(config),
+        max_item_(max_item),
+        scratch_(*scratch),
+        result_(*result) {}
 
-  PatternSet Execute() {
-    const std::uint32_t delta = options_.min_support_count;
-    if (db_.empty() || delta > db_.size()) return Finish();
-    const Item max_item = db_.max_item();
-
-    // ---- Step 1: one scan — frequent 1-sequences and first-level
-    // partitions by minimum item.
-    std::vector<std::uint32_t> item_support(max_item + 1, 0);
-    std::vector<std::uint64_t> seen(max_item + 1, 0);
-    std::vector<std::vector<Cid>> first_level(max_item + 1);
-    for (Cid cid = 0; cid < db_.size(); ++cid) {
-      const Sequence& s = db_[cid];
-      if (s.Empty()) continue;
-      Item min_item = s.items().front();
-      for (const Item x : s.items()) {
-        if (x < min_item) min_item = x;
-        if (seen[x] != cid + 1u) {
-          seen[x] = cid + 1u;
-          ++item_support[x];
-        }
-      }
-      first_level[min_item].push_back(cid);
+  void Mine(Item lambda, const std::vector<Cid>& members) {
+    DISC_OBS_SPAN("disc/partition");
+    if (scratch_.warm) {
+      DISC_OBS_INC(g_scratch_reuses);
+    } else {
+      scratch_.warm = true;
     }
-    for (Item x = 1; x <= max_item; ++x) {
-      if (item_support[x] >= delta) {
-        Sequence p;
-        p.AppendNewItemset(x);
-        out_.Add(p, item_support[x]);
-      }
-    }
-    if (options_.max_length == 1) return Finish();
-
-    // ---- Step 2: process first-level partitions in ascending item order,
-    // reassigning members forward after each.
-    DISC_OBS_SPAN("disc/partitions");
-    for (Item lambda = 1; lambda <= max_item; ++lambda) {
-      std::vector<Cid> members = std::move(first_level[lambda]);
-      if (members.empty()) continue;
-      if (item_support[lambda] >= delta) {
-        DISC_CHECK(members.size() == item_support[lambda]);
-        ++first_level_partitions_;
-        DISC_OBS_INC(g_first_level_partitions);
-        DISC_OBS_RECORD(g_first_level_size, members.size());
-        level0_ratio_sum_ +=
-            static_cast<double>(members.size()) /
-            static_cast<double>(db_.size());
-        ProcessFirstLevel(lambda, members, delta, max_item);
-      }
-      // Step 2.2: reassign to the partition of the next minimum item.
-      for (const Cid cid : members) {
-        const Item next = NextMinItem(db_[cid], lambda);
-        if (next != kNoItem) first_level[next].push_back(cid);
-      }
-    }
-    return Finish();
-  }
-
-  // Folds the physical-NRR accumulators into the registry gauges (only set
-  // when at least one partition was processed at that level, so MineStats
-  // simply lacks the gauge otherwise) and hands out the result set.
-  PatternSet Finish() {
-    if (first_level_partitions_ > 0) {
-      DISC_OBS_SET(g_physical_nrr_level0,
-                   level0_ratio_sum_ /
-                       static_cast<double>(first_level_partitions_));
-    }
-    if (level1_partitions_ > 0) {
-      DISC_OBS_SET(g_physical_nrr_level1,
-                   level1_ratio_sum_ /
-                       static_cast<double>(level1_partitions_));
-    }
-    return std::move(out_);
+    DISC_OBS_INC(g_first_level_partitions);
+    DISC_OBS_RECORD(g_first_level_size, members.size());
+    result_.level0_ratio = static_cast<double>(members.size()) /
+                           static_cast<double>(db_.size());
+    ProcessFirstLevel(lambda, members, options_.min_support_count);
   }
 
  private:
   void ProcessFirstLevel(Item lambda, const std::vector<Cid>& members,
-                         std::uint32_t delta, Item max_item) {
+                         std::uint32_t delta) {
     Sequence pat1;
     pat1.AppendNewItemset(lambda);
 
     // Frequent 2-sequences with prefix λ via the counting array (§3.1).
-    counts_.Reset();
+    CountingArray& counts = scratch_.counts;
+    counts.Reset();
     for (const Cid cid : members) {
-      ForEachExtension(db_[cid], pat1, [this, cid](Item x, ExtType type) {
-        counts_.Add(x, type, cid);
+      ForEachExtension(db_[cid], pat1, [&counts, cid](Item x, ExtType type) {
+        counts.Add(x, type, cid);
       });
     }
-    const auto freq2 = counts_.FrequentExtensions(delta);
+    const auto freq2 = counts.FrequentExtensions(delta);
     for (const auto& [x, type] : freq2) {
-      out_.Add(Extend(pat1, x, type), counts_.Count(x, type));
+      result_.patterns.Add(Extend(pat1, x, type), counts.Count(x, type));
     }
     if (freq2.empty() || options_.max_length == 2) return;
 
     ExtFilter filter;
-    filter.Build(freq2, max_item);
+    filter.Build(freq2, max_item_);
     auto ext_index = [&](const std::pair<Item, ExtType>& e) {
       const auto it = std::lower_bound(
           freq2.begin(), freq2.end(), e,
@@ -145,12 +121,18 @@ class Run {
     // Reduce members (step 2.1.2) and split into second-level partitions by
     // 2-minimum sequence. Each reduced sequence gets an occurrence index,
     // reused by every later scan over it (keys, counting, DISC passes).
-    std::deque<Sequence> reduced;
-    std::deque<SequenceIndex> indexes;
-    std::vector<std::vector<std::uint32_t>> second_level(freq2.size());
+    // The stores and the slot table come from the worker scratch: clear
+    // them, keep their capacity.
+    std::deque<Sequence>& reduced = scratch_.reduced;
+    std::deque<SequenceIndex>& indexes = scratch_.indexes;
+    reduced.clear();
+    indexes.clear();
+    std::vector<std::vector<std::uint32_t>>& second_level =
+        scratch_.second_level;
+    for (auto& slots : second_level) slots.clear();
+    if (second_level.size() < freq2.size()) second_level.resize(freq2.size());
     for (const Cid cid : members) {
-      Sequence red =
-          ReduceCustomerSequence(db_[cid], lambda, counts_, delta);
+      Sequence red = ReduceCustomerSequence(db_[cid], lambda, counts, delta);
       if (red.Length() < 3) continue;
       reduced.push_back(std::move(red));
       indexes.emplace_back(reduced.back());
@@ -170,29 +152,33 @@ class Run {
     {
       std::uint64_t child_sum = 0;
       std::uint64_t children = 0;
-      for (const auto& slots : second_level) {
-        if (slots.empty()) continue;
-        child_sum += slots.size();
+      for (std::size_t j = 0; j < freq2.size(); ++j) {
+        if (second_level[j].empty()) continue;
+        child_sum += second_level[j].size();
         ++children;
       }
       if (children > 0) {
-        level1_ratio_sum_ +=
+        result_.level1_ratio =
             static_cast<double>(child_sum) /
             (static_cast<double>(children) *
              static_cast<double>(members.size()));
-        ++level1_partitions_;
+        result_.has_level1 = true;
       }
     }
 
     // Process second-level partitions ascending, reassigning forward.
+    // Reassignments always move a slot to a strictly later entry (the floor
+    // is exclusive), so iterating entry j by reference while appending to
+    // entries > j is safe — and not moving the slot vectors out keeps
+    // their capacity for the next first-level partition.
     for (std::size_t j = 0; j < freq2.size(); ++j) {
-      std::vector<std::uint32_t> slots = std::move(second_level[j]);
+      const std::vector<std::uint32_t>& slots = second_level[j];
       if (slots.empty()) continue;
       if (slots.size() >= delta) {
         DISC_OBS_INC(g_second_level_partitions);
         DISC_OBS_RECORD(g_second_level_size, slots.size());
         ProcessSecondLevel(Extend(pat1, freq2[j].first, freq2[j].second),
-                           reduced, indexes, slots, delta, max_item);
+                           reduced, indexes, slots, delta);
       }
       for (const std::uint32_t slot : slots) {
         const auto next = ScanMinFrequentExt(reduced[slot], pat1, filter,
@@ -206,48 +192,189 @@ class Run {
                           const std::deque<Sequence>& reduced,
                           const std::deque<SequenceIndex>& indexes,
                           const std::vector<std::uint32_t>& slots,
-                          std::uint32_t delta, Item max_item) {
+                          std::uint32_t delta) {
     // Frequent 3-sequences with prefix pat2, again in one counting-array
     // scan (step 2.1.3.1).
-    counts_.Reset();
+    CountingArray& counts = scratch_.counts;
+    counts.Reset();
     for (const std::uint32_t slot : slots) {
       ForEachExtension(
           reduced[slot], pat2,
-          [this, slot](Item x, ExtType type) {
-            counts_.Add(x, type, slot);
+          [&counts, slot](Item x, ExtType type) {
+            counts.Add(x, type, slot);
           },
           &indexes[slot]);
     }
-    const auto freq3 = counts_.FrequentExtensions(delta);
+    const auto freq3 = counts.FrequentExtensions(delta);
     std::vector<Sequence> sorted_list;
     sorted_list.reserve(freq3.size());
     for (const auto& [x, type] : freq3) {
       Sequence p = Extend(pat2, x, type);
-      out_.Add(p, counts_.Count(x, type));
+      result_.patterns.Add(p, counts.Count(x, type));
       sorted_list.push_back(std::move(p));
     }
     if (options_.max_length != 0 && options_.max_length <= 3) return;
 
     // DISC for k >= 4 (step 2.1.3.2).
-    PartitionMembers pairs;
+    PartitionMembers& pairs = scratch_.pairs;
+    pairs.clear();
     pairs.reserve(slots.size());
     for (const std::uint32_t slot : slots) {
       pairs.push_back({&reduced[slot], &indexes[slot], slot});
     }
     RunDiscLoop(pairs, std::move(sorted_list), 4, delta, config_.bilevel,
-                max_item, options_.max_length, &out_, nullptr,
+                max_item_, options_.max_length, &result_.patterns, nullptr,
                 config_.use_avl);
   }
 
   const SequenceDatabase& db_;
   const MineOptions& options_;
   const DiscAll::Config& config_;
-  CountingArray counts_;
+  const Item max_item_;
+  Scratch& scratch_;
+  PartitionResult& result_;
+};
+
+class Run {
+ public:
+  Run(const SequenceDatabase& db, const MineOptions& options,
+      const DiscAll::Config& config)
+      : db_(db), options_(options), config_(config) {}
+
+  PatternSet Execute() {
+    const std::uint32_t delta = options_.min_support_count;
+    if (db_.empty() || delta > db_.size()) return std::move(out_);
+    const Item max_item = db_.max_item();
+
+    // ---- Step 1: one scan — per-item supports and frequent 1-sequences.
+    std::vector<std::uint32_t> item_support(max_item + 1, 0);
+    std::vector<std::uint64_t> seen(max_item + 1, 0);
+    for (Cid cid = 0; cid < db_.size(); ++cid) {
+      for (const Item x : db_[cid].items()) {
+        if (seen[x] != cid + 1u) {
+          seen[x] = cid + 1u;
+          ++item_support[x];
+        }
+      }
+    }
+    for (Item x = 1; x <= max_item; ++x) {
+      if (item_support[x] >= delta) {
+        Sequence p;
+        p.AppendNewItemset(x);
+        out_.Add(p, item_support[x]);
+      }
+    }
+    if (options_.max_length == 1) return std::move(out_);
+
+    // ---- Step 2: static first-level partitions. The ⟨λ⟩-partition is
+    // exactly the customer sequences containing λ — the serial
+    // reassign-forward loop walks each sequence through the partitions of
+    // all its items in ascending order, so membership never depends on
+    // earlier partitions' results. Materializing the partitions up front
+    // (second scan, stamps offset past the first scan's) makes them
+    // independently minable.
+    std::vector<std::vector<Cid>> members_of(max_item + 1);
+    for (Item x = 1; x <= max_item; ++x) {
+      if (item_support[x] >= delta) members_of[x].reserve(item_support[x]);
+    }
+    const std::uint64_t stamp_base = db_.size();
+    for (Cid cid = 0; cid < db_.size(); ++cid) {
+      for (const Item x : db_[cid].items()) {
+        if (item_support[x] < delta) continue;
+        if (seen[x] != stamp_base + cid + 1u) {
+          seen[x] = stamp_base + cid + 1u;
+          members_of[x].push_back(cid);
+        }
+      }
+    }
+    std::vector<Item> lambdas;
+    for (Item x = 1; x <= max_item; ++x) {
+      if (item_support[x] >= delta) {
+        DISC_CHECK(members_of[x].size() == item_support[x]);
+        lambdas.push_back(x);
+      }
+    }
+
+    // ---- Step 3: fan the partitions out (largest first, so no huge
+    // partition lands last and stretches the tail), then fold the results
+    // in ascending-λ order.
+    std::vector<PartitionResult> results(lambdas.size());
+    std::size_t nthreads = ResolveThreadCount(options_.threads);
+    if (nthreads > lambdas.size()) {
+      nthreads = lambdas.size() == 0 ? 1 : lambdas.size();
+    }
+    DISC_OBS_SET(g_mine_threads, static_cast<double>(nthreads));
+    {
+      DISC_OBS_SPAN("disc/partitions");
+      if (nthreads <= 1) {
+        Scratch scratch(max_item);
+        for (std::size_t i = 0; i < lambdas.size(); ++i) {
+          PartitionMiner(db_, options_, config_, max_item, &scratch,
+                         &results[i])
+              .Mine(lambdas[i], members_of[lambdas[i]]);
+        }
+      } else {
+        std::vector<std::size_t> order(lambdas.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return members_of[lambdas[a]].size() >
+                                  members_of[lambdas[b]].size();
+                         });
+        std::deque<Scratch> scratches;
+        for (std::size_t w = 0; w < nthreads; ++w) {
+          scratches.emplace_back(max_item);
+        }
+        ThreadPool pool(nthreads);
+        for (const std::size_t i : order) {
+          pool.Submit([this, max_item, i, &lambdas, &members_of, &scratches,
+                       &results](std::size_t worker) {
+            PartitionMiner(db_, options_, config_, max_item,
+                           &scratches[worker], &results[i])
+                .Mine(lambdas[i], members_of[lambdas[i]]);
+          });
+        }
+        pool.Wait();
+      }
+    }
+
+    // ---- Step 4: deterministic merge. Patterns of length >= 2 with
+    // minimum item λ are found only in the ⟨λ⟩-partition, so the union is
+    // disjoint; folding ascending in λ keeps the gauge arithmetic (and
+    // with it MineStats) independent of scheduling.
+    std::uint64_t level0_partitions = 0;
+    double level0_ratio_sum = 0.0;
+    double level1_ratio_sum = 0.0;
+    std::uint64_t level1_partitions = 0;
+    for (const PartitionResult& r : results) {
+      for (const auto& [pattern, support] : r.patterns) {
+        out_.Add(pattern, support);
+      }
+      ++level0_partitions;
+      level0_ratio_sum += r.level0_ratio;
+      if (r.has_level1) {
+        level1_ratio_sum += r.level1_ratio;
+        ++level1_partitions;
+      }
+    }
+    if (level0_partitions > 0) {
+      DISC_OBS_SET(g_physical_nrr_level0,
+                   level0_ratio_sum /
+                       static_cast<double>(level0_partitions));
+    }
+    if (level1_partitions > 0) {
+      DISC_OBS_SET(g_physical_nrr_level1,
+                   level1_ratio_sum /
+                       static_cast<double>(level1_partitions));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  const SequenceDatabase& db_;
+  const MineOptions& options_;
+  const DiscAll::Config& config_;
   PatternSet out_;
-  std::uint64_t first_level_partitions_ = 0;
-  double level0_ratio_sum_ = 0.0;
-  double level1_ratio_sum_ = 0.0;
-  std::uint64_t level1_partitions_ = 0;
 };
 
 }  // namespace

@@ -10,8 +10,15 @@
 //      partition another counting-array scan finds the frequent
 //      3-sequences, and the DISC strategy (bi-level by default, as in the
 //      paper's experiments) finds everything longer. Customers are
-//      reassigned to their next partition after each partition completes,
-//      at both levels.
+//      reassigned to their next partition after each second-level
+//      partition completes.
+//
+// The first-level ⟨λ⟩-partition is exactly the customer sequences
+// containing λ, so the partitions are statically determined and
+// independently minable: with MineOptions::threads > 1 they are fanned out
+// largest-first to a thread pool (per-worker scratch state, see
+// docs/PARALLELISM.md) and the per-partition results merged in ascending-λ
+// order, producing a PatternSet identical to the serial run.
 #ifndef DISC_CORE_DISC_ALL_H_
 #define DISC_CORE_DISC_ALL_H_
 
@@ -42,9 +49,10 @@ class DiscAll : public Miner {
  protected:
   // Work accounting lands in last_stats() via the obs registry: counters
   // "disc.iterations", "disc.partitions.first_level" /
-  // ".second_level", and gauges "disc.physical_nrr.level0" / ".level1"
-  // (Equation 2 over actual partition sizes, Table 12's "Original" column;
-  // unset when no partition was processed at that level).
+  // ".second_level", "disc.scratch.reuses", and gauges "mine.threads" and
+  // "disc.physical_nrr.level0" / ".level1" (Equation 2 over actual
+  // partition sizes, Table 12's "Original" column; unset when no partition
+  // was processed at that level).
   PatternSet DoMine(const SequenceDatabase& db,
                     const MineOptions& options) override;
 

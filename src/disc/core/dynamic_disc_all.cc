@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
+#include <vector>
 
 #include "disc/common/check.h"
+#include "disc/common/thread_pool.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
 #include "disc/obs/metrics.h"
+#include "disc/obs/trace.h"
 #include "disc/seq/extension.h"
 
 namespace disc {
@@ -14,6 +18,7 @@ namespace {
 
 DISC_OBS_COUNTER(g_partitions_split, "dynamic.partitions_split");
 DISC_OBS_COUNTER(g_partitions_to_disc, "dynamic.partitions_to_disc");
+DISC_OBS_GAUGE(g_mine_threads, "mine.threads");
 DISC_OBS_HISTOGRAM(g_partition_nrr, "dynamic.partition_nrr_x1000");
 
 using Members = PartitionMembers;
@@ -29,7 +34,8 @@ class Run {
       return std::move(out_);
     }
     // One occurrence index per customer sequence, shared by every level of
-    // the recursion and by the DISC passes (memory: O(total items)).
+    // the recursion and by the DISC passes (memory: O(total items)). Built
+    // before any fan-out; immutable afterwards, so workers share it freely.
     Members all;
     all.reserve(db_.size());
     for (Cid cid = 0; cid < db_.size(); ++cid) {
@@ -37,14 +43,22 @@ class Run {
       indexes_.emplace_back(db_[cid]);
       all.push_back({&db_[cid], &indexes_.back(), cid});
     }
-    Recurse(Sequence(), all);
+    const std::size_t nthreads = ResolveThreadCount(options_.threads);
+    DISC_OBS_SET(g_mine_threads, static_cast<double>(nthreads));
+    if (nthreads <= 1) {
+      Recurse(Sequence(), all, &out_);
+    } else {
+      ParallelRoot(all, nthreads);
+    }
     return std::move(out_);
   }
 
  private:
   // Processes the <prefix>-partition `members` (Appendix algorithm; the
-  // original database is the empty-prefix partition).
-  void Recurse(const Sequence& prefix, const Members& members) {
+  // original database is the empty-prefix partition), adding every frequent
+  // sequence to `out`.
+  void Recurse(const Sequence& prefix, const Members& members,
+               PatternSet* out) {
     const std::uint32_t delta = options_.min_support_count;
     const std::uint32_t k = prefix.Length();
     if (members.size() < delta) return;
@@ -70,7 +84,7 @@ class Run {
     std::uint64_t child_support_sum = 0;
     for (const auto& [x, type] : freq) {
       const std::uint32_t sup = counts.Count(x, type);
-      out_.Add(Extend(prefix, x, type), sup);
+      out->Add(Extend(prefix, x, type), sup);
       child_support_sum += sup;
     }
     if (freq.empty()) return;
@@ -114,7 +128,7 @@ class Run {
         Members child = std::move(children[j]);
         if (child.empty()) continue;
         if (child.size() >= delta) {
-          Recurse(Extend(prefix, freq[j].first, freq[j].second), child);
+          Recurse(Extend(prefix, freq[j].first, freq[j].second), child, out);
         }
         for (const PartitionMember& member : child) {
           const auto next = ScanMinFrequentExt(*member.seq, prefix, filter,
@@ -135,7 +149,117 @@ class Run {
       }
       RunDiscLoop(members, std::move(sorted_list), k + 2, delta,
                   config_.bilevel, db_.max_item(), options_.max_length,
-                  &out_, nullptr);
+                  out, nullptr);
+    }
+  }
+
+  // The root level of Recurse with the first-level children fanned out to a
+  // pool. A root child ⟨(x)⟩-partition is exactly the members whose
+  // sequence contains the frequent item x (the serial reassign-forward loop
+  // walks each member through the child of every frequent item it
+  // contains), so the children are statically determined and independently
+  // minable; their PatternSets merge disjointly in comparative (item)
+  // order, making the output identical to the serial recursion.
+  void ParallelRoot(const Members& members, std::size_t nthreads) {
+    const std::uint32_t delta = options_.min_support_count;
+    const Sequence empty_prefix;
+
+    // Step 1: frequent 1-sequences (extensions of the empty prefix are the
+    // distinct items, sequence-form only), one scan.
+    CountingArray counts(db_.max_item());
+    for (const PartitionMember& m : members) {
+      ForEachExtension(
+          *m.seq, empty_prefix,
+          [&counts, &m](Item x, ExtType type) { counts.Add(x, type, m.cid); },
+          m.index);
+    }
+    const auto freq = counts.FrequentExtensions(delta);
+    std::uint64_t child_support_sum = 0;
+    for (const auto& [x, type] : freq) {
+      const std::uint32_t sup = counts.Count(x, type);
+      out_.Add(Extend(empty_prefix, x, type), sup);
+      child_support_sum += sup;
+    }
+    if (freq.empty()) return;
+    if (options_.max_length == 1) return;
+
+    // Step 2: root split decision, same arithmetic as Recurse.
+    const double nrr =
+        static_cast<double>(child_support_sum) /
+        (static_cast<double>(freq.size()) *
+         static_cast<double>(members.size()));
+    const bool split = config_.fixed_levels >= 0
+                           ? 0 < config_.fixed_levels
+                           : nrr < config_.gamma;
+    DISC_OBS_RECORD(g_partition_nrr,
+                    static_cast<std::uint64_t>(nrr * 1000.0));
+    if (!split) {
+      // The whole database switches to DISC at once — no partitions to
+      // fan out; run the loop on the calling thread as the serial path
+      // would.
+      DISC_OBS_INC(g_partitions_to_disc);
+      std::vector<Sequence> sorted_list;
+      sorted_list.reserve(freq.size());
+      for (const auto& [x, type] : freq) {
+        sorted_list.push_back(Extend(empty_prefix, x, type));
+      }
+      RunDiscLoop(members, std::move(sorted_list), 2, delta, config_.bilevel,
+                  db_.max_item(), options_.max_length, &out_, nullptr);
+      return;
+    }
+
+    // Step 3: static children — member m joins the child of every frequent
+    // item it contains. All root extensions are sequence-form, so a plain
+    // item -> child-index table replaces the binary search.
+    DISC_OBS_INC(g_partitions_split);
+    std::vector<std::size_t> child_of(db_.max_item() + 1, freq.size());
+    for (std::size_t j = 0; j < freq.size(); ++j) {
+      DISC_CHECK(freq[j].second == ExtType::kSequence);
+      child_of[freq[j].first] = j;
+    }
+    std::vector<Members> children(freq.size());
+    std::vector<std::uint64_t> seen(db_.max_item() + 1, 0);
+    std::uint64_t stamp = 0;
+    for (const PartitionMember& member : members) {
+      ++stamp;
+      for (const Item x : member.seq->items()) {
+        const std::size_t j = child_of[x];
+        if (j == freq.size() || seen[x] == stamp) continue;
+        seen[x] = stamp;
+        children[j].push_back(member);
+      }
+    }
+
+    // Step 4: fan the viable children out largest-first; merge in child
+    // (comparative) order.
+    std::vector<std::size_t> viable;
+    for (std::size_t j = 0; j < freq.size(); ++j) {
+      if (children[j].size() >= delta) viable.push_back(j);
+    }
+    std::vector<PatternSet> results(viable.size());
+    std::vector<std::size_t> order(viable.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return children[viable[a]].size() >
+                              children[viable[b]].size();
+                     });
+    {
+      DISC_OBS_SPAN("dynamic/partitions");
+      ThreadPool pool(nthreads);
+      for (const std::size_t i : order) {
+        pool.Submit([this, i, &viable, &freq, &children, &results,
+                     &empty_prefix](std::size_t) {
+          DISC_OBS_SPAN("dynamic/partition");
+          const std::size_t j = viable[i];
+          Recurse(Extend(empty_prefix, freq[j].first, freq[j].second),
+                  children[j], &results[i]);
+        });
+      }
+      pool.Wait();
+    }
+    for (const PatternSet& r : results) {
+      for (const auto& [pattern, support] : r) out_.Add(pattern, support);
     }
   }
 

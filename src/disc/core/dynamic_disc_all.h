@@ -11,6 +11,13 @@
 // the DISC loop for all remaining lengths (NRR >= γ). The original database
 // is the <>-partition with k = 0, so frequent 1-sequences fall out of the
 // same code path.
+//
+// A root child ⟨(x)⟩-partition is exactly the customer sequences containing
+// the frequent item x, so the first-level children are statically determined
+// and independently minable: with MineOptions::threads > 1 they are fanned
+// out largest-first to a thread pool (see docs/PARALLELISM.md) and the
+// per-child results merged in comparative order, producing a PatternSet
+// identical to the serial recursion.
 #ifndef DISC_CORE_DYNAMIC_DISC_ALL_H_
 #define DISC_CORE_DYNAMIC_DISC_ALL_H_
 
@@ -45,8 +52,9 @@ class DynamicDiscAll : public Miner {
  protected:
   // Work accounting lands in last_stats() via the obs registry: counters
   // "dynamic.partitions_split" (partitions that descended),
-  // "dynamic.partitions_to_disc" (partitions that switched to DISC), and
-  // "disc.iterations".
+  // "dynamic.partitions_to_disc" (partitions that switched to DISC),
+  // "disc.iterations", and the gauge "mine.threads" (resolved worker
+  // count).
   PatternSet DoMine(const SequenceDatabase& db,
                     const MineOptions& options) override;
 

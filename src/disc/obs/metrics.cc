@@ -5,22 +5,36 @@
 namespace disc {
 namespace obs {
 
+std::size_t AllocateThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Gauge::Set(double v) {
-  value_ = v;
-  tick_ = ++MetricsRegistry::Global().gauge_tick_;
+  value_.store(v, std::memory_order_relaxed);
+  tick_.store(MetricsRegistry::Global().gauge_tick_.fetch_add(
+                  1, std::memory_order_acq_rel) +
+                  1,
+              std::memory_order_release);
 }
 
 void Histogram::Record(std::uint64_t v) {
-  if (count_ == 0 || v < min_) min_ = v;
-  if (v > max_) max_ = v;
-  ++count_;
-  sum_ += v;
-  ++buckets_[std::bit_width(v)];
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+  }
 }
 
 double Histogram::mean() const {
-  return count_ == 0 ? 0.0
-                     : static_cast<double>(sum_) / static_cast<double>(count_);
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -29,31 +43,39 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
+void MetricsRegistry::SnapshotLocked(MetricsSnapshot* snap) const {
+  for (const auto& [name, c] : counters_) snap->counters[name] = c->value();
+  for (const auto& [name, h] : histograms_) {
+    snap->counters[name + ".count"] = h->count();
+    snap->counters[name + ".sum"] = h->sum();
+  }
+  snap->gauge_tick = gauge_tick();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
-  for (const auto& [name, h] : histograms_) {
-    snap.counters[name + ".count"] = h->count();
-    snap.counters[name + ".sum"] = h->sum();
-  }
-  snap.gauge_tick = gauge_tick_;
+  std::lock_guard<std::mutex> lock(mu_);
+  SnapshotLocked(&snap);
   return snap;
 }
 
@@ -61,7 +83,9 @@ void MetricsRegistry::HarvestSince(
     const MetricsSnapshot& before,
     std::vector<std::pair<std::string, std::uint64_t>>* counters,
     std::vector<std::pair<std::string, double>>* gauges) const {
-  const MetricsSnapshot now = Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot now;
+  SnapshotLocked(&now);
   for (const auto& [name, value] : now.counters) {
     std::uint64_t old = 0;
     const auto it = before.counters.find(name);
@@ -69,18 +93,33 @@ void MetricsRegistry::HarvestSince(
     if (value > old) counters->emplace_back(name, value - old);
   }
   for (const auto& [name, g] : gauges_) {
-    if (g->tick_ > before.gauge_tick) gauges->emplace_back(name, g->value_);
+    if (g->last_set_tick() > before.gauge_tick) {
+      gauges->emplace_back(name, g->value());
+    }
   }
 }
 
 void MetricsRegistry::ResetAll() {
-  for (const auto& [name, c] : counters_) c->value_ = 0;
-  for (const auto& [name, g] : gauges_) {
-    g->value_ = 0.0;
-    g->tick_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    for (Counter::Cell& cell : c->cells_) {
+      cell.v.store(0, std::memory_order_relaxed);
+    }
   }
-  for (const auto& [name, h] : histograms_) *h = Histogram();
-  gauge_tick_ = 0;
+  for (const auto& [name, g] : gauges_) {
+    g->value_.store(0.0, std::memory_order_relaxed);
+    g->tick_.store(0, std::memory_order_relaxed);
+  }
+  for (const auto& [name, h] : histograms_) {
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+    h->min_.store(Histogram::kNoMin, std::memory_order_relaxed);
+    h->max_.store(0, std::memory_order_relaxed);
+    for (std::atomic<std::uint64_t>& b : h->buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+  }
+  gauge_tick_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace obs

@@ -8,15 +8,25 @@
 //   * compile-time off (CMake -DDISC_ENABLE_OBS=OFF -> DISC_OBS_ENABLED=0):
 //     the macros expand to nothing, the instrumentation has zero cost;
 //   * runtime off (MetricsRegistry::Global().set_enabled(false)): one
-//     global-bool branch per instrumentation point;
-//   * on (the default): branch + plain 64-bit increment. The registry is
-//     NOT thread-safe, matching the single-threaded mining kernels.
+//     relaxed atomic-bool load per instrumentation point;
+//   * on (the default): load + relaxed 64-bit atomic increment on a
+//     thread-sharded cell.
+//
+// Thread safety: the registry is safe to use from the partition-scheduler
+// worker threads. Counters shard their value across per-thread cache-line
+// cells (a worker increments its own cell uncontended; value() sums the
+// cells), histograms and gauges use relaxed atomics, and the name->object
+// maps are mutex-guarded. Snapshot()/HarvestSince() are meant to run at
+// quiescent points (before/after a Mine() call, when the pool has joined);
+// calling them mid-run is safe but yields an in-flight view.
 #ifndef DISC_OBS_METRICS_H_
 #define DISC_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,16 +38,39 @@
 namespace disc {
 namespace obs {
 
+/// Index of the calling thread's counter shard, assigned round-robin on
+/// first use. Distinct live threads land on distinct shards until
+/// Counter::kShards threads exist; beyond that shards are shared (still
+/// correct — cells are atomic — just contended).
+std::size_t AllocateThreadShard();
+inline std::size_t ThreadShard() {
+  thread_local const std::size_t shard = AllocateThreadShard();
+  return shard;
+}
+
 /// Monotone event count (work performed: comparisons, probes, joins, ...).
+/// Increments go to a per-thread cache-line-padded cell so hot loops on
+/// different workers never contend; value() folds the cells.
 class Counter {
  public:
-  void Add(std::uint64_t n) { value_ += n; }
-  void Increment() { ++value_; }
-  std::uint64_t value() const { return value_; }
+  static constexpr std::size_t kShards = 16;
+
+  void Add(std::uint64_t n) {
+    cells_[ThreadShard() % kShards].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
 
  private:
   friend class MetricsRegistry;
-  std::uint64_t value_ = 0;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kShards];
 };
 
 /// Last-written value (rates, ratios; e.g. the physical NRR of a run).
@@ -46,39 +79,47 @@ class Counter {
 class Gauge {
  public:
   void Set(double v);
-  double value() const { return value_; }
-  std::uint64_t last_set_tick() const { return tick_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t last_set_tick() const {
+    return tick_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class MetricsRegistry;
-  double value_ = 0.0;
-  std::uint64_t tick_ = 0;  // 0 = never set
+  std::atomic<double> value_{0.0};
+  std::atomic<std::uint64_t> tick_{0};  // 0 = never set
 };
 
 /// Power-of-two bucketed histogram for sizes and latencies. Bucket b counts
 /// values v with bit_width(v) == b, i.e. bucket 0 holds v == 0, bucket 1
 /// holds v == 1, bucket 2 holds 2..3, bucket 3 holds 4..7, ...
+/// All fields are relaxed atomics (min/max via CAS loops), so concurrent
+/// Record calls from pool workers are safe; cross-field consistency is only
+/// guaranteed at quiescent points.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;
 
   void Record(std::uint64_t v);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Smallest / largest recorded value; 0 when count() == 0.
-  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  std::uint64_t max() const { return max_; }
+  std::uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double mean() const;
-  const std::uint64_t* buckets() const { return buckets_; }
+  const std::atomic<std::uint64_t>* buckets() const { return buckets_; }
 
  private:
   friend class MetricsRegistry;
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
-  std::uint64_t buckets_[kBuckets] = {};
+  static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kNoMin};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
 /// A point-in-time copy of every counter (and histogram aggregate) plus the
@@ -102,8 +143,8 @@ class MetricsRegistry {
 
   /// Runtime toggle, honored by the DISC_OBS_* macros. Direct method calls
   /// on metric objects are not gated.
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Snapshot of all counter values (histograms contribute "<name>.count"
   /// and "<name>.sum" entries) and the current gauge tick.
@@ -116,17 +157,23 @@ class MetricsRegistry {
                     std::vector<std::pair<std::string, std::uint64_t>>* counters,
                     std::vector<std::pair<std::string, double>>* gauges) const;
 
-  /// Zeroes every metric (tests). Handles stay valid.
+  /// Zeroes every metric (tests). Handles stay valid. Must run at a
+  /// quiescent point (no concurrent writers).
   void ResetAll();
 
-  std::uint64_t gauge_tick() const { return gauge_tick_; }
+  std::uint64_t gauge_tick() const {
+    return gauge_tick_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class Gauge;
   MetricsRegistry() = default;
 
-  bool enabled_ = true;
-  std::uint64_t gauge_tick_ = 0;
+  void SnapshotLocked(MetricsSnapshot* snap) const;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> gauge_tick_{0};
+  mutable std::mutex mu_;  // guards the three maps
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -6,6 +6,28 @@
 
 namespace disc {
 namespace obs {
+namespace {
+
+constexpr std::uint32_t kNoTid = ~std::uint32_t{0};
+
+struct Open {
+  std::string name;
+  std::uint64_t start_us;
+};
+
+// Per-thread tracer state: the open-span stack and the lane id. Lives in
+// the thread, so Begin/End never take the tracer mutex for stack work.
+struct ThreadState {
+  std::uint32_t tid = kNoTid;
+  std::vector<Open> stack;
+};
+
+ThreadState& LocalState() {
+  static thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
 
 Tracer& Tracer::Global() {
   static Tracer* const tracer = new Tracer();
@@ -13,29 +35,64 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::set_enabled(bool on) {
-  enabled_ = on;
-  if (on && !epoch_set_) {
-    epoch_ = std::chrono::steady_clock::now();
-    epoch_set_ = true;
+  if (on) {
+    std::int64_t expected = 0;
+    epoch_ns_.compare_exchange_strong(
+        expected,
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_acq_rel);
+    // The enabling thread is the driver: name its lane "main" unless it
+    // already registered under another name.
+    ThreadState& state = LocalState();
+    if (state.tid == kNoTid) SetCurrentThreadName("main");
   }
+  enabled_.store(on, std::memory_order_relaxed);
 }
 
 std::uint64_t Tracer::NowMicros() const {
+  const std::int64_t now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  const std::int64_t epoch = epoch_ns_.load(std::memory_order_acquire);
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch_)
+          std::chrono::steady_clock::duration(now - epoch))
           .count());
 }
 
+std::uint32_t Tracer::CurrentTid() {
+  ThreadState& state = LocalState();
+  if (state.tid == kNoTid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    state.tid = static_cast<std::uint32_t>(thread_names_.size());
+    thread_names_.push_back("thread-" + std::to_string(state.tid));
+  }
+  return state.tid;
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state.tid == kNoTid) {
+    state.tid = static_cast<std::uint32_t>(thread_names_.size());
+    thread_names_.push_back(name);
+  } else {
+    thread_names_[state.tid] = name;
+  }
+}
+
 void Tracer::Begin(std::string name) {
-  if (!enabled_) return;
-  stack_.push_back({std::move(name), NowMicros()});
+  if (!enabled()) return;
+  LocalState().stack.push_back({std::move(name), NowMicros()});
 }
 
 void Tracer::End() {
-  if (stack_.empty()) return;
-  Open open = std::move(stack_.back());
-  stack_.pop_back();
+  ThreadState& state = LocalState();
+  if (state.stack.empty()) return;
+  Open open = std::move(state.stack.back());
+  state.stack.pop_back();
+  const std::uint64_t end_us = NowMicros();
+  const std::uint32_t tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= kMaxEvents) {
     ++dropped_;
     return;
@@ -43,17 +100,27 @@ void Tracer::End() {
   Event e;
   e.name = std::move(open.name);
   e.start_us = open.start_us;
-  e.dur_us = NowMicros() - open.start_us;
-  e.depth = static_cast<std::uint32_t>(stack_.size());
+  e.dur_us = end_us - open.start_us;
+  e.depth = static_cast<std::uint32_t>(state.stack.size());
+  e.tid = tid;
   events_.push_back(std::move(e));
 }
 
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t Tracer::open_spans() const { return LocalState().stack.size(); }
+
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 std::string Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   // The Chrome trace-event format: one "X" (complete) event per span;
   // nesting is inferred from timestamp containment within a (pid, tid).
   JsonWriter w;
@@ -64,12 +131,24 @@ std::string Tracer::ToChromeTraceJson() const {
   w.Key("name").String("process_name");
   w.Key("ph").String("M");
   w.Key("pid").Uint(1);
-  w.Key("tid").Uint(1);
+  w.Key("tid").Uint(0);
   w.Key("args");
   w.BeginObject();
   w.Key("name").String("disc");
   w.EndObject();
   w.EndObject();
+  for (std::size_t tid = 0; tid < thread_names_.size(); ++tid) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Uint(1);
+    w.Key("tid").Uint(tid);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name").String(thread_names_[tid]);
+    w.EndObject();
+    w.EndObject();
+  }
   for (const Event& e : events_) {
     w.BeginObject();
     w.Key("name").String(e.name);
@@ -78,7 +157,7 @@ std::string Tracer::ToChromeTraceJson() const {
     w.Key("ts").Uint(e.start_us);
     w.Key("dur").Uint(e.dur_us);
     w.Key("pid").Uint(1);
-    w.Key("tid").Uint(1);
+    w.Key("tid").Uint(e.tid);
     w.EndObject();
   }
   w.EndArray();

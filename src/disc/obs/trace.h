@@ -4,12 +4,23 @@
 //
 // The tracer is off by default; enabling it (typically via a bench driver's
 // --trace-out flag) starts recording. Disabled Begin/End calls cost one
-// branch. Single-threaded, like the mining kernels.
+// relaxed atomic load.
+//
+// Thread safety: each thread keeps its own open-span stack (spans nest per
+// thread), and every completed span carries a small per-thread lane id, so
+// the Chrome export shows one lane per pool worker. The thread that calls
+// set_enabled(true) is named "main"; ThreadPool workers register themselves
+// as "pool-worker-<i>"; other threads get "thread-<tid>" on first use.
+// Completed events funnel into one mutex-guarded buffer — spans wrap coarse
+// phases (a mine run, a partition, a pool task), never per-sequence work,
+// so the lock is cold.
 #ifndef DISC_OBS_TRACE_H_
 #define DISC_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,35 +35,45 @@ namespace obs {
 class Tracer {
  public:
   /// One completed span. Timestamps are microseconds relative to the
-  /// tracer's epoch (first enable). `depth` is the nesting level (0 =
-  /// outermost) at the time the span was open.
+  /// tracer's epoch (first enable). `depth` is the calling thread's nesting
+  /// level (0 = outermost) at the time the span was open; `tid` is the
+  /// thread's lane id.
   struct Event {
     std::string name;
     std::uint64_t start_us = 0;
     std::uint64_t dur_us = 0;
     std::uint32_t depth = 0;
+    std::uint32_t tid = 0;
   };
 
   static Tracer& Global();
 
   void set_enabled(bool on);
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Opens a span. Every Begin must be balanced by an End (use ScopedSpan).
+  /// Opens a span on the calling thread. Every Begin must be balanced by an
+  /// End on the same thread (use ScopedSpan).
   void Begin(std::string name);
-  /// Closes the innermost open span and records its Event.
+  /// Closes the calling thread's innermost open span and records its Event.
   void End();
 
+  /// Names the calling thread's lane in trace exports. Assigns the lane id
+  /// on first call from a thread; later calls rename.
+  void SetCurrentThreadName(const std::string& name);
+
+  /// Completed events. Only meaningful at quiescent points (no concurrent
+  /// End calls) — callers are the export/test paths after mining finished.
   const std::vector<Event>& events() const { return events_; }
   /// Spans discarded after the in-memory cap was hit.
-  std::uint64_t dropped() const { return dropped_; }
-  /// Depth of currently open spans.
-  std::size_t open_spans() const { return stack_.size(); }
+  std::uint64_t dropped() const;
+  /// Depth of the calling thread's currently open spans.
+  std::size_t open_spans() const;
 
   /// Discards all recorded events (open spans stay open).
   void Clear();
 
-  /// The recorded events as a Chrome trace-event JSON document.
+  /// The recorded events as a Chrome trace-event JSON document, one lane
+  /// ("thread") per registered tid.
   std::string ToChromeTraceJson() const;
 
   /// Writes ToChromeTraceJson() to `path`. On failure returns false and, if
@@ -63,22 +84,21 @@ class Tracer {
  private:
   Tracer() = default;
   std::uint64_t NowMicros() const;
-
-  struct Open {
-    std::string name;
-    std::uint64_t start_us;
-  };
+  /// Lane id of the calling thread, registering it if needed.
+  std::uint32_t CurrentTid();
 
   // In-memory cap: a runaway per-partition span pattern must not eat the
   // heap; past the cap spans are counted in dropped_ instead.
   static constexpr std::size_t kMaxEvents = 1u << 20;
 
-  bool enabled_ = false;
-  std::chrono::steady_clock::time_point epoch_{};
-  bool epoch_set_ = false;
-  std::vector<Open> stack_;
+  std::atomic<bool> enabled_{false};
+  /// steady_clock time_since_epoch of the first enable, in clock ticks;
+  /// 0 = epoch not set yet. Set once, then read-only.
+  std::atomic<std::int64_t> epoch_ns_{0};
+  mutable std::mutex mu_;  // guards events_, dropped_, thread_names_
   std::vector<Event> events_;
   std::uint64_t dropped_ = 0;
+  std::vector<std::string> thread_names_;  // index = tid
 };
 
 /// RAII span: opens on construction (when the tracer is enabled), closes on

@@ -1,0 +1,46 @@
+// MineOptions::CountForFraction edge cases: the inclusive-threshold
+// convention (paper Lemma 2.1) means delta = ceil(fraction * db_size), with
+// exact-integer products kept exact despite floating-point noise.
+#include "disc/algo/miner.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(CountForFraction, CeilOfFractionalProduct) {
+  // 0.01 * 150 = 1.5 -> the smallest count reaching 1% support is 2.
+  EXPECT_EQ(MineOptions::CountForFraction(150, 0.01), 2u);
+  // 0.33 * 10 = 3.3 -> 4.
+  EXPECT_EQ(MineOptions::CountForFraction(10, 0.33), 4u);
+}
+
+TEST(CountForFraction, ExactIntegerProductsStayExact) {
+  // 0.005 * 200 = 1 exactly; binary rounding must not bump it to 2.
+  EXPECT_EQ(MineOptions::CountForFraction(200, 0.005), 1u);
+  EXPECT_EQ(MineOptions::CountForFraction(1000, 0.01), 10u);
+  EXPECT_EQ(MineOptions::CountForFraction(300, 0.1), 30u);
+  // 0.1 is not representable in binary; 0.1 * 70 evaluates slightly above
+  // 7 without the epsilon guard.
+  EXPECT_EQ(MineOptions::CountForFraction(70, 0.1), 7u);
+}
+
+TEST(CountForFraction, FullSupportYieldsDatabaseSize) {
+  EXPECT_EQ(MineOptions::CountForFraction(1, 1.0), 1u);
+  EXPECT_EQ(MineOptions::CountForFraction(12345, 1.0), 12345u);
+}
+
+TEST(CountForFraction, TinyFractionsClampToOne) {
+  // Any positive fraction keeps delta >= 1 (a pattern must occur at all).
+  EXPECT_EQ(MineOptions::CountForFraction(100, 1e-9), 1u);
+  EXPECT_EQ(MineOptions::CountForFraction(0, 0.5), 1u);
+}
+
+TEST(CountForFractionDeathTest, FractionZeroAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(MineOptions::CountForFraction(100, 0.0), "fraction");
+  EXPECT_DEATH(MineOptions::CountForFraction(100, 1.5), "fraction");
+}
+
+}  // namespace
+}  // namespace disc

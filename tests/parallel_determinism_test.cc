@@ -1,0 +1,90 @@
+// Determinism of the partition-scheduled miners: the mined PatternSet must
+// be byte-identical for every thread count (docs/PARALLELISM.md), and the
+// disc-all-nobilevel support-counting invariant must hold under
+// parallelism exactly as it does serially.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "disc/algo/miner.h"
+#include "disc/gen/quest.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+SequenceDatabase QuestDb() {
+  QuestParams p;
+  p.ncust = 250;
+  p.nitems = 100;
+  p.slen = 6;
+  p.tlen = 2.5;
+  p.seed = 7;
+  return GenerateQuestDatabase(p);
+}
+
+constexpr std::uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+TEST(ParallelDeterminism, DiscAllByteIdenticalAcrossThreadCounts) {
+  const SequenceDatabase db = QuestDb();
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), 0.05);
+  options.threads = 1;
+  const std::string baseline =
+      CreateMiner("disc-all")->Mine(db, options).ToString();
+  for (const std::uint32_t threads : kThreadCounts) {
+    options.threads = threads;
+    EXPECT_EQ(CreateMiner("disc-all")->Mine(db, options).ToString(), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, DynamicDiscAllByteIdenticalAcrossThreadCounts) {
+  const SequenceDatabase db = QuestDb();
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), 0.05);
+  options.threads = 1;
+  const std::string baseline =
+      CreateMiner("dynamic-disc-all")->Mine(db, options).ToString();
+  for (const std::uint32_t threads : kThreadCounts) {
+    options.threads = threads;
+    EXPECT_EQ(CreateMiner("dynamic-disc-all")->Mine(db, options).ToString(),
+              baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, HardwareThreadsMatchSerial) {
+  // threads = 0 resolves to the hardware concurrency, whatever it is here.
+  const SequenceDatabase db = testutil::RandomDatabase(3);
+  MineOptions options;
+  options.min_support_count = 2;
+  for (const char* algo : {"disc-all", "dynamic-disc-all"}) {
+    options.threads = 1;
+    const std::string baseline = CreateMiner(algo)->Mine(db, options).ToString();
+    options.threads = 0;
+    EXPECT_EQ(CreateMiner(algo)->Mine(db, options).ToString(), baseline)
+        << algo;
+  }
+}
+
+TEST(ParallelDeterminism, NoBilevelNeverCountsLongSupports) {
+  // disc-all-nobilevel harvests at most 3-sequences by support counting;
+  // "support.increments.k4plus" must stay zero at every thread count (the
+  // counter is zero trivially when the obs layer is compiled out).
+  const SequenceDatabase db = QuestDb();
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), 0.05);
+  for (const std::uint32_t threads : kThreadCounts) {
+    options.threads = threads;
+    const std::unique_ptr<Miner> miner = CreateMiner("disc-all-nobilevel");
+    miner->Mine(db, options);
+    EXPECT_EQ(miner->last_stats().Counter("support.increments.k4plus"), 0u)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace disc

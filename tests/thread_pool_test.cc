@@ -1,0 +1,103 @@
+#include "disc/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace disc {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran](std::size_t) { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WorkerIndexIsInRange) {
+  ThreadPool pool(3);
+  std::atomic<int> out_of_range{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&pool, &out_of_range](std::size_t worker) {
+      if (worker >= pool.threads()) out_of_range.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(out_of_range.load(), 0);
+}
+
+TEST(ThreadPool, PerWorkerSlotsNeverAlias) {
+  // The per-worker scratch contract: two concurrent tasks never see the
+  // same worker index, so indexed scratch needs no further locking.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> in_use(pool.threads());
+  for (auto& f : in_use) f.store(0);
+  std::atomic<int> collisions{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&in_use, &collisions](std::size_t worker) {
+      if (in_use[worker].exchange(1) != 0) collisions.fetch_add(1);
+      std::this_thread::yield();  // widen the overlap window
+      in_use[worker].store(0);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(collisions.load(), 0);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran](std::size_t) { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+  pool.Submit([&ran](std::size_t) { ran.fetch_add(1); });
+  pool.Submit([&ran](std::size_t) { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 3);
+  pool.Wait();  // No pending work: returns immediately.
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran](std::size_t) { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran](std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    ran.fetch_add(1);
+  });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(5), 5u);
+  EXPECT_GE(ResolveThreadCount(0), 1u);  // 0 = hardware concurrency.
+  EXPECT_EQ(ResolveThreadCount(0), ThreadPool::HardwareThreads());
+}
+
+}  // namespace
+}  // namespace disc
