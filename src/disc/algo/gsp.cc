@@ -158,13 +158,13 @@ PatternSet Gsp::DoMine(const SequenceDatabase& db,
         db.AvgTransactionsPerCustomer() * db.AvgItemsPerTransaction();
     if (survivors.size() >= 32 && avg_len <= 24.0) {
       const CandidateHashTree tree(&survivors);
-      for (const Sequence& s : db.sequences()) {
+      for (const SequenceView s : db) {
         tree.CountSupports(s, &support);
       }
     } else {
       const std::size_t words = static_cast<std::size_t>(db.max_item()) / 64 + 1;
       std::vector<std::uint64_t> present(words);
-      for (const Sequence& s : db.sequences()) {
+      for (const SequenceView s : db) {
         std::fill(present.begin(), present.end(), 0);
         for (const Item x : s.items()) {
           present[x >> 6] |= 1ull << (x & 63);

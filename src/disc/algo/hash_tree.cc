@@ -53,7 +53,7 @@ void CandidateHashTree::Split(Node* node, std::uint32_t depth) {
   for (const std::uint32_t id : ids) Insert(node, depth, id);
 }
 
-void CandidateHashTree::CountSupports(const Sequence& s,
+void CandidateHashTree::CountSupports(SequenceView s,
                                       std::vector<std::uint32_t>* counts)
     const {
   DISC_CHECK(counts->size() == candidates_->size());
@@ -63,7 +63,7 @@ void CandidateHashTree::CountSupports(const Sequence& s,
 }
 
 void CandidateHashTree::Visit(const Node* node, std::uint32_t depth,
-                              const Sequence& s, std::uint32_t from_pos,
+                              SequenceView s, std::uint32_t from_pos,
                               std::vector<std::uint32_t>* counts,
                               std::vector<std::uint8_t>* tested) const {
   if (node->leaf) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 #include "disc/seq/types.h"
 
 namespace disc {
@@ -32,7 +33,7 @@ class CandidateHashTree {
 
   /// Adds 1 to `counts[i]` for every candidate i contained in `s`.
   /// `counts` must have one slot per candidate.
-  void CountSupports(const Sequence& s,
+  void CountSupports(SequenceView s,
                      std::vector<std::uint32_t>* counts) const;
 
   /// Number of tree nodes (instrumentation/testing).
@@ -49,7 +50,7 @@ class CandidateHashTree {
   std::uint32_t Bucket(Item x) const { return x % fanout_; }
   void Insert(Node* node, std::uint32_t depth, std::uint32_t id);
   void Split(Node* node, std::uint32_t depth);
-  void Visit(const Node* node, std::uint32_t depth, const Sequence& s,
+  void Visit(const Node* node, std::uint32_t depth, SequenceView s,
              std::uint32_t from_pos, std::vector<std::uint32_t>* counts,
              std::vector<std::uint8_t>* tested) const;
 

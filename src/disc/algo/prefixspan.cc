@@ -23,7 +23,7 @@ DISC_OBS_HISTOGRAM(g_projected_db, "prefixspan.projected_db_size");
 // full transactions txn+1... next_i may equal the transaction size (empty
 // partial part).
 struct Point {
-  const Sequence* seq;
+  SequenceView seq;
   std::uint32_t txn;
   std::uint32_t next_i;
 };
@@ -45,7 +45,7 @@ class Context {
       return std::move(out_);
     }
     // Frequent 1-sequences: count distinct items per sequence.
-    for (const Sequence& s : db_.sequences()) {
+    for (const SequenceView s : db_) {
       ++tag_;
       for (const Item x : s.items()) {
         if (s_seen_[x] != tag_) {
@@ -73,12 +73,12 @@ class Context {
       // Project on the leftmost occurrence of x in each sequence.
       std::vector<Point> points;
       points.reserve(support);
-      for (const Sequence& s : db_.sequences()) {
+      for (const SequenceView s : db_) {
         for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
           if (!s.TxnContains(t, x)) continue;
           const Item* pos = std::lower_bound(s.TxnBegin(t), s.TxnEnd(t), x);
           points.push_back(
-              {&s, t,
+              {s, t,
                static_cast<std::uint32_t>(pos - s.TxnBegin(t)) + 1});
           break;
         }
@@ -108,7 +108,7 @@ class Context {
     const Item last_max = last_itemset.back();
 
     for (const Point& p : points) {
-      const Sequence& s = *p.seq;
+      const SequenceView s = p.seq;
       ++tag_;
       // Items after the projection point inside the partial transaction:
       // itemset extensions (all exceed last_max because transactions are
@@ -199,7 +199,7 @@ class Context {
   // extended pattern no longer occurs in this sequence.
   static bool Advance(const Point& p, Item item, ExtType type,
                       const std::vector<Item>& child_last, Point* out) {
-    const Sequence& s = *p.seq;
+    const SequenceView s = p.seq;
     if (type == ExtType::kItemset) {
       // The match may stay in the current transaction (item sorts after the
       // point, being larger than the previous last item) ...
@@ -241,14 +241,14 @@ class Context {
   // Copies the suffix of the pointed-to sequence (whole transactions from
   // the point's transaction onward) into the arena and re-targets the point.
   static Point Materialize(const Point& p, std::deque<Sequence>* arena) {
-    const Sequence& s = *p.seq;
+    const SequenceView s = p.seq;
     Sequence copy;
     for (std::uint32_t t = p.txn; t < s.NumTransactions(); ++t) {
       copy.AppendItemset(s.TxnItemset(t));
     }
     arena->push_back(std::move(copy));
     DISC_OBS_INC(g_materialized);
-    return {&arena->back(), 0, p.next_i};
+    return {arena->back(), 0, p.next_i};
   }
 
   void MarkI(Item x) {

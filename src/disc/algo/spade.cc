@@ -93,7 +93,7 @@ class Run {
     // First (and only) horizontal pass: per-item ID-lists.
     std::vector<IdList> item_ids(db_.max_item() + 1);
     for (Cid cid = 0; cid < db_.size(); ++cid) {
-      const Sequence& s = db_[cid];
+      const SequenceView s = db_[cid];
       for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
         for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
           item_ids[*p].emplace_back(cid, t);

@@ -102,7 +102,7 @@ class Run {
     }
     item_bm_.assign(db_.max_item() + 1, Bitmap(layout_.total_bits()));
     for (Cid cid = 0; cid < db_.size(); ++cid) {
-      const Sequence& s = db_[cid];
+      const SequenceView s = db_[cid];
       for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
         for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
           item_bm_[*p].Set(layout_.seq_start[cid] + t);

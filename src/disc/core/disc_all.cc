@@ -19,6 +19,8 @@ namespace {
 DISC_OBS_COUNTER(g_first_level_partitions, "disc.partitions.first_level");
 DISC_OBS_COUNTER(g_second_level_partitions, "disc.partitions.second_level");
 DISC_OBS_COUNTER(g_scratch_reuses, "disc.scratch.reuses");
+DISC_OBS_COUNTER(g_arena_reuses, "disc.arena.reuses");
+DISC_OBS_GAUGE(g_arena_bytes, "disc.arena.bytes");
 DISC_OBS_GAUGE(g_physical_nrr_level0, "disc.physical_nrr.level0");
 DISC_OBS_GAUGE(g_physical_nrr_level1, "disc.physical_nrr.level1");
 DISC_OBS_GAUGE(g_mine_threads, "mine.threads");
@@ -35,7 +37,15 @@ struct Scratch {
   explicit Scratch(Item max_item) : counts(max_item) {}
 
   CountingArray counts;
-  std::deque<Sequence> reduced;
+  // Reduced-sequence store, one of two backends: the flat scratch arena
+  // (default; Clear() keeps its slabs, so a warm worker reduces with zero
+  // allocation) or one owning Sequence per customer (the pre-arena
+  // baseline, Config::arena_scratch == false). `reduced` holds views over
+  // whichever backend filled it, collected only after the reduce loop is
+  // done appending (arena growth invalidates views).
+  SequenceArena arena;
+  std::deque<Sequence> reduced_owned;
+  std::vector<SequenceView> reduced;
   std::deque<SequenceIndex> indexes;
   // Second-level partition table; inner vectors keep their capacity across
   // partitions (cleared, never moved from).
@@ -53,6 +63,11 @@ struct PartitionResult {
   double level0_ratio = 0.0;  ///< |partition| / |DB| (Equation 2, level 0)
   double level1_ratio = 0.0;  ///< avg second-level size / |partition|
   bool has_level1 = false;
+  /// Scratch-arena bytes holding this partition's surviving reduced
+  /// sequences (0 on the owned-sequence backend). Folded as a max in
+  /// ascending-λ order so the "disc.arena.bytes" gauge is thread-count
+  /// invariant.
+  std::size_t arena_bytes = 0;
 };
 
 // Mines one first-level ⟨λ⟩-partition into `result`, using (and warming)
@@ -75,6 +90,7 @@ class PartitionMiner {
     DISC_OBS_SPAN("disc/partition");
     if (scratch_.warm) {
       DISC_OBS_INC(g_scratch_reuses);
+      if (config_.arena_scratch) DISC_OBS_INC(g_arena_reuses);
     } else {
       scratch_.warm = true;
     }
@@ -122,29 +138,64 @@ class PartitionMiner {
     // 2-minimum sequence. Each reduced sequence gets an occurrence index,
     // reused by every later scan over it (keys, counting, DISC passes).
     // The stores and the slot table come from the worker scratch: clear
-    // them, keep their capacity.
-    std::deque<Sequence>& reduced = scratch_.reduced;
+    // them, keep their capacity. On the arena backend a reduced sequence
+    // is appended straight into the flat scratch slab; the index and the
+    // key scan read it through a transient back() view that never survives
+    // into the next append (the SequenceIndex copies what it needs), so
+    // slab regrowth cannot dangle anything.
     std::deque<SequenceIndex>& indexes = scratch_.indexes;
-    reduced.clear();
     indexes.clear();
+    SequenceArena& arena = scratch_.arena;
+    std::deque<Sequence>& reduced_owned = scratch_.reduced_owned;
+    arena.Clear();
+    reduced_owned.clear();
     std::vector<std::vector<std::uint32_t>>& second_level =
         scratch_.second_level;
     for (auto& slots : second_level) slots.clear();
     if (second_level.size() < freq2.size()) second_level.resize(freq2.size());
     for (const Cid cid : members) {
-      Sequence red = ReduceCustomerSequence(db_[cid], lambda, counts, delta);
-      if (red.Length() < 3) continue;
-      reduced.push_back(std::move(red));
-      indexes.emplace_back(reduced.back());
-      const auto key = ScanMinFrequentExt(reduced.back(), pat1, filter,
-                                          nullptr, &indexes.back());
+      SequenceView red;
+      if (config_.arena_scratch) {
+        if (ReduceCustomerSequenceInto(db_[cid], lambda, counts, delta, 3,
+                                       &arena) == 0) {
+          continue;
+        }
+        red = arena.back();
+      } else {
+        Sequence r = ReduceCustomerSequence(db_[cid], lambda, counts, delta);
+        if (r.Length() < 3) continue;
+        reduced_owned.push_back(std::move(r));
+        red = reduced_owned.back();
+      }
+      indexes.emplace_back(red);
+      const auto key =
+          ScanMinFrequentExt(red, pat1, filter, nullptr, &indexes.back());
       if (!key.has_value()) {
-        reduced.pop_back();
+        if (config_.arena_scratch) {
+          arena.PopBack();
+        } else {
+          reduced_owned.pop_back();
+        }
         indexes.pop_back();
         continue;
       }
       second_level[ext_index(*key)].push_back(
-          static_cast<std::uint32_t>(reduced.size() - 1));
+          static_cast<std::uint32_t>(indexes.size() - 1));
+    }
+
+    // The append phase is over; collect stable views of the survivors
+    // (slot i of the table is sequence i of the store).
+    std::vector<SequenceView>& reduced = scratch_.reduced;
+    reduced.clear();
+    if (config_.arena_scratch) {
+      reduced.reserve(arena.size());
+      for (std::size_t i = 0; i < arena.size(); ++i) {
+        reduced.push_back(arena[i]);
+      }
+      result_.arena_bytes = arena.SizeBytes();
+    } else {
+      reduced.reserve(reduced_owned.size());
+      for (const Sequence& r : reduced_owned) reduced.push_back(r);
     }
 
     // Physical level-1 NRR: average second-level size over this
@@ -189,7 +240,7 @@ class PartitionMiner {
   }
 
   void ProcessSecondLevel(const Sequence& pat2,
-                          const std::deque<Sequence>& reduced,
+                          const std::vector<SequenceView>& reduced,
                           const std::deque<SequenceIndex>& indexes,
                           const std::vector<std::uint32_t>& slots,
                           std::uint32_t delta) {
@@ -220,7 +271,7 @@ class PartitionMiner {
     pairs.clear();
     pairs.reserve(slots.size());
     for (const std::uint32_t slot : slots) {
-      pairs.push_back({&reduced[slot], &indexes[slot], slot});
+      pairs.push_back({reduced[slot], &indexes[slot], slot});
     }
     RunDiscLoop(pairs, std::move(sorted_list), 4, delta, config_.bilevel,
                 max_item_, options_.max_length, &result_.patterns, nullptr,
@@ -346,6 +397,7 @@ class Run {
     double level0_ratio_sum = 0.0;
     double level1_ratio_sum = 0.0;
     std::uint64_t level1_partitions = 0;
+    std::size_t arena_bytes_peak = 0;
     for (const PartitionResult& r : results) {
       for (const auto& [pattern, support] : r.patterns) {
         out_.Add(pattern, support);
@@ -356,6 +408,10 @@ class Run {
         level1_ratio_sum += r.level1_ratio;
         ++level1_partitions;
       }
+      arena_bytes_peak = std::max(arena_bytes_peak, r.arena_bytes);
+    }
+    if (config_.arena_scratch && level0_partitions > 0) {
+      DISC_OBS_SET(g_arena_bytes, static_cast<double>(arena_bytes_peak));
     }
     if (level0_partitions > 0) {
       DISC_OBS_SET(g_physical_nrr_level0,

@@ -37,13 +37,22 @@ class DiscAll : public Miner {
     /// Index the k-sorted databases with the locative AVL tree; false
     /// falls back to full re-sorting per DISC iteration (ablation).
     bool use_avl = true;
+    /// Append reduced customer sequences into the per-worker scratch
+    /// SequenceArena (reused across partitions; zero allocation once warm).
+    /// False falls back to one owning Sequence per reduced customer per
+    /// partition — the pre-arena behavior, kept as an ablation/baseline for
+    /// the bench_micro --alloc-compare mode. Output is byte-identical
+    /// either way.
+    bool arena_scratch = true;
   };
 
   DiscAll() : DiscAll(Config{}) {}
   explicit DiscAll(const Config& config) : config_(config) {}
 
   std::string name() const override {
-    return config_.bilevel ? "disc-all" : "disc-all-nobilevel";
+    std::string n = config_.bilevel ? "disc-all" : "disc-all-nobilevel";
+    if (!config_.arena_scratch) n += "-ownedscratch";
+    return n;
   }
 
  protected:

@@ -46,7 +46,7 @@ DiscoveryResult DiscoverFrequentKResort(
   DiscoveryResult result;
   struct Slot {
     Sequence key;
-    const Sequence* seq;
+    SequenceView seq;
     const SequenceIndex* index;
     Cid cid;
     std::uint32_t apriori;
@@ -56,10 +56,10 @@ DiscoveryResult DiscoverFrequentKResort(
   for (const PartitionMember& m : members) {
     const SequenceIndex* index = m.index;
     if (index == nullptr) {
-      owned.emplace_back(*m.seq);
+      owned.emplace_back(m.seq);
       index = &owned.back();
     }
-    KmsResult r = AprioriKms(*m.seq, sorted_list, index);
+    KmsResult r = AprioriKms(m.seq, sorted_list, index);
     if (!r.found) continue;
     slots.push_back({std::move(r.kmin), m.seq, index, m.cid, r.prefix_index});
   }
@@ -95,7 +95,7 @@ DiscoveryResult DiscoverFrequentKResort(
         counts.Reset();
         for (std::size_t i = 0; i < cut; ++i) {
           ForEachExtension(
-              *slots[i].seq, alpha1,
+              slots[i].seq, alpha1,
               [&counts, &slots, i](Item x, ExtType type) {
                 counts.Add(x, type, slots[i].cid);
               },
@@ -115,7 +115,7 @@ DiscoveryResult DiscoverFrequentKResort(
     std::size_t keep = 0;
     for (std::size_t i = 0; i < cut; ++i) {
       Slot& s = slots[i];
-      KmsResult r = AprioriCkms(*s.seq, sorted_list, s.apriori, bound,
+      KmsResult r = AprioriCkms(s.seq, sorted_list, s.apriori, bound,
                                 s.index);
       if (!r.found) continue;
       s.key = std::move(r.kmin);
@@ -175,7 +175,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
         for (const std::uint32_t h : handles) {
           const KSortedEntry& e = sd.entry(h);
           ForEachExtension(
-              *e.seq, alpha1,
+              e.seq, alpha1,
               [&counts, &e](Item x, ExtType type) {
                 counts.Add(x, type, e.cid);
               },

@@ -41,7 +41,7 @@ class Run {
     for (Cid cid = 0; cid < db_.size(); ++cid) {
       if (db_[cid].Empty()) continue;
       indexes_.emplace_back(db_[cid]);
-      all.push_back({&db_[cid], &indexes_.back(), cid});
+      all.push_back({db_[cid], &indexes_.back(), cid});
     }
     const std::size_t nthreads = ResolveThreadCount(options_.threads);
     DISC_OBS_SET(g_mine_threads, static_cast<double>(nthreads));
@@ -68,7 +68,7 @@ class Run {
     CountingArray counts(db_.max_item());
     for (const PartitionMember& m : members) {
       ForEachExtension(
-          *m.seq, prefix,
+          m.seq, prefix,
           [&counts, &m](Item x, ExtType type) { counts.Add(x, type, m.cid); },
           m.index);
     }
@@ -120,7 +120,7 @@ class Run {
       };
       std::vector<Members> children(freq.size());
       for (const PartitionMember& member : members) {
-        const auto key = ScanMinFrequentExt(*member.seq, prefix, filter,
+        const auto key = ScanMinFrequentExt(member.seq, prefix, filter,
                                             nullptr, member.index);
         if (key.has_value()) children[ext_index(*key)].push_back(member);
       }
@@ -131,7 +131,7 @@ class Run {
           Recurse(Extend(prefix, freq[j].first, freq[j].second), child, out);
         }
         for (const PartitionMember& member : child) {
-          const auto next = ScanMinFrequentExt(*member.seq, prefix, filter,
+          const auto next = ScanMinFrequentExt(member.seq, prefix, filter,
                                                &freq[j], member.index);
           if (next.has_value()) {
             children[ext_index(*next)].push_back(member);
@@ -169,7 +169,7 @@ class Run {
     CountingArray counts(db_.max_item());
     for (const PartitionMember& m : members) {
       ForEachExtension(
-          *m.seq, empty_prefix,
+          m.seq, empty_prefix,
           [&counts, &m](Item x, ExtType type) { counts.Add(x, type, m.cid); },
           m.index);
     }
@@ -222,7 +222,7 @@ class Run {
     std::uint64_t stamp = 0;
     for (const PartitionMember& member : members) {
       ++stamp;
-      for (const Item x : member.seq->items()) {
+      for (const Item x : member.seq.items()) {
         const std::size_t j = child_of[x];
         if (j == freq.size() || seen[x] == stamp) continue;
         seen[x] = stamp;

@@ -17,7 +17,7 @@ ExtType LastExtType(const Sequence& bound) {
 
 }  // namespace
 
-KmsResult AprioriKms(const Sequence& s,
+KmsResult AprioriKms(SequenceView s,
                      const std::vector<Sequence>& sorted_list,
                      const SequenceIndex* index) {
   DISC_OBS_COUNTER(g_initial_scans, "kms.initial_scans");
@@ -44,7 +44,7 @@ CkmsBound CkmsBound::Make(const Sequence& bound, bool strict) {
   return out;
 }
 
-KmsResult AprioriCkms(const Sequence& s,
+KmsResult AprioriCkms(SequenceView s,
                       const std::vector<Sequence>& sorted_list,
                       std::uint32_t start_index, const CkmsBound& bound,
                       const SequenceIndex* index) {
@@ -78,7 +78,7 @@ KmsResult AprioriCkms(const Sequence& s,
   return result;
 }
 
-KmsResult AprioriCkms(const Sequence& s,
+KmsResult AprioriCkms(SequenceView s,
                       const std::vector<Sequence>& sorted_list,
                       std::uint32_t start_index, const Sequence& bound,
                       bool strict) {

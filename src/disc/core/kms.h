@@ -23,6 +23,7 @@
 #include "disc/order/compare.h"
 #include "disc/seq/index.h"
 #include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 
 namespace disc {
 
@@ -41,7 +42,7 @@ struct KmsResult {
 /// The k-minimum subsequence of s whose (k-1)-prefix appears in
 /// `sorted_list` (frequent (k-1)-sequences, ascending). Figure 5.
 /// `index`, when provided, must be built from s.
-KmsResult AprioriKms(const Sequence& s,
+KmsResult AprioriKms(SequenceView s,
                      const std::vector<Sequence>& sorted_list,
                      const SequenceIndex* index = nullptr);
 
@@ -62,13 +63,13 @@ struct CkmsBound {
 /// qualifying k-subsequence that compares > bound (strict) or >= bound.
 /// The bound's (k-1)-prefix must be in the list. `start_index` is the
 /// sequence's apriori pointer (0 is always safe). Figure 6.
-KmsResult AprioriCkms(const Sequence& s,
+KmsResult AprioriCkms(SequenceView s,
                       const std::vector<Sequence>& sorted_list,
                       std::uint32_t start_index, const CkmsBound& bound,
                       const SequenceIndex* index = nullptr);
 
 /// Convenience overload decomposing the bound per call.
-KmsResult AprioriCkms(const Sequence& s,
+KmsResult AprioriCkms(SequenceView s,
                       const std::vector<Sequence>& sorted_list,
                       std::uint32_t start_index, const Sequence& bound,
                       bool strict);

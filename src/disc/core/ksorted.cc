@@ -17,10 +17,10 @@ KSortedDatabase::KSortedDatabase(const PartitionMembers& members,
     if (index == nullptr) {
       // Index-less member: build and own one (Apriori-KMS below is already
       // the hottest consumer).
-      owned_indexes_.emplace_back(*m.seq);
+      owned_indexes_.emplace_back(m.seq);
       index = &owned_indexes_.back();
     }
-    KmsResult r = AprioriKms(*m.seq, *sorted_list_, index);
+    KmsResult r = AprioriKms(m.seq, *sorted_list_, index);
     if (!r.found) continue;
     DISC_DCHECK(r.kmin.Length() == k_);
     entries_.push_back(KSortedEntry{m.seq, m.cid, r.prefix_index});
@@ -33,7 +33,7 @@ KSortedDatabase::KSortedDatabase(const PartitionMembers& members,
 bool KSortedDatabase::AdvanceAndReinsert(std::uint32_t handle,
                                          const CkmsBound& bound) {
   KSortedEntry& e = entries_[handle];
-  KmsResult r = AprioriCkms(*e.seq, *sorted_list_, e.apriori, bound,
+  KmsResult r = AprioriCkms(e.seq, *sorted_list_, e.apriori, bound,
                             index_ptrs_[handle]);
   if (!r.found) return false;
   DISC_DCHECK(r.kmin.Length() == k_);

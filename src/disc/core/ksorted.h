@@ -24,7 +24,7 @@ namespace disc {
 
 /// One customer sequence's slot in a k-sorted database.
 struct KSortedEntry {
-  const Sequence* seq = nullptr;  ///< the customer sequence (not owned)
+  SequenceView seq;               ///< the customer sequence (not owned)
   Cid cid = 0;                    ///< caller-scoped id (for counting arrays)
   std::uint32_t apriori = 0;      ///< prefix index of the current key
 };

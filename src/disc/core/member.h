@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "disc/seq/index.h"
-#include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 #include "disc/seq/types.h"
 
 namespace disc {
@@ -16,7 +16,7 @@ namespace disc {
 /// One partition member. `index`, when non-null, must be built from `seq`;
 /// consumers fall back to direct scans otherwise.
 struct PartitionMember {
-  const Sequence* seq = nullptr;
+  SequenceView seq;
   const SequenceIndex* index = nullptr;
   Cid cid = 0;
 };

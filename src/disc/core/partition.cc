@@ -46,7 +46,7 @@ std::optional<std::pair<Item, ExtType>> MinFrequentExt(
 }
 
 std::optional<std::pair<Item, ExtType>> ScanMinFrequentExt(
-    const Sequence& s, const Sequence& prefix, const ExtFilter& filter,
+    SequenceView s, const Sequence& prefix, const ExtFilter& filter,
     const std::pair<Item, ExtType>* floor_exclusive,
     const SequenceIndex* index) {
   std::optional<std::pair<Item, ExtType>> best;
@@ -65,20 +65,48 @@ std::optional<std::pair<Item, ExtType>> ScanMinFrequentExt(
   return best;
 }
 
-Sequence ReduceCustomerSequence(const Sequence& s, Item lambda,
+DISC_OBS_COUNTER(g_reduced, "partition.reduced_sequences");
+
+namespace {
+
+// Minimum point of a <(λ)>-partition member: the leftmost transaction
+// containing λ (λ is the member's minimum frequent item, so it exists).
+std::uint32_t MinTxnOf(SequenceView s, Item lambda) {
+  for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+    if (s.TxnContains(t, lambda)) return t;
+  }
+  return kNoTxn;
+}
+
+// The per-occurrence keep rule (Figure 2, step 2.1.2): whether occurrence x
+// in transaction t survives the reduction.
+inline bool KeepOccurrence(Item x, Item lambda, bool has_lambda,
+                           bool at_min_txn, const CountingArray& counts2,
+                           std::uint32_t delta) {
+  if (x == lambda) {
+    // All occurrences of λ are kept: they may anchor longer patterns.
+    return true;
+  }
+  const bool s_freq =
+      counts2.Count(x, ExtType::kSequence) >= delta;  // <(λ)(x)>
+  const bool i_freq =
+      counts2.Count(x, ExtType::kItemset) >= delta;  // <(λx)>
+  if (!has_lambda) {
+    return s_freq;  // only the sequence form can use this occurrence
+  }
+  if (at_min_txn) {
+    return i_freq;  // only the itemset form can use this occurrence
+  }
+  return s_freq || i_freq;
+}
+
+}  // namespace
+
+Sequence ReduceCustomerSequence(SequenceView s, Item lambda,
                                 const CountingArray& counts2,
                                 std::uint32_t delta) {
-  DISC_OBS_COUNTER(g_reduced, "partition.reduced_sequences");
   DISC_OBS_INC(g_reduced);
-  // Minimum point: leftmost transaction containing λ (λ is the minimum item
-  // of the sequence within its partition, so it exists).
-  std::uint32_t min_txn = kNoTxn;
-  for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
-    if (s.TxnContains(t, lambda)) {
-      min_txn = t;
-      break;
-    }
-  }
+  const std::uint32_t min_txn = MinTxnOf(s, lambda);
   DISC_CHECK_MSG(min_txn != kNoTxn, "partition member lacks its λ");
 
   Sequence out;
@@ -87,29 +115,49 @@ Sequence ReduceCustomerSequence(const Sequence& s, Item lambda,
     const bool has_lambda = s.TxnContains(t, lambda);
     kept.clear();
     for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
-      const Item x = *p;
-      if (x == lambda) {
-        // All occurrences of λ are kept: they may anchor longer patterns.
-        kept.push_back(x);
-        continue;
+      if (KeepOccurrence(*p, lambda, has_lambda, t == min_txn, counts2,
+                         delta)) {
+        kept.push_back(*p);
       }
-      const bool s_freq =
-          counts2.Count(x, ExtType::kSequence) >= delta;  // <(λ)(x)>
-      const bool i_freq =
-          counts2.Count(x, ExtType::kItemset) >= delta;  // <(λx)>
-      bool keep;
-      if (!has_lambda) {
-        keep = s_freq;  // only the sequence form can use this occurrence
-      } else if (t == min_txn) {
-        keep = i_freq;  // only the itemset form can use this occurrence
-      } else {
-        keep = s_freq || i_freq;
-      }
-      if (keep) kept.push_back(x);
     }
     if (!kept.empty()) out.AppendItemset(Itemset(kept));
   }
   return out;
+}
+
+std::uint32_t ReduceCustomerSequenceInto(SequenceView s, Item lambda,
+                                         const CountingArray& counts2,
+                                         std::uint32_t delta,
+                                         std::uint32_t min_length,
+                                         SequenceArena* out) {
+  DISC_OBS_INC(g_reduced);
+  const std::uint32_t min_txn = MinTxnOf(s, lambda);
+  DISC_CHECK_MSG(min_txn != kNoTxn, "partition member lacks its λ");
+
+  // Kept items stream straight into the scratch arena; a kept subset of a
+  // sorted transaction is itself sorted, so the arena's build invariant
+  // holds without re-sorting.
+  out->BeginSequence();
+  std::uint32_t length = 0;
+  for (std::uint32_t t = min_txn; t < s.NumTransactions(); ++t) {
+    const bool has_lambda = s.TxnContains(t, lambda);
+    bool wrote = false;
+    for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+      if (KeepOccurrence(*p, lambda, has_lambda, t == min_txn, counts2,
+                         delta)) {
+        out->AppendItem(*p);
+        wrote = true;
+        ++length;
+      }
+    }
+    if (wrote) out->EndTransaction();
+  }
+  out->EndSequence();
+  if (length < min_length) {
+    out->PopBack();
+    return 0;
+  }
+  return length;
 }
 
 void RunDiscLoop(const PartitionMembers& members,

@@ -14,8 +14,10 @@
 #include "disc/core/counting_array.h"
 #include "disc/core/member.h"
 #include "disc/order/compare.h"
+#include "disc/seq/arena.h"
 #include "disc/seq/extension.h"
 #include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 #include "disc/seq/types.h"
 
 namespace disc {
@@ -48,7 +50,7 @@ std::optional<std::pair<Item, ExtType>> MinFrequentExt(
 /// Single-scan variant: computes the same minimum directly from the
 /// customer sequence without materializing the extension sets.
 std::optional<std::pair<Item, ExtType>> ScanMinFrequentExt(
-    const Sequence& s, const Sequence& prefix, const ExtFilter& filter,
+    SequenceView s, const Sequence& prefix, const ExtFilter& filter,
     const std::pair<Item, ExtType>* floor_exclusive,
     const SequenceIndex* index = nullptr);
 
@@ -58,9 +60,22 @@ std::optional<std::pair<Item, ExtType>> ScanMinFrequentExt(
 /// <(λ)(x)> / <(λx)> are all non-frequent. λ itself is never dropped.
 /// `counts2` must hold the partition's 2-sequence counting array. The
 /// result may be empty or shorter than 3 items (the caller drops those).
-Sequence ReduceCustomerSequence(const Sequence& s, Item lambda,
+Sequence ReduceCustomerSequence(SequenceView s, Item lambda,
                                 const CountingArray& counts2,
                                 std::uint32_t delta);
+
+/// Allocation-free variant of ReduceCustomerSequence for the partition hot
+/// path: appends the reduced sequence into `out` (a per-worker scratch
+/// arena, reused across partitions) instead of materializing an owning
+/// Sequence. Returns the reduced length; when it comes out below
+/// `min_length` the appended sequence is rolled back and 0 is returned.
+/// Produces exactly the sequence ReduceCustomerSequence would (the
+/// equivalence is pinned by tests/partition_test.cc).
+std::uint32_t ReduceCustomerSequenceInto(SequenceView s, Item lambda,
+                                         const CountingArray& counts2,
+                                         std::uint32_t delta,
+                                         std::uint32_t min_length,
+                                         SequenceArena* out);
 
 /// Runs DISC discovery passes for k = start_k, then k+1 (or k+2 when
 /// bilevel), ... until no frequent (k-1)-sequences remain or fewer than

@@ -13,7 +13,7 @@ namespace disc {
 namespace {
 
 struct Entry {
-  const Sequence* seq;
+  SequenceView seq;
   const SequenceIndex* index;
   double weight;
   std::uint32_t apriori = 0;
@@ -31,7 +31,7 @@ std::vector<std::pair<Sequence, double>> DiscoverWeightedK(
   entries.reserve(members.size());
   LocativeAvlTree tree;
   for (const Entry& m : members) {
-    KmsResult r = AprioriKms(*m.seq, list, m.index);
+    KmsResult r = AprioriKms(m.seq, list, m.index);
     if (!r.found) continue;
     entries.push_back(m);
     tree.Insert(std::move(r.kmin),
@@ -58,7 +58,7 @@ std::vector<std::pair<Sequence, double>> DiscoverWeightedK(
     const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/frequent);
     for (const std::uint32_t h : handles) {
       Entry& e = entries[h];
-      KmsResult r = AprioriCkms(*e.seq, list, e.apriori, bound, e.index);
+      KmsResult r = AprioriCkms(e.seq, list, e.apriori, bound, e.index);
       if (!r.found) continue;
       e.apriori = r.prefix_index;
       tree.Insert(std::move(r.kmin), h, e.weight);
@@ -119,7 +119,7 @@ WeightedPatternSet MineWeighted(const SequenceDatabase& db,
     if (options.weights[cid] <= 0.0 || db[cid].Empty()) continue;
     indexes.emplace_back(db[cid]);
     members.push_back(
-        Entry{&db[cid], &indexes.back(), options.weights[cid], 0});
+        Entry{db[cid], &indexes.back(), options.weights[cid], 0});
   }
 
   // Weighted DISC for k = 2, 3, ... until the weighted-frequent set dries

@@ -7,27 +7,25 @@
 
 namespace disc {
 
-int CompareSequences(const Sequence& a, const Sequence& b) {
+int CompareSequences(SequenceView a, SequenceView b) {
   DISC_OBS_COUNTER(g_seq_compares, "order.seq_compares");
   DISC_OBS_INC(g_seq_compares);
-  const std::vector<Item>& ia = a.items();
-  const std::vector<Item>& ib = b.items();
-  const std::size_t n = std::min(ia.size(), ib.size());
+  const Item* ia = a.ItemsBegin();
+  const Item* ib = b.ItemsBegin();
+  const std::uint32_t n = std::min(a.Length(), b.Length());
   // Positionwise lexicographic comparison of (item, transaction-number)
   // tokens — Definition 2.2 at the differential point (the first position
   // where the token differs). The transaction cursors advance in O(1)
   // amortized per position.
   std::uint32_t ta = 0;
   std::uint32_t tb = 0;
-  const auto& oa = a.offsets();
-  const auto& ob = b.offsets();
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::uint32_t i = 0; i < n; ++i) {
     if (ia[i] != ib[i]) return ia[i] < ib[i] ? -1 : 1;
-    while (oa[ta + 1] <= i) ++ta;
-    while (ob[tb + 1] <= i) ++tb;
+    while (a.TxnEndPos(ta) <= i) ++ta;
+    while (b.TxnEndPos(tb) <= i) ++tb;
     if (ta != tb) return ta < tb ? -1 : 1;
   }
-  if (ia.size() != ib.size()) return ia.size() < ib.size() ? -1 : 1;
+  if (a.Length() != b.Length()) return a.Length() < b.Length() ? -1 : 1;
   return 0;
 }
 

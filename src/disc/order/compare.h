@@ -27,15 +27,16 @@
 #define DISC_ORDER_COMPARE_H_
 
 #include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 
 namespace disc {
 
 /// Three-way comparison: negative if a < b, 0 if equal, positive if a > b.
-int CompareSequences(const Sequence& a, const Sequence& b);
+int CompareSequences(SequenceView a, SequenceView b);
 
 /// Strict-less predicate usable as a map/sort comparator.
 struct SequenceLess {
-  bool operator()(const Sequence& a, const Sequence& b) const {
+  bool operator()(SequenceView a, SequenceView b) const {
     return CompareSequences(a, b) < 0;
   }
 };

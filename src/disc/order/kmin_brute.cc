@@ -10,7 +10,7 @@ namespace {
 
 // Builds the subsequence induced by the chosen flattened positions (sorted),
 // grouping consecutive positions that share a source transaction.
-Sequence FromPositions(const Sequence& s,
+Sequence FromPositions(SequenceView s,
                        const std::vector<std::uint32_t>& positions) {
   Sequence out;
   std::uint32_t prev_txn = kNoTxn;
@@ -26,7 +26,7 @@ Sequence FromPositions(const Sequence& s,
   return out;
 }
 
-void EnumeratePositions(const Sequence& s, std::uint32_t k,
+void EnumeratePositions(SequenceView s, std::uint32_t k,
                         std::uint32_t start,
                         std::vector<std::uint32_t>* current,
                         std::set<Sequence, SequenceLess>* out) {
@@ -51,7 +51,7 @@ bool PrefixIsFrequent(const Sequence& candidate,
 
 }  // namespace
 
-std::vector<Sequence> AllDistinctKSubsequences(const Sequence& s,
+std::vector<Sequence> AllDistinctKSubsequences(SequenceView s,
                                                std::uint32_t k) {
   DISC_CHECK(k > 0);
   std::set<Sequence, SequenceLess> out;
@@ -60,14 +60,14 @@ std::vector<Sequence> AllDistinctKSubsequences(const Sequence& s,
   return std::vector<Sequence>(out.begin(), out.end());
 }
 
-std::optional<Sequence> BruteKMin(const Sequence& s, std::uint32_t k) {
+std::optional<Sequence> BruteKMin(SequenceView s, std::uint32_t k) {
   const std::vector<Sequence> all = AllDistinctKSubsequences(s, k);
   if (all.empty()) return std::nullopt;
   return all.front();
 }
 
 std::optional<Sequence> BruteKMinWithFrequentPrefix(
-    const Sequence& s, std::uint32_t k,
+    SequenceView s, std::uint32_t k,
     const std::vector<Sequence>& frequent_prefixes) {
   DISC_DCHECK(std::is_sorted(frequent_prefixes.begin(),
                              frequent_prefixes.end(), SequenceLess()));
@@ -78,7 +78,7 @@ std::optional<Sequence> BruteKMinWithFrequentPrefix(
 }
 
 std::optional<Sequence> BruteConditionalKMin(
-    const Sequence& s, std::uint32_t k,
+    SequenceView s, std::uint32_t k,
     const std::vector<Sequence>& frequent_prefixes, const Sequence& bound,
     bool strict) {
   DISC_DCHECK(std::is_sorted(frequent_prefixes.begin(),

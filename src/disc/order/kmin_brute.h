@@ -13,30 +13,31 @@
 
 #include "disc/order/compare.h"
 #include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 
 namespace disc {
 
 /// All distinct k-item subsequences of s, sorted by the comparative order.
-std::vector<Sequence> AllDistinctKSubsequences(const Sequence& s,
+std::vector<Sequence> AllDistinctKSubsequences(SequenceView s,
                                                std::uint32_t k);
 
 /// The k-minimum subsequence of s (Definition 2.3), or nullopt if s has
 /// fewer than k items.
-std::optional<Sequence> BruteKMin(const Sequence& s, std::uint32_t k);
+std::optional<Sequence> BruteKMin(SequenceView s, std::uint32_t k);
 
 /// The minimum k-subsequence of s whose (k-1)-prefix appears in
 /// `frequent_prefixes` (sorted ascending by the comparative order), or
 /// nullopt. This is what Apriori-KMS computes. For k == 1 pass an empty
 /// prefix list; every 1-sequence qualifies.
 std::optional<Sequence> BruteKMinWithFrequentPrefix(
-    const Sequence& s, std::uint32_t k,
+    SequenceView s, std::uint32_t k,
     const std::vector<Sequence>& frequent_prefixes);
 
 /// The minimum qualifying k-subsequence that additionally compares `>` bound
 /// (strict == true) or `>=` bound (Definition 2.5), or nullopt. This is what
 /// Apriori-CKMS computes.
 std::optional<Sequence> BruteConditionalKMin(
-    const Sequence& s, std::uint32_t k,
+    SequenceView s, std::uint32_t k,
     const std::vector<Sequence>& frequent_prefixes, const Sequence& bound,
     bool strict);
 

@@ -1,0 +1,187 @@
+// SequenceArena: database-wide flat CSR storage for sequences.
+//
+// One contiguous Item buffer holds every sequence's items back to back; a
+// transaction-offsets array delimits transactions across the whole arena
+// (adjacent sequences share a boundary entry), and a sequence-offsets array
+// indexes into it to delimit sequences. Three allocations total, regardless
+// of how many sequences live in the arena — the layout the memory-bound
+// DISC scans want, and the one a future mmap/streaming backend can hand out
+// directly.
+//
+//   items_        [ a e g b h f c b f | b d f e | b f g | ... ]
+//   txn_offsets_  [ 0 3 4 5 6 7 9 | 12 13 | 16 | ... ]   (global positions)
+//   seq_offsets_  [ 0 6 8 9 ... ]                (indices into txn_offsets_)
+//
+// Sequence i's view is {items_.data(), &txn_offsets_[seq_offsets_[i]],
+// seq_offsets_[i+1] - seq_offsets_[i]}.
+//
+// Two roles: the immutable backing store of SequenceDatabase, and the
+// per-worker reduction scratch reused across partitions (Clear() keeps
+// capacity, so a warm worker appends reduced sequences with zero
+// allocation). Growth invalidates outstanding views, exactly like vector
+// iterators — collect views only once a build phase is done.
+#ifndef DISC_SEQ_ARENA_H_
+#define DISC_SEQ_ARENA_H_
+
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "disc/common/check.h"
+#include "disc/seq/types.h"
+#include "disc/seq/view.h"
+
+namespace disc {
+
+/// Flat CSR storage for a collection of sequences. See file comment.
+class SequenceArena {
+ public:
+  SequenceArena() : txn_offsets_{0}, seq_offsets_{0} {}
+
+  /// --- Read access ---
+
+  std::size_t size() const { return seq_offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  SequenceView operator[](std::size_t i) const {
+    DISC_DCHECK(i < size());
+    return SequenceView(items_.data(), txn_offsets_.data() + seq_offsets_[i],
+                        seq_offsets_[i + 1] - seq_offsets_[i]);
+  }
+
+  /// View of the most recently completed sequence.
+  SequenceView back() const { return (*this)[size() - 1]; }
+
+  /// Forward iteration yielding SequenceView by value.
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = SequenceView;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const SequenceView*;
+    using reference = SequenceView;
+
+    const_iterator(const SequenceArena* arena, std::size_t i)
+        : arena_(arena), i_(i) {}
+    SequenceView operator*() const { return (*arena_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const SequenceArena* arena_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+  /// --- Totals (all O(1)) ---
+
+  std::uint64_t TotalItems() const { return items_.size(); }
+  std::uint64_t TotalTransactions() const { return txn_offsets_.size() - 1; }
+
+  /// Bytes currently holding data / currently reserved. The gap between the
+  /// two is what scratch reuse saves (disc.arena.bytes reports capacity).
+  std::size_t SizeBytes() const {
+    return items_.size() * sizeof(Item) +
+           (txn_offsets_.size() + seq_offsets_.size()) * sizeof(std::uint32_t);
+  }
+  std::size_t CapacityBytes() const {
+    return items_.capacity() * sizeof(Item) +
+           (txn_offsets_.capacity() + seq_offsets_.capacity()) *
+               sizeof(std::uint32_t);
+  }
+
+  /// --- Build ---
+
+  /// Drops every sequence but keeps the allocations (warm scratch reuse).
+  void Clear() {
+    items_.clear();
+    txn_offsets_.clear();
+    txn_offsets_.push_back(0);
+    seq_offsets_.clear();
+    seq_offsets_.push_back(0);
+    seq_open_ = false;
+  }
+
+  /// Bulk-reserves the three buffers (ingestion pre-pass; avoids regrow
+  /// churn while streaming a whole database in).
+  void Reserve(std::size_t items, std::size_t txns, std::size_t seqs) {
+    items_.reserve(items);
+    txn_offsets_.reserve(txns + 1);
+    seq_offsets_.reserve(seqs + 1);
+  }
+
+  /// Streaming append of one sequence:
+  ///   BeginSequence();
+  ///   AppendItem(x); ...; EndTransaction();   // per transaction
+  ///   EndSequence();
+  /// Items within a transaction must arrive strictly ascending (the
+  /// Sequence invariant); transactions must be non-empty. Checked with
+  /// DISC_DCHECK — this is the mining hot path; ingestion front ends
+  /// (seq/io.cc) validate untrusted input with always-on CHECKs first.
+  void BeginSequence() {
+    DISC_DCHECK(!seq_open_);
+    seq_open_ = true;
+  }
+
+  void AppendItem(Item x) {
+    DISC_DCHECK(seq_open_);
+    DISC_DCHECK(x != kNoItem);
+    DISC_DCHECK(items_.size() == txn_offsets_.back() || items_.back() < x);
+    items_.push_back(x);
+  }
+
+  void EndTransaction() {
+    DISC_DCHECK(seq_open_);
+    DISC_DCHECK(items_.size() > txn_offsets_.back());  // non-empty txn
+    txn_offsets_.push_back(static_cast<std::uint32_t>(items_.size()));
+  }
+
+  void EndSequence() {
+    DISC_DCHECK(seq_open_);
+    DISC_DCHECK(items_.size() == txn_offsets_.back());  // no open txn
+    seq_offsets_.push_back(static_cast<std::uint32_t>(txn_offsets_.size() - 1));
+    seq_open_ = false;
+  }
+
+  /// Copies a whole sequence in (view may point into another arena or an
+  /// owning Sequence; appending a view into this same arena is not allowed —
+  /// growth would invalidate it mid-copy).
+  void AppendCopy(SequenceView v) {
+    BeginSequence();
+    for (std::uint32_t t = 0; t < v.NumTransactions(); ++t) {
+      items_.insert(items_.end(), v.TxnBegin(t), v.TxnEnd(t));
+      txn_offsets_.push_back(static_cast<std::uint32_t>(items_.size()));
+    }
+    EndSequence();
+  }
+
+  /// Removes the last completed sequence (reduction rollback: a reduced
+  /// sequence that came out too short to matter is popped right back off).
+  void PopBack() {
+    DISC_DCHECK(!seq_open_);
+    DISC_DCHECK(!empty());
+    seq_offsets_.pop_back();
+    txn_offsets_.resize(seq_offsets_.back() + 1);
+    items_.resize(txn_offsets_.back());
+  }
+
+ private:
+  std::vector<Item> items_;
+  std::vector<std::uint32_t> txn_offsets_;  // global positions; starts {0}
+  std::vector<std::uint32_t> seq_offsets_;  // into txn_offsets_; starts {0}
+  bool seq_open_ = false;
+};
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_ARENA_H_

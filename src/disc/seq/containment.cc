@@ -2,7 +2,7 @@
 
 namespace disc {
 
-std::uint32_t FindTxnWithItemset(const Sequence& s, std::uint32_t start_txn,
+std::uint32_t FindTxnWithItemset(SequenceView s, std::uint32_t start_txn,
                                  const Item* begin, const Item* end) {
   for (std::uint32_t t = start_txn; t < s.NumTransactions(); ++t) {
     if (SortedRangeIsSubset(begin, end, s.TxnBegin(t), s.TxnEnd(t))) return t;
@@ -10,7 +10,7 @@ std::uint32_t FindTxnWithItemset(const Sequence& s, std::uint32_t start_txn,
   return kNoTxn;
 }
 
-Embedding LeftmostEmbedding(const Sequence& s, const Sequence& pattern,
+Embedding LeftmostEmbedding(SequenceView s, const Sequence& pattern,
                             std::vector<std::uint32_t>* matched_txns) {
   if (matched_txns != nullptr) matched_txns->clear();
   Embedding result;
@@ -32,14 +32,14 @@ Embedding LeftmostEmbedding(const Sequence& s, const Sequence& pattern,
   return result;
 }
 
-bool Contains(const Sequence& s, const Sequence& pattern) {
+bool Contains(SequenceView s, const Sequence& pattern) {
   return LeftmostEmbedding(s, pattern).found;
 }
 
 std::uint32_t CountSupport(const SequenceDatabase& db,
                            const Sequence& pattern) {
   std::uint32_t count = 0;
-  for (const Sequence& s : db.sequences()) {
+  for (const SequenceView s : db) {
     if (Contains(s, pattern)) ++count;
   }
   return count;

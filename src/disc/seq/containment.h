@@ -13,6 +13,7 @@
 
 #include "disc/seq/database.h"
 #include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 
 namespace disc {
 
@@ -28,17 +29,17 @@ struct Embedding {
 
 /// Earliest transaction >= start_txn of s whose itemset contains
 /// [begin, end); kNoTxn if none. [begin, end) must be sorted.
-std::uint32_t FindTxnWithItemset(const Sequence& s, std::uint32_t start_txn,
+std::uint32_t FindTxnWithItemset(SequenceView s, std::uint32_t start_txn,
                                  const Item* begin, const Item* end);
 
 /// Greedy leftmost embedding of `pattern` into `s`. If `matched_txns` is
 /// non-null it receives the matched transaction index for every itemset of
 /// the pattern (only meaningful when found).
-Embedding LeftmostEmbedding(const Sequence& s, const Sequence& pattern,
+Embedding LeftmostEmbedding(SequenceView s, const Sequence& pattern,
                             std::vector<std::uint32_t>* matched_txns = nullptr);
 
 /// True if `pattern` is a subsequence of `s`.
-bool Contains(const Sequence& s, const Sequence& pattern);
+bool Contains(SequenceView s, const Sequence& pattern);
 
 /// Number of database sequences containing `pattern` (each counted once).
 std::uint32_t CountSupport(const SequenceDatabase& db, const Sequence& pattern);

@@ -4,27 +4,25 @@
 
 namespace disc {
 
-Cid SequenceDatabase::Add(Sequence seq) {
+Cid SequenceDatabase::Add(SequenceView seq) {
   DISC_DCHECK(seq.IsWellFormed());
   for (const Item x : seq.items()) {
     if (x > max_item_) max_item_ = x;
   }
-  total_items_ += seq.Length();
-  total_txns_ += seq.NumTransactions();
-  sequences_.push_back(std::move(seq));
-  return static_cast<Cid>(sequences_.size() - 1);
+  arena_.AppendCopy(seq);
+  return static_cast<Cid>(arena_.size() - 1);
 }
 
 double SequenceDatabase::AvgTransactionsPerCustomer() const {
-  if (sequences_.empty()) return 0.0;
-  return static_cast<double>(total_txns_) /
-         static_cast<double>(sequences_.size());
+  if (arena_.empty()) return 0.0;
+  return static_cast<double>(arena_.TotalTransactions()) /
+         static_cast<double>(arena_.size());
 }
 
 double SequenceDatabase::AvgItemsPerTransaction() const {
-  if (total_txns_ == 0) return 0.0;
-  return static_cast<double>(total_items_) /
-         static_cast<double>(total_txns_);
+  if (arena_.TotalTransactions() == 0) return 0.0;
+  return static_cast<double>(arena_.TotalItems()) /
+         static_cast<double>(arena_.TotalTransactions());
 }
 
 }  // namespace disc

@@ -1,11 +1,18 @@
 // SequenceDatabase: the collection of customer sequences to be mined.
+//
+// Backed by a single SequenceArena (flat CSR: one item buffer + transaction
+// offsets + sequence offsets), so the whole database is three contiguous
+// allocations shared read-only across pool workers. Indexing returns a
+// non-owning SequenceView; the owning Sequence type is for patterns and
+// ingestion only (docs/ARCHITECTURE.md).
 #ifndef DISC_SEQ_DATABASE_H_
 #define DISC_SEQ_DATABASE_H_
 
-#include <vector>
+#include <cstdint>
 
-#include "disc/seq/sequence.h"
+#include "disc/seq/arena.h"
 #include "disc/seq/types.h"
+#include "disc/seq/view.h"
 
 namespace disc {
 
@@ -16,26 +23,55 @@ class SequenceDatabase {
  public:
   SequenceDatabase() = default;
 
-  /// Appends a sequence and returns its CID.
-  Cid Add(Sequence seq);
+  /// Appends a copy of a sequence and returns its CID. Accepts an owning
+  /// Sequence through the implicit view conversion.
+  Cid Add(SequenceView seq);
 
-  std::size_t size() const { return sequences_.size(); }
-  bool empty() const { return sequences_.empty(); }
+  /// Streaming ingestion straight into the arena (no intermediate owning
+  /// Sequence): BeginSequence / AppendItem* / EndTransaction ... then
+  /// EndSequence returns the new CID. Same invariants as
+  /// SequenceArena's build API; callers feeding untrusted input must
+  /// validate first (see seq/io.cc).
+  void BeginSequence() { arena_.BeginSequence(); }
+  void AppendItem(Item x) {
+    if (x > max_item_) max_item_ = x;
+    arena_.AppendItem(x);
+  }
+  void EndTransaction() { arena_.EndTransaction(); }
+  Cid EndSequence() {
+    arena_.EndSequence();
+    return static_cast<Cid>(arena_.size() - 1);
+  }
 
-  const Sequence& operator[](Cid cid) const { return sequences_[cid]; }
-  const std::vector<Sequence>& sequences() const { return sequences_; }
+  /// Bulk-reserves the arena ahead of a known-size load (ingestion
+  /// pre-pass; avoids regrow churn).
+  void Reserve(std::size_t items, std::size_t txns, std::size_t seqs) {
+    arena_.Reserve(items, txns, seqs);
+  }
+
+  std::size_t size() const { return arena_.size(); }
+  bool empty() const { return arena_.empty(); }
+
+  SequenceView operator[](Cid cid) const { return arena_[cid]; }
+
+  /// Range-for iteration yields SequenceView by value.
+  SequenceArena::const_iterator begin() const { return arena_.begin(); }
+  SequenceArena::const_iterator end() const { return arena_.end(); }
+
+  /// The backing arena (for shape/byte summaries).
+  const SequenceArena& arena() const { return arena_; }
 
   /// Largest item id present (0 for an empty database). Counting arrays are
   /// sized max_item()+1.
   Item max_item() const { return max_item_; }
 
-  /// Total item occurrences across all sequences. O(1): maintained by Add,
-  /// so shape summaries (bench banners, JSON reports) never rescan the
-  /// database.
-  std::uint64_t TotalItems() const { return total_items_; }
+  /// Total item occurrences across all sequences. O(1) off the arena
+  /// offsets, so shape summaries (bench banners, JSON reports) never rescan
+  /// the database.
+  std::uint64_t TotalItems() const { return arena_.TotalItems(); }
 
   /// Total transactions across all sequences. O(1).
-  std::uint64_t TotalTransactions() const { return total_txns_; }
+  std::uint64_t TotalTransactions() const { return arena_.TotalTransactions(); }
 
   /// Average transactions per customer (the paper's theta). O(1).
   double AvgTransactionsPerCustomer() const;
@@ -44,10 +80,8 @@ class SequenceDatabase {
   double AvgItemsPerTransaction() const;
 
  private:
-  std::vector<Sequence> sequences_;
+  SequenceArena arena_;
   Item max_item_ = 0;
-  std::uint64_t total_items_ = 0;
-  std::uint64_t total_txns_ = 0;
 };
 
 }  // namespace disc

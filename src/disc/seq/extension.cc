@@ -13,7 +13,7 @@ void SortUnique(std::vector<Item>* v) {
 
 }  // namespace
 
-EmbeddingEnds LeftmostEnds(const Sequence& s, const Sequence& pattern,
+EmbeddingEnds LeftmostEnds(SequenceView s, const Sequence& pattern,
                            const SequenceIndex* index) {
   EmbeddingEnds ends;
   if (pattern.Empty()) {
@@ -41,7 +41,7 @@ EmbeddingEnds LeftmostEnds(const Sequence& s, const Sequence& pattern,
   return ends;
 }
 
-ExtensionSets ScanExtensions(const Sequence& s, const Sequence& pattern) {
+ExtensionSets ScanExtensions(SequenceView s, const Sequence& pattern) {
   ExtensionSets out;
   const EmbeddingEnds ends = LeftmostEnds(s, pattern);
   if (!ends.contained) return out;
@@ -54,7 +54,7 @@ ExtensionSets ScanExtensions(const Sequence& s, const Sequence& pattern) {
   return out;
 }
 
-MinExtension ScanMinExtension(const Sequence& s, const Sequence& pattern,
+MinExtension ScanMinExtension(SequenceView s, const Sequence& pattern,
                               const std::pair<Item, ExtType>* floor,
                               bool strict, const SequenceIndex* index) {
   MinExtension out;

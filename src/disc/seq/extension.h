@@ -28,6 +28,7 @@
 #include "disc/order/compare.h"
 #include "disc/seq/index.h"
 #include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 
 namespace disc {
 
@@ -47,7 +48,7 @@ struct ExtensionSets {
 /// Computes the extension sets of `pattern` in `s`. An empty pattern is
 /// contained everywhere; its s-extensions are all distinct items of `s`
 /// (1-sequences) and it has no i-extensions.
-ExtensionSets ScanExtensions(const Sequence& s, const Sequence& pattern);
+ExtensionSets ScanExtensions(SequenceView s, const Sequence& pattern);
 
 /// Result of a minimum-extension scan.
 struct MinExtension {
@@ -63,7 +64,7 @@ struct MinExtension {
 /// extension. This is the allocation-free hot path of Apriori-KMS/CKMS —
 /// semantically identical to taking ScanExtensions and picking the first
 /// qualifying element, which the tests cross-check.
-MinExtension ScanMinExtension(const Sequence& s, const Sequence& pattern,
+MinExtension ScanMinExtension(SequenceView s, const Sequence& pattern,
                               const std::pair<Item, ExtType>* floor = nullptr,
                               bool strict = false,
                               const SequenceIndex* index = nullptr);
@@ -77,7 +78,7 @@ struct EmbeddingEnds {
   std::uint32_t full_end = kNoTxn;    ///< end txn of the whole pattern
   std::uint32_t prefix_end = kNoTxn;  ///< end txn of all itemsets but last
 };
-EmbeddingEnds LeftmostEnds(const Sequence& s, const Sequence& pattern,
+EmbeddingEnds LeftmostEnds(SequenceView s, const Sequence& pattern,
                            const SequenceIndex* index = nullptr);
 
 /// Streams every valid extension occurrence to `fn(item, type)` WITHOUT
@@ -86,7 +87,7 @@ EmbeddingEnds LeftmostEnds(const Sequence& s, const Sequence& pattern,
 /// idempotent per item (CountingArray, min-tracking) use this to skip the
 /// sort-unique cost.
 template <typename Fn>
-void ForEachExtension(const Sequence& s, const Sequence& pattern, Fn&& fn,
+void ForEachExtension(SequenceView s, const Sequence& pattern, Fn&& fn,
                       const SequenceIndex* index = nullptr) {
   const EmbeddingEnds ends = LeftmostEnds(s, pattern, index);
   if (!ends.contained) return;

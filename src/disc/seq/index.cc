@@ -6,7 +6,7 @@
 
 namespace disc {
 
-SequenceIndex::SequenceIndex(const Sequence& s)
+SequenceIndex::SequenceIndex(SequenceView s)
     : num_txns_(s.NumTransactions()) {
   // Collect (item, txn) pairs; transactions are visited in order and items
   // within a transaction are sorted, so a stable sort by item yields rows

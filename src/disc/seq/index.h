@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
 #include "disc/seq/types.h"
 
 namespace disc {
@@ -23,8 +23,10 @@ namespace disc {
 /// Occurrence index of one sequence. See file comment.
 class SequenceIndex {
  public:
-  /// Builds the index in O(length log length).
-  explicit SequenceIndex(const Sequence& s);
+  /// Builds the index in O(length log length). The index copies everything
+  /// it needs — it retains no pointers into `s`, so it stays valid even if
+  /// the viewed storage later moves or is cleared.
+  explicit SequenceIndex(SequenceView s);
 
   /// First transaction >= start containing item x; kNoTxn if none.
   std::uint32_t NextTxnWithItem(Item x, std::uint32_t start) const;

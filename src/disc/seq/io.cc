@@ -10,7 +10,7 @@ namespace disc {
 
 std::string ToSpmfString(const SequenceDatabase& db) {
   std::string out;
-  for (const Sequence& s : db.sequences()) {
+  for (const SequenceView s : db) {
     for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
       for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
         out += std::to_string(*p);
@@ -25,26 +25,60 @@ std::string ToSpmfString(const SequenceDatabase& db) {
 
 SequenceDatabase FromSpmfString(const std::string& text) {
   SequenceDatabase db;
+
+  // Pre-pass: count tokens so the arena is bulk-reserved once (-1 closes a
+  // transaction, -2 closes a sequence, anything else is an item).
+  {
+    std::istringstream count_in(text);
+    std::size_t items = 0, txns = 0, seqs = 0;
+    long long tok;
+    while (count_in >> tok) {
+      if (tok == -1) {
+        ++txns;
+      } else if (tok == -2) {
+        ++seqs;
+      } else {
+        ++items;
+      }
+    }
+    db.Reserve(items, txns, seqs);
+  }
+
+  // Parse directly into the arena — no per-line vector<Itemset>
+  // intermediary. Input is untrusted, so every structural invariant the
+  // arena DCHECKs is CHECKed here with a loader-specific message first.
   std::istringstream in(text);
-  std::vector<Itemset> itemsets;
-  std::vector<Item> current;
+  bool seq_open = false;
+  bool txn_open = false;
+  Item last = kNoItem;
   long long tok;
   while (in >> tok) {
     if (tok == -1) {
-      DISC_CHECK_MSG(!current.empty(), "empty itemset in SPMF input");
-      itemsets.emplace_back(std::move(current));
-      current.clear();
+      DISC_CHECK_MSG(txn_open, "empty itemset in SPMF input");
+      db.EndTransaction();
+      txn_open = false;
+      last = kNoItem;
     } else if (tok == -2) {
-      DISC_CHECK_MSG(current.empty(), "itemset not closed before -2");
-      DISC_CHECK_MSG(!itemsets.empty(), "empty sequence in SPMF input");
-      db.Add(Sequence(itemsets));
-      itemsets.clear();
+      DISC_CHECK_MSG(!txn_open, "itemset not closed before -2");
+      DISC_CHECK_MSG(seq_open, "empty sequence in SPMF input");
+      db.EndSequence();
+      seq_open = false;
     } else {
       DISC_CHECK_MSG(tok > 0, "items must be positive");
-      current.push_back(static_cast<Item>(tok));
+      const Item x = static_cast<Item>(tok);
+      DISC_CHECK_MSG(!txn_open || x > last,
+                     "itemset must be strictly ascending (sorted, no "
+                     "duplicates) in SPMF input");
+      if (!seq_open) {
+        db.BeginSequence();
+        seq_open = true;
+      }
+      db.AppendItem(x);
+      txn_open = true;
+      last = x;
     }
   }
-  DISC_CHECK_MSG(current.empty() && itemsets.empty(),
+  DISC_CHECK_MSG(!txn_open && !seq_open,
                  "trailing unterminated sequence in SPMF input");
   return db;
 }

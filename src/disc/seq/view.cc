@@ -1,0 +1,82 @@
+#include "disc/seq/view.h"
+
+#include <vector>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+Itemset SequenceView::TxnItemset(std::uint32_t t) const {
+  return Itemset(std::vector<Item>(TxnBegin(t), TxnEnd(t)));
+}
+
+Item SequenceView::LastItem() const {
+  DISC_CHECK(!Empty());
+  return *(ItemsEnd() - 1);
+}
+
+Sequence SequenceView::Prefix(std::uint32_t k) const {
+  DISC_CHECK(k <= Length());
+  Sequence out;
+  for (std::uint32_t t = 0; t < num_txns_ && TxnStartPos(t) < k; ++t) {
+    const std::uint32_t end = std::min(k, TxnEndPos(t));
+    for (std::uint32_t pos = TxnStartPos(t); pos < end; ++pos) {
+      if (pos == TxnStartPos(t)) {
+        out.AppendNewItemset(ItemAt(pos));
+      } else {
+        out.AppendToLastItemset(ItemAt(pos));
+      }
+    }
+  }
+  return out;
+}
+
+std::string SequenceView::ToString() const {
+  bool letters = !Empty();
+  for (const Item x : items()) {
+    if (x == 0 || x > 26) letters = false;
+  }
+  std::string out;
+  for (std::uint32_t t = 0; t < num_txns_; ++t) {
+    out += "(";
+    for (const Item* p = TxnBegin(t); p != TxnEnd(t); ++p) {
+      if (p != TxnBegin(t)) out += ",";
+      if (letters) {
+        out += static_cast<char>('a' + *p - 1);
+      } else {
+        out += std::to_string(*p);
+      }
+    }
+    out += ")";
+  }
+  if (out.empty()) out = "<>";
+  return out;
+}
+
+bool SequenceView::IsWellFormed() const {
+  for (std::uint32_t t = 0; t < num_txns_; ++t) {
+    if (offsets_[t] >= offsets_[t + 1]) return false;  // empty transaction
+    for (const Item* p = TxnBegin(t); p != TxnEnd(t); ++p) {
+      if (*p == kNoItem) return false;
+      if (p != TxnBegin(t) && *(p - 1) >= *p) return false;  // unsorted/dup
+    }
+  }
+  return true;
+}
+
+bool operator==(SequenceView a, SequenceView b) {
+  if (a.Length() != b.Length() ||
+      a.NumTransactions() != b.NumTransactions()) {
+    return false;
+  }
+  for (std::uint32_t t = 0; t < a.NumTransactions(); ++t) {
+    if (a.TxnEndPos(t) != b.TxnEndPos(t)) return false;
+  }
+  return std::equal(a.ItemsBegin(), a.ItemsEnd(), b.ItemsBegin());
+}
+
+Sequence MaterializeSequence(SequenceView v) {
+  return v.Prefix(v.Length());
+}
+
+}  // namespace disc

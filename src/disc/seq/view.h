@@ -1,0 +1,151 @@
+// SequenceView: a non-owning, trivially-copyable view of one customer
+// sequence, carrying the same flattened-access API as Sequence.
+//
+// A view is two pointers and a transaction count: the item buffer it reads
+// from (`base`), and `num_txns + 1` transaction offsets. Offsets are
+// *absolute positions* into `base` — `offsets[0]` is where the sequence
+// starts, which is 0 for a view of an owning Sequence but arbitrary for a
+// view into a SequenceArena slab. Flattened positions exposed by the API
+// (ItemAt, TxnOf, ...) stay 0-based relative to the sequence, exactly like
+// Sequence, so the two types are drop-in interchangeable on read paths.
+//
+// Ownership rules (docs/ARCHITECTURE.md): customer sequences are read
+// through views; owning Sequence is reserved for patterns and ingestion.
+// A view never outlives the Sequence or SequenceArena it points into, and
+// arena growth invalidates views into it (like vector iterators).
+#ifndef DISC_SEQ_VIEW_H_
+#define DISC_SEQ_VIEW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "disc/seq/itemset.h"
+#include "disc/seq/sequence.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// A borrowed, contiguous range of items (what SequenceView::items()
+/// returns; keeps range-for loops over `.items()` source-compatible with
+/// the owning Sequence's std::vector).
+class ItemSpan {
+ public:
+  ItemSpan(const Item* begin, const Item* end) : begin_(begin), end_(end) {}
+
+  const Item* begin() const { return begin_; }
+  const Item* end() const { return end_; }
+  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  Item front() const { return *begin_; }
+  Item back() const { return *(end_ - 1); }
+  Item operator[](std::size_t i) const { return begin_[i]; }
+
+ private:
+  const Item* begin_;
+  const Item* end_;
+};
+
+namespace view_internal {
+// Backing storage for default-constructed (empty) views, so every view —
+// including SequenceView{} — has a valid offsets pointer.
+inline constexpr std::uint32_t kEmptyOffsets[1] = {0};
+}  // namespace view_internal
+
+/// Non-owning view of a sequence. Pass by value (16-24 bytes).
+class SequenceView {
+ public:
+  /// Empty sequence (zero transactions).
+  SequenceView()
+      : base_(nullptr),
+        offsets_(view_internal::kEmptyOffsets),
+        num_txns_(0) {}
+
+  /// Implicit: any read path taking a SequenceView accepts a Sequence.
+  SequenceView(const Sequence& s)  // NOLINT(google-explicit-constructor)
+      : base_(s.items().data()),
+        offsets_(s.offsets().data()),
+        num_txns_(s.NumTransactions()) {}
+
+  /// Raw CSR triple (arena accessor): `offsets` has num_txns + 1 entries of
+  /// absolute positions into `base`.
+  SequenceView(const Item* base, const std::uint32_t* offsets,
+               std::uint32_t num_txns)
+      : base_(base), offsets_(offsets), num_txns_(num_txns) {}
+
+  /// --- Size ---
+
+  std::uint32_t Length() const { return offsets_[num_txns_] - offsets_[0]; }
+  bool Empty() const { return Length() == 0; }
+  std::uint32_t NumTransactions() const { return num_txns_; }
+
+  /// --- Flattened access (positions relative to the sequence start) ---
+
+  Item ItemAt(std::uint32_t pos) const { return base_[offsets_[0] + pos]; }
+
+  /// Transaction index (0-based) of flattened position pos. O(log T).
+  std::uint32_t TxnOf(std::uint32_t pos) const {
+    const auto it = std::upper_bound(offsets_, offsets_ + num_txns_ + 1,
+                                     offsets_[0] + pos);
+    return static_cast<std::uint32_t>(it - offsets_) - 1;
+  }
+
+  const Item* ItemsBegin() const { return base_ + offsets_[0]; }
+  const Item* ItemsEnd() const { return base_ + offsets_[num_txns_]; }
+  ItemSpan items() const { return ItemSpan(ItemsBegin(), ItemsEnd()); }
+
+  /// --- Transaction access ---
+
+  const Item* TxnBegin(std::uint32_t t) const { return base_ + offsets_[t]; }
+  const Item* TxnEnd(std::uint32_t t) const { return base_ + offsets_[t + 1]; }
+  std::uint32_t TxnSize(std::uint32_t t) const {
+    return offsets_[t + 1] - offsets_[t];
+  }
+
+  /// First/one-past-last flattened position of transaction t, relative to
+  /// the sequence start (what positionwise scans key their cursors on).
+  std::uint32_t TxnStartPos(std::uint32_t t) const {
+    return offsets_[t] - offsets_[0];
+  }
+  std::uint32_t TxnEndPos(std::uint32_t t) const {
+    return offsets_[t + 1] - offsets_[0];
+  }
+
+  /// Copies transaction t into an Itemset.
+  Itemset TxnItemset(std::uint32_t t) const;
+
+  /// True if transaction t contains item x (binary search).
+  bool TxnContains(std::uint32_t t, Item x) const {
+    return std::binary_search(TxnBegin(t), TxnEnd(t), x);
+  }
+
+  /// Last item of the last transaction; sequence must be non-empty.
+  Item LastItem() const;
+
+  /// Owning copy of the k-prefix (paper §3.2). Requires k <= Length().
+  Sequence Prefix(std::uint32_t k) const;
+
+  /// --- Formatting / invariants (same semantics as Sequence) ---
+
+  std::string ToString() const;
+  bool IsWellFormed() const;
+
+ private:
+  const Item* base_;
+  const std::uint32_t* offsets_;  // num_txns_ + 1 absolute positions
+  std::uint32_t num_txns_;
+};
+
+/// Content equality: same items under the same transaction structure.
+/// Mixed Sequence/SequenceView comparisons convert through the implicit
+/// view constructor; Sequence == Sequence keeps its exact member overload.
+bool operator==(SequenceView a, SequenceView b);
+inline bool operator!=(SequenceView a, SequenceView b) { return !(a == b); }
+
+/// Owning deep copy of a view (for the rare path that must retain a
+/// customer sequence beyond its arena's lifetime).
+Sequence MaterializeSequence(SequenceView v);
+
+}  // namespace disc
+
+#endif  // DISC_SEQ_VIEW_H_

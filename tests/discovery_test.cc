@@ -19,7 +19,7 @@ using testutil::Seq;
 PartitionMembers Members(const SequenceDatabase& db) {
   PartitionMembers out;
   for (Cid cid = 0; cid < db.size(); ++cid) {
-    out.push_back({&db[cid], nullptr, cid});
+    out.push_back({db[cid], nullptr, cid});
   }
   return out;
 }
@@ -29,7 +29,7 @@ std::map<Sequence, std::uint32_t, SequenceLess> BruteFrequentK(
     const SequenceDatabase& db, const std::vector<Sequence>& list,
     std::uint32_t k, std::uint32_t delta) {
   std::map<Sequence, std::uint32_t, SequenceLess> counts;
-  for (const Sequence& s : db.sequences()) {
+  for (const SequenceView s : db) {
     for (const Sequence& sub : AllDistinctKSubsequences(s, k)) {
       if (!std::binary_search(list.begin(), list.end(), sub.Prefix(k - 1),
                               SequenceLess())) {

@@ -28,7 +28,7 @@ TEST(HashTree, CountsMatchDirectContainment) {
 
   const CandidateHashTree tree(&candidates);
   std::vector<std::uint32_t> counts(candidates.size(), 0);
-  for (const Sequence& s : db.sequences()) tree.CountSupports(s, &counts);
+  for (const SequenceView s : db) tree.CountSupports(s, &counts);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     EXPECT_EQ(counts[i], CountSupport(db, candidates[i]))
         << candidates[i].ToString();
@@ -50,7 +50,7 @@ TEST(HashTree, TinyFanoutStressesSplitting) {
   const CandidateHashTree tree(&candidates, /*fanout=*/2,
                                /*leaf_capacity=*/1);
   std::vector<std::uint32_t> counts(candidates.size(), 0);
-  for (const Sequence& s : db.sequences()) tree.CountSupports(s, &counts);
+  for (const SequenceView s : db) tree.CountSupports(s, &counts);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     EXPECT_EQ(counts[i], CountSupport(db, candidates[i]))
         << candidates[i].ToString();

@@ -13,7 +13,7 @@ using testutil::Seq;
 PartitionMembers Members(const SequenceDatabase& db) {
   PartitionMembers out;
   for (Cid cid = 0; cid < db.size(); ++cid) {
-    out.push_back({&db[cid], nullptr, cid});
+    out.push_back({db[cid], nullptr, cid});
   }
   return out;
 }
@@ -97,10 +97,10 @@ TEST(KSorted, KeysMatchBruteForceMinima) {
     ASSERT_FALSE(handles.empty());
     for (const std::uint32_t h : handles) {
       const auto expected =
-          BruteKMinWithFrequentPrefix(*sd.entry(h).seq, 2, list);
+          BruteKMinWithFrequentPrefix(sd.entry(h).seq, 2, list);
       ASSERT_TRUE(expected.has_value());
       EXPECT_EQ(CompareSequences(key, *expected), 0)
-          << sd.entry(h).seq->ToString();
+          << sd.entry(h).seq.ToString();
     }
   }
 }

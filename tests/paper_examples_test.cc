@@ -224,7 +224,7 @@ TEST(PaperExamples, Example35DiscoveryWithBilevel) {
   const SequenceDatabase part = testutil::Table8Partition();
   PartitionMembers members;
   for (Cid cid = 0; cid < part.size(); ++cid) {
-    members.push_back({&part[cid], nullptr, cid});
+    members.push_back({part[cid], nullptr, cid});
   }
   DiscoveryOptions options;
   options.k = 4;

@@ -58,6 +58,37 @@ TEST(Io, FileRoundTrip) {
   EXPECT_EQ(back[1], db[1]);
 }
 
+// The SPMF loader streams straight into the arena, so structural
+// invariants are enforced with always-on CHECKs at parse time.
+TEST(IoDeathTest, EmptyItemsetAborts) {
+  EXPECT_DEATH(FromSpmfString("1 -1 -1 -2"), "empty itemset");
+  EXPECT_DEATH(FromSpmfString("-1 -2"), "empty itemset");
+}
+
+TEST(IoDeathTest, UnsortedTransactionAborts) {
+  EXPECT_DEATH(FromSpmfString("3 2 -1 -2"), "strictly ascending");
+  // Duplicates within a transaction are rejected by the same check.
+  EXPECT_DEATH(FromSpmfString("2 2 -1 -2"), "strictly ascending");
+}
+
+TEST(IoDeathTest, ItemZeroAborts) {
+  EXPECT_DEATH(FromSpmfString("0 -1 -2"), "positive");
+  EXPECT_DEATH(FromSpmfString("1 -1 0 -1 -2"), "positive");
+}
+
+TEST(IoDeathTest, UnterminatedInputAborts) {
+  EXPECT_DEATH(FromSpmfString("1 -1"), "unterminated");
+  EXPECT_DEATH(FromSpmfString("1 2"), "unterminated");
+}
+
+TEST(Io, SortedTransactionsAcrossSequenceBoundaryOk) {
+  // A descending item straight after -2 starts a fresh transaction and
+  // must not trip the ascending check.
+  const SequenceDatabase db = FromSpmfString("5 -1 -2\n2 -1 -2\n");
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[1].ItemAt(0), 2u);
+}
+
 TEST(Io, DatabaseStats) {
   const SequenceDatabase db = MakeDatabase({"(a,b)(c)", "(d)"});
   EXPECT_EQ(db.TotalItems(), 4u);

@@ -141,7 +141,7 @@ TEST(RunDiscLoop, FindsAllLongPatterns) {
   for (int i = 0; i < 4; ++i) db.Add(Seq("(a)(b)(c)(d)"));
   PartitionMembers members;
   for (Cid cid = 0; cid < db.size(); ++cid) {
-    members.push_back({&db[cid], nullptr, cid});
+    members.push_back({db[cid], nullptr, cid});
   }
   // Start DISC at k=2 from the frequent 1-list.
   std::vector<Sequence> list;

@@ -71,7 +71,7 @@ TEST(Quest, AllSequencesWellFormedAndNonEmpty) {
   p.tlen = 1.2;
   p.slen = 2.0;
   const SequenceDatabase db = GenerateQuestDatabase(p);
-  for (const Sequence& s : db.sequences()) {
+  for (const SequenceView s : db) {
     EXPECT_TRUE(s.IsWellFormed());
     EXPECT_GE(s.Length(), 1u);
   }

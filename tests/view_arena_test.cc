@@ -1,0 +1,205 @@
+// Property tests for the flat-arena pipeline: a SequenceView over an
+// owning Sequence, and a view over the same data appended into a
+// SequenceArena, must agree with the Sequence on every accessor. Runs on
+// the paper's Table 1 database plus 1000 fuzzed Quest-style sequences.
+#include <cstddef>
+#include <vector>
+
+#include "disc/common/rng.h"
+#include "disc/seq/arena.h"
+#include "disc/seq/database.h"
+#include "disc/seq/sequence.h"
+#include "disc/seq/view.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+// Asserts every read accessor of `v` matches the owning `s`.
+void ExpectViewMatchesSequence(SequenceView v, const Sequence& s) {
+  ASSERT_EQ(v.Length(), s.Length());
+  ASSERT_EQ(v.Empty(), s.Empty());
+  ASSERT_EQ(v.NumTransactions(), s.NumTransactions());
+  EXPECT_TRUE(v.IsWellFormed());
+  EXPECT_EQ(v.ToString(), s.ToString());
+  if (!s.Empty()) {
+    EXPECT_EQ(v.LastItem(), s.LastItem());
+  }
+
+  for (std::uint32_t pos = 0; pos < s.Length(); ++pos) {
+    EXPECT_EQ(v.ItemAt(pos), s.ItemAt(pos)) << "pos=" << pos;
+    EXPECT_EQ(v.TxnOf(pos), s.TxnOf(pos)) << "pos=" << pos;
+  }
+
+  // Flattened iteration matches the owning vector.
+  ASSERT_EQ(static_cast<std::size_t>(v.ItemsEnd() - v.ItemsBegin()),
+            s.items().size());
+  EXPECT_TRUE(std::equal(v.ItemsBegin(), v.ItemsEnd(), s.items().begin()));
+  ASSERT_EQ(v.items().size(), s.items().size());
+  EXPECT_TRUE(std::equal(v.items().begin(), v.items().end(),
+                         s.items().begin()));
+
+  for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+    ASSERT_EQ(v.TxnSize(t), s.TxnSize(t)) << "t=" << t;
+    EXPECT_TRUE(std::equal(v.TxnBegin(t), v.TxnEnd(t), s.TxnBegin(t)))
+        << "t=" << t;
+    EXPECT_EQ(v.TxnStartPos(t), s.offsets()[t] - s.offsets()[0]) << "t=" << t;
+    EXPECT_EQ(v.TxnEndPos(t), s.offsets()[t + 1] - s.offsets()[0])
+        << "t=" << t;
+    EXPECT_EQ(v.TxnItemset(t), s.TxnItemset(t)) << "t=" << t;
+    // TxnContains probed for every item present plus one absent sentinel.
+    for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+      EXPECT_TRUE(v.TxnContains(t, *p));
+      EXPECT_EQ(v.TxnContains(t, *p), s.TxnContains(t, *p));
+    }
+    EXPECT_EQ(v.TxnContains(t, kNoItem - 1), s.TxnContains(t, kNoItem - 1));
+  }
+
+  // Prefixes materialize to the same owning sequences.
+  for (std::uint32_t k = 0; k <= s.Length(); ++k) {
+    EXPECT_EQ(v.Prefix(k), s.Prefix(k)) << "k=" << k;
+  }
+  EXPECT_EQ(MaterializeSequence(v), s);
+}
+
+// Runs the equivalence property over both view flavors for one sequence:
+// a direct view of the Sequence, and a view of an arena copy.
+void CheckBothViewFlavors(const Sequence& s, SequenceArena* arena) {
+  ExpectViewMatchesSequence(SequenceView(s), s);
+  arena->AppendCopy(SequenceView(s));
+  ExpectViewMatchesSequence(arena->back(), s);
+}
+
+TEST(ViewArenaEquivalence, Table1Database) {
+  const SequenceDatabase db = testutil::Table1Database();
+  SequenceArena arena;
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    const Sequence owned = MaterializeSequence(db[cid]);
+    CheckBothViewFlavors(owned, &arena);
+    // The database's own view agrees with the materialized copy too.
+    ExpectViewMatchesSequence(db[cid], owned);
+  }
+  EXPECT_EQ(arena.size(), db.size());
+  EXPECT_EQ(arena.TotalItems(), db.TotalItems());
+  EXPECT_EQ(arena.TotalTransactions(), db.TotalTransactions());
+}
+
+TEST(ViewArenaEquivalence, FuzzedSequences) {
+  Rng rng(20260806);
+  SequenceArena arena;
+  std::vector<Sequence> owned;
+  owned.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    owned.push_back(testutil::RandomSequence(&rng, /*alphabet=*/40,
+                                             /*max_txns=*/8,
+                                             /*max_items_per_txn=*/5));
+    ExpectViewMatchesSequence(SequenceView(owned.back()), owned.back());
+    arena.AppendCopy(SequenceView(owned.back()));
+  }
+  // Arena views are checked after all appends: growth may reallocate the
+  // item buffer, so views must only be collected once the arena is stable.
+  ASSERT_EQ(arena.size(), 1000u);
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    ExpectViewMatchesSequence(arena[i], owned[i]);
+  }
+  // Iterator pass agrees with operator[].
+  std::size_t i = 0;
+  for (const SequenceView v : arena) {
+    EXPECT_TRUE(v == arena[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, arena.size());
+}
+
+TEST(ViewArenaEquivalence, ViewEqualityIgnoresBackingStore) {
+  const Sequence a = testutil::Seq("(a,c)(b)(a,b,c)");
+  const Sequence b = testutil::Seq("(a,c)(b)(a,b,c)");
+  const Sequence c = testutil::Seq("(a,c)(b,c)(a,b)");  // same items, shifted
+  SequenceArena arena;
+  arena.AppendCopy(SequenceView(a));
+  EXPECT_TRUE(SequenceView(a) == SequenceView(b));
+  EXPECT_TRUE(arena.back() == SequenceView(a));
+  EXPECT_TRUE(SequenceView(a) != SequenceView(c));
+  EXPECT_TRUE(SequenceView(c) != arena.back());
+}
+
+TEST(SequenceArena, StreamingBuildMatchesAppendCopy) {
+  const Sequence s = testutil::Seq("(a,e,g)(b)(h)(f)(c)(b,f)");
+  SequenceArena streamed;
+  streamed.BeginSequence();
+  for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+    for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+      streamed.AppendItem(*p);
+    }
+    streamed.EndTransaction();
+  }
+  streamed.EndSequence();
+  SequenceArena copied;
+  copied.AppendCopy(SequenceView(s));
+  EXPECT_TRUE(streamed.back() == copied.back());
+  ExpectViewMatchesSequence(streamed.back(), s);
+}
+
+TEST(SequenceArena, ClearKeepsCapacityAndReusesStorage) {
+  SequenceArena arena;
+  const SequenceDatabase db =
+      testutil::RandomDatabase(11, {.num_seqs = 50, .alphabet = 12});
+  for (const SequenceView v : db) arena.AppendCopy(v);
+  const std::size_t cap = arena.CapacityBytes();
+  ASSERT_GT(cap, 0u);
+  arena.Clear();
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_TRUE(arena.empty());
+  EXPECT_EQ(arena.TotalItems(), 0u);
+  EXPECT_EQ(arena.CapacityBytes(), cap);
+  // Refill after Clear: identical contents, no capacity growth.
+  for (const SequenceView v : db) arena.AppendCopy(v);
+  EXPECT_EQ(arena.CapacityBytes(), cap);
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    EXPECT_TRUE(arena[cid] == db[cid]);
+  }
+}
+
+TEST(SequenceArena, PopBackDiscardsOnlyLastSequence) {
+  SequenceArena arena;
+  const Sequence keep = testutil::Seq("(a)(b,c)");
+  const Sequence drop = testutil::Seq("(d)(e)(f,g)");
+  arena.AppendCopy(SequenceView(keep));
+  arena.AppendCopy(SequenceView(drop));
+  ASSERT_EQ(arena.size(), 2u);
+  arena.PopBack();
+  ASSERT_EQ(arena.size(), 1u);
+  EXPECT_TRUE(arena.back() == SequenceView(keep));
+  EXPECT_EQ(arena.TotalItems(), keep.Length());
+  // The arena stays appendable after a pop.
+  arena.AppendCopy(SequenceView(drop));
+  EXPECT_TRUE(arena.back() == SequenceView(drop));
+}
+
+TEST(SequenceArena, ReserveIsBulkAndExact) {
+  const SequenceDatabase db = testutil::Table1Database();
+  SequenceArena arena;
+  arena.Reserve(db.TotalItems(), db.TotalTransactions(), db.size());
+  const std::size_t cap = arena.CapacityBytes();
+  for (const SequenceView v : db) arena.AppendCopy(v);
+  EXPECT_EQ(arena.CapacityBytes(), cap) << "Reserve should cover the fill";
+}
+
+TEST(SequenceArena, EmptySequencesRoundTrip) {
+  // DiscAll partitions can hold empty customer sequences; the arena must
+  // represent them (zero transactions) without tripping invariants.
+  SequenceArena arena;
+  arena.BeginSequence();
+  arena.EndSequence();
+  arena.AppendCopy(SequenceView(testutil::Seq("(a)")));
+  ASSERT_EQ(arena.size(), 2u);
+  EXPECT_TRUE(arena[0].Empty());
+  EXPECT_EQ(arena[0].NumTransactions(), 0u);
+  EXPECT_EQ(arena[0].ToString(), Sequence().ToString());
+  EXPECT_FALSE(arena[1].Empty());
+  ExpectViewMatchesSequence(arena[0], Sequence());
+}
+
+}  // namespace
+}  // namespace disc

@@ -69,7 +69,7 @@ TEST(Weighted, MatchesBruteForceOracle) {
     }
     // Completeness for lengths 1-3 by brute-force enumeration.
     std::set<Sequence, SequenceLess> candidates;
-    for (const Sequence& s : db.sequences()) {
+    for (const SequenceView s : db) {
       for (std::uint32_t k = 1; k <= 3; ++k) {
         for (const Sequence& sub : AllDistinctKSubsequences(s, k)) {
           candidates.insert(sub);

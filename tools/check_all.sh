@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Runs every sanitizer smoke check in sequence: ASan+UBSan (memory/lifetime
+# bugs in the arena/view pipeline) then TSan (data races in the parallel
+# partition scheduler). Each check uses its own build directory, so repeat
+# runs are incremental.
+#
+#   $ tools/check_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+./check_asan.sh
+./check_tsan.sh
+
+echo "all sanitizer checks passed"
