@@ -5,7 +5,9 @@
 //   $ ./generate_data out.spmf --ncust=10000 --slen=10 --tlen=2.5 \
 //         --nitems=1000 --seq_patlen=4 [--mine --minsup=0.005]
 //
-// Round-trip demo of the gen + io + algo layers.
+// Round-trip demo of the gen + io + algo layers. Exit codes follow the
+// library convention (docs/ROBUSTNESS.md): 0 success, 2 usage error,
+// 3 data/I-O error.
 #include <cstdio>
 
 #include "disc/algo/miner.h"
@@ -25,6 +27,14 @@ int main(int argc, char** argv) {
   }
 
   disc::QuestParams params;
+  if (flags.GetInt("ncust", 10000) < 1 || flags.GetInt("nitems", 1000) < 1 ||
+      flags.GetDouble("slen", 10.0) <= 0.0 ||
+      flags.GetDouble("tlen", 2.5) <= 0.0) {
+    std::fprintf(stderr,
+                 "generate_data: --ncust/--nitems must be >= 1 and "
+                 "--slen/--tlen positive\n");
+    return 2;
+  }
   params.ncust = static_cast<std::uint32_t>(flags.GetInt("ncust", 10000));
   params.slen = flags.GetDouble("slen", 10.0);
   params.tlen = flags.GetDouble("tlen", 2.5);
@@ -42,20 +52,31 @@ int main(int argc, char** argv) {
 
   const std::string& path = flags.positional()[0];
   if (!disc::SaveSpmf(db, path)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
+    std::fprintf(stderr, "generate_data: cannot write %s\n", path.c_str());
+    return 3;
   }
   std::printf("wrote %s\n", path.c_str());
 
   if (flags.GetBool("mine", false)) {
-    const disc::SequenceDatabase loaded = disc::LoadSpmf(path);
+    auto loaded_or = disc::TryLoadSpmf(path);
+    if (!loaded_or.ok()) {
+      std::fprintf(stderr, "generate_data: %s\n",
+                   loaded_or.status().message().c_str());
+      return 3;
+    }
+    const disc::SequenceDatabase loaded = std::move(*loaded_or);
     disc::MineOptions options;
     options.min_support_count = disc::MineOptions::CountForFraction(
         loaded.size(), flags.GetDouble("minsup", 0.005));
     const std::string algo = flags.GetString("algo", "disc-all");
+    auto miner_or = disc::TryCreateMiner(algo);
+    if (!miner_or.ok()) {
+      std::fprintf(stderr, "generate_data: %s\n",
+                   miner_or.status().message().c_str());
+      return 2;
+    }
     timer.Reset();
-    const disc::PatternSet patterns =
-        disc::CreateMiner(algo)->Mine(loaded, options);
+    const disc::PatternSet patterns = (*miner_or)->Mine(loaded, options);
     std::printf("%s: %zu frequent sequences (delta=%u, max length %u) in "
                 "%.2fs\n",
                 algo.c_str(), patterns.size(), options.min_support_count,

@@ -70,5 +70,7 @@ int main(int argc, char** argv) {
       disc::CreateMiner("pseudo")->Mine(db, options);
   std::printf("\npseudo-PrefixSpan: %.3fs, results %s\n", timer.Seconds(),
               baseline == patterns ? "identical" : "DIFFER (bug!)");
-  return baseline == patterns ? 0 : 1;
+  // Exit 3 = internal/data error per the library convention
+  // (docs/ROBUSTNESS.md).
+  return baseline == patterns ? 0 : 3;
 }

@@ -2,9 +2,11 @@
 //
 //   $ ./quickstart
 //
-// Walks the full public API surface in ~40 lines: build a database, pick a
-// miner, mine, inspect the result set.
+// Walks the full public API surface in ~50 lines: build a database, pick a
+// miner, mine, inspect the result set, and handle failures without
+// aborting. Exits 0 on success, 3 on a mining error (docs/ROBUSTNESS.md).
 #include <cstdio>
+#include <utility>
 
 #include "disc/algo/miner.h"
 #include "disc/seq/parse.h"
@@ -25,9 +27,17 @@ int main() {
 
   // "disc-all" is this library's contribution (the paper's DISC strategy);
   // "prefixspan", "pseudo", "gsp", "spade" and "spam" are drop-in
-  // replacements that return identical results.
+  // replacements that return identical results. TryMine is the
+  // non-aborting surface: failures, cancellation, and deadline overruns
+  // come back as a Status next to the (then partial) patterns.
   const auto miner = disc::CreateMiner("disc-all");
-  const disc::PatternSet patterns = miner->Mine(db, options);
+  disc::MineResult result = miner->TryMine(db, options);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status.ToString().c_str());
+    return 3;
+  }
+  const disc::PatternSet patterns = std::move(result.patterns);
 
   std::printf("%zu frequent sequences (min support %u):\n\n", patterns.size(),
               options.min_support_count);

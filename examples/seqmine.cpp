@@ -5,10 +5,19 @@
 //   $ ./seqmine input.spmf [--algo=disc-all] [--minsup=0.01 | --delta=25]
 //               [--max-length=N] [--threads=N] [--top-k=K] [--maximal]
 //               [--closed] [--out=patterns.spmf] [--quiet] [--stats]
+//               [--permissive] [--deadline-ms=N] [--failpoints=SPEC]
 //               [--trace-out=trace.json] [--json-out=report.json]
 //
 // --stats prints the per-run work counters, --trace-out writes a
 // chrome://tracing span file, --json-out a machine-readable report.
+// --permissive skips (and counts) malformed input records instead of
+// failing; --deadline-ms stops the run cooperatively, keeping the exact
+// partial result; --failpoints arms fault-injection sites (same syntax as
+// the DISC_FAILPOINTS environment variable; see docs/ROBUSTNESS.md).
+//
+// Exit codes (docs/ROBUSTNESS.md): 0 success, 2 usage error, 3 data or
+// internal error, 4 stopped by deadline/cancellation (partial result
+// written).
 //
 // Uses the umbrella header, exercising the full public API.
 #include <cstdio>
@@ -18,30 +27,96 @@
 #include "disc/common/flags.h"
 #include "disc/common/timer.h"
 
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitDataError = 3;
+constexpr int kExitStopped = 4;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: seqmine <input.spmf> [--algo=NAME] [--minsup=F | --delta=N]\n"
+      "               [--max-length=N] [--threads=N] [--top-k=K]\n"
+      "               [--maximal] [--closed] [--out=FILE] [--quiet]\n"
+      "               [--permissive] [--deadline-ms=N] [--failpoints=SPEC]\n"
+      "               [--stats] [--trace-out=FILE] [--json-out=FILE]\n"
+      "algorithms:");
+  for (const std::string& name : disc::AllMinerNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return kExitUsage;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const disc::Flags flags = disc::Flags::Parse(argc, argv);
-  if (flags.positional().empty()) {
-    std::fprintf(
-        stderr,
-        "usage: seqmine <input.spmf> [--algo=NAME] [--minsup=F | --delta=N]\n"
-        "               [--max-length=N] [--threads=N] [--top-k=K]\n"
-        "               [--maximal] [--closed] [--out=FILE] [--quiet]\n"
-        "               [--stats] [--trace-out=FILE] [--json-out=FILE]\n"
-        "algorithms:");
-    for (const std::string& name : disc::AllMinerNames()) {
-      std::fprintf(stderr, " %s", name.c_str());
+  if (flags.positional().empty()) return Usage();
+
+  if (flags.Has("failpoints")) {
+    const disc::Status status =
+        disc::failpoint::Configure(flags.GetString("failpoints", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "seqmine: --failpoints: %s\n",
+                   status.message().c_str());
+      return kExitUsage;
     }
-    std::fprintf(stderr, "\n");
-    return 2;
   }
+
+  disc::MineOptions options;
+  if (flags.Has("delta")) {
+    const long long delta = flags.GetInt("delta", 2);
+    if (delta < 1) {
+      std::fprintf(stderr, "seqmine: --delta must be >= 1\n");
+      return kExitUsage;
+    }
+    options.min_support_count = static_cast<std::uint32_t>(delta);
+  }
+  const double minsup = flags.GetDouble("minsup", 0.01);
+  if (minsup <= 0.0 || minsup > 1.0) {
+    std::fprintf(stderr, "seqmine: --minsup must be in (0, 1]\n");
+    return kExitUsage;
+  }
+  const long long deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (deadline_ms < 0) {
+    std::fprintf(stderr, "seqmine: --deadline-ms must be >= 0\n");
+    return kExitUsage;
+  }
+  options.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+
+  const std::string algo = flags.GetString("algo", "disc-all");
+  auto miner_or = disc::TryCreateMiner(algo);
+  if (!miner_or.ok()) {
+    std::fprintf(stderr, "seqmine: %s\n", miner_or.status().message().c_str());
+    return kExitUsage;
+  }
+  const std::unique_ptr<disc::Miner> miner = std::move(*miner_or);
 
   disc::ObsSession obs("seqmine", flags);
   disc::Timer total;
-  const disc::SequenceDatabase db =
-      disc::LoadSpmf(flags.positional()[0]);
+  disc::ParseOptions parse_options = flags.GetBool("permissive", false)
+                                         ? disc::ParseOptions::Permissive()
+                                         : disc::ParseOptions::Strict();
+  disc::ParseReport parse_report;
+  auto db_or =
+      disc::TryLoadSpmf(flags.positional()[0], parse_options, &parse_report);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "seqmine: %s\n", db_or.status().message().c_str());
+    return kExitDataError;
+  }
+  const disc::SequenceDatabase db = std::move(*db_or);
   obs.SetWorkload(
       disc::MakeWorkloadInfo(db, "spmf:" + flags.positional()[0]));
   const bool quiet = flags.GetBool("quiet", false);
+  if (parse_report.skipped > 0) {
+    std::fprintf(stderr,
+                 "seqmine: skipped %zu malformed record%s (first: %s)\n",
+                 parse_report.skipped, parse_report.skipped == 1 ? "" : "s",
+                 parse_report.first_error.c_str());
+  }
   if (!quiet) {
     std::printf("loaded %zu sequences (%llu items, %u distinct) in %.2fs\n",
                 db.size(),
@@ -49,8 +124,8 @@ int main(int argc, char** argv) {
                 db.max_item(), total.Seconds());
   }
 
-  const std::string algo = flags.GetString("algo", "disc-all");
   disc::PatternSet patterns;
+  disc::Status mine_status;
   disc::Timer mine_timer;
   if (flags.Has("top-k")) {
     disc::TopKOptions topk;
@@ -60,20 +135,24 @@ int main(int argc, char** argv) {
     topk.algorithm = algo;
     patterns = disc::MineTopK(db, topk);
   } else {
-    disc::MineOptions options;
-    if (flags.Has("delta")) {
+    if (!flags.Has("delta")) {
       options.min_support_count =
-          static_cast<std::uint32_t>(flags.GetInt("delta", 2));
-    } else {
-      options.min_support_count = disc::MineOptions::CountForFraction(
-          db.size(), flags.GetDouble("minsup", 0.01));
+          disc::MineOptions::CountForFraction(db.size(), minsup);
     }
     options.max_length =
         static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
     options.threads = disc::ThreadsFromFlags(flags);
-    const std::unique_ptr<disc::Miner> miner = disc::CreateMiner(algo);
-    patterns = miner->Mine(db, options);
+    disc::MineResult result = miner->TryMine(db, options);
+    patterns = std::move(result.patterns);
+    mine_status = result.status;
     obs.Record(miner->last_stats());
+    if (mine_status.code() == disc::StatusCode::kCancelled ||
+        mine_status.code() == disc::StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr, "seqmine: %s — writing partial result\n",
+                   mine_status.ToString().c_str());
+    } else if (!mine_status.ok()) {
+      std::fprintf(stderr, "seqmine: %s\n", mine_status.ToString().c_str());
+    }
   }
   const double mine_s = mine_timer.Seconds();
 
@@ -92,15 +171,24 @@ int main(int argc, char** argv) {
         summary.max_length, summary.max_support, mine_s);
   }
 
+  int exit_code = kExitOk;
   if (flags.Has("out")) {
     const std::string out_path = flags.GetString("out", "");
     if (!disc::SavePatterns(patterns, out_path)) {
-      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-      return 1;
+      std::fprintf(stderr, "seqmine: cannot write %s\n", out_path.c_str());
+      exit_code = kExitDataError;
+    } else if (!quiet) {
+      std::printf("wrote %s\n", out_path.c_str());
     }
-    if (!quiet) std::printf("wrote %s\n", out_path.c_str());
   } else if (quiet) {
     std::fputs(disc::ToSpmfPatternString(patterns).c_str(), stdout);
   }
-  return obs.Finish() ? 0 : 1;
+  if (!obs.Finish() && exit_code == kExitOk) exit_code = kExitDataError;
+  if (exit_code == kExitOk && !mine_status.ok()) {
+    exit_code = (mine_status.code() == disc::StatusCode::kCancelled ||
+                 mine_status.code() == disc::StatusCode::kDeadlineExceeded)
+                    ? kExitStopped
+                    : kExitDataError;
+  }
+  return exit_code;
 }

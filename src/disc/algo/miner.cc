@@ -1,6 +1,7 @@
 #include "disc/algo/miner.h"
 
 #include <cmath>
+#include <exception>
 
 #include "disc/algo/gsp.h"
 #include "disc/algo/prefixspan.h"
@@ -14,19 +15,56 @@
 
 namespace disc {
 
-PatternSet Miner::Mine(const SequenceDatabase& db, const MineOptions& options) {
+MineResult Miner::TryMine(const SequenceDatabase& db,
+                          const MineOptions& options) {
+  MineResult result;
   stats_ = MineStats{};
   stats_.miner = name();
   stats_.db_sequences = db.size();
+  status_ = Status::Ok();
+  if (options.min_support_count < 1) {
+    status_ = Status::InvalidArgument(
+        "min_support_count (delta) must be >= 1");
+    result.status = status_;
+    return result;
+  }
+
+  RunControl ctl(options.cancel, options.deadline_ms);
+  ctl_ = &ctl;
   obs::StatsHarvest harvest;
   obs::ScopedSpan span("mine/" + name());
   Timer timer;
-  PatternSet result = DoMine(db, options);
+  try {
+    result.patterns = DoMine(db, options);
+  } catch (const std::exception& e) {
+    // A miner bug or an injected fault escaped containment; surface it as
+    // a recoverable Status rather than terminating the process. The
+    // partial patterns gathered so far are discarded — without the
+    // partition-boundary bookkeeping there is no exactness guarantee.
+    ctl.ReportError(
+        Status::Internal(std::string("mining failed: ") + e.what()));
+    result.patterns = PatternSet();
+  }
+  ctl_ = nullptr;
   stats_.wall_seconds = timer.Seconds();
-  stats_.num_patterns = result.size();
-  stats_.max_length = result.MaxLength();
+  stats_.num_patterns = result.patterns.size();
+  stats_.max_length = result.patterns.MaxLength();
+  stats_.cancelled = ctl.cancelled();
+  stats_.deadline_exceeded = ctl.deadline_exceeded();
   harvest.Finish(&stats_);
+  status_ = ctl.ToStatus();
+  result.status = status_;
   return result;
+}
+
+PatternSet Miner::Mine(const SequenceDatabase& db, const MineOptions& options) {
+  MineResult result = TryMine(db, options);
+  // Misuse keeps the historical loud-abort contract on this surface;
+  // environmental/stop statuses are reported via last_status() alongside
+  // the (partial) patterns.
+  DISC_CHECK_MSG(result.status.code() != StatusCode::kInvalidArgument,
+                 result.status.message().c_str());
+  return std::move(result.patterns);
 }
 
 std::uint32_t MineOptions::CountForFraction(std::size_t db_size,
@@ -38,25 +76,36 @@ std::uint32_t MineOptions::CountForFraction(std::size_t db_size,
   return count;
 }
 
-std::unique_ptr<Miner> CreateMiner(const std::string& name) {
+StatusOr<std::unique_ptr<Miner>> TryCreateMiner(const std::string& name) {
+  std::unique_ptr<Miner> miner;
   if (name == "prefixspan") {
-    return std::make_unique<PrefixSpan>(PrefixSpan::Projection::kPhysical);
-  }
-  if (name == "pseudo") {
-    return std::make_unique<PrefixSpan>(PrefixSpan::Projection::kPseudo);
-  }
-  if (name == "gsp") return std::make_unique<Gsp>();
-  if (name == "spade") return std::make_unique<Spade>();
-  if (name == "spam") return std::make_unique<Spam>();
-  if (name == "disc-all") return std::make_unique<DiscAll>();
-  if (name == "disc-all-nobilevel") {
+    miner = std::make_unique<PrefixSpan>(PrefixSpan::Projection::kPhysical);
+  } else if (name == "pseudo") {
+    miner = std::make_unique<PrefixSpan>(PrefixSpan::Projection::kPseudo);
+  } else if (name == "gsp") {
+    miner = std::make_unique<Gsp>();
+  } else if (name == "spade") {
+    miner = std::make_unique<Spade>();
+  } else if (name == "spam") {
+    miner = std::make_unique<Spam>();
+  } else if (name == "disc-all") {
+    miner = std::make_unique<DiscAll>();
+  } else if (name == "disc-all-nobilevel") {
     DiscAll::Config config;
     config.bilevel = false;
-    return std::make_unique<DiscAll>(config);
+    miner = std::make_unique<DiscAll>(config);
+  } else if (name == "dynamic-disc-all") {
+    miner = std::make_unique<DynamicDiscAll>();
+  } else {
+    return Status::InvalidArgument("unknown miner: " + name);
   }
-  if (name == "dynamic-disc-all") return std::make_unique<DynamicDiscAll>();
-  DISC_CHECK_MSG(false, ("unknown miner: " + name).c_str());
-  return nullptr;
+  return miner;
+}
+
+std::unique_ptr<Miner> CreateMiner(const std::string& name) {
+  auto result = TryCreateMiner(name);
+  DISC_CHECK_MSG(result.ok(), result.status().message().c_str());
+  return std::move(*result);
 }
 
 std::vector<std::string> AllMinerNames() {

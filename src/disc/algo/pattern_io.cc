@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "disc/common/check.h"
+#include "disc/common/file_util.h"
 
 namespace disc {
 
@@ -64,10 +65,9 @@ PatternSet FromSpmfPatternString(const std::string& text) {
 }
 
 bool SavePatterns(const PatternSet& patterns, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << ToSpmfPatternString(patterns);
-  return static_cast<bool>(out);
+  // Atomic temp-file-plus-rename write: a crash or injected "io.write"
+  // fault never leaves a truncated pattern file behind.
+  return WriteFileAtomic(path, ToSpmfPatternString(patterns)).ok();
 }
 
 PatternSet LoadPatterns(const std::string& path) {

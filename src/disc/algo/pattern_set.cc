@@ -49,6 +49,15 @@ std::vector<Sequence> PatternSet::PatternsOfLength(std::uint32_t k) const {
   return out;
 }
 
+void PatternSet::EraseFromFirstItem(Item cutoff) {
+  // ⟨(cutoff)⟩ is the comparative-order minimum among all sequences whose
+  // first item is >= cutoff: position 0 decides against any first item
+  // < cutoff, and the bare 1-sequence precedes every extension of itself.
+  Sequence bound;
+  bound.AppendNewItemset(cutoff);
+  patterns_.erase(patterns_.lower_bound(bound), patterns_.end());
+}
+
 std::string PatternSet::Diff(const PatternSet& other,
                              std::size_t max_lines) const {
   std::string out;

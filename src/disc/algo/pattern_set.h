@@ -45,6 +45,13 @@ class PatternSet {
   /// Patterns of exactly length k, ascending.
   std::vector<Sequence> PatternsOfLength(std::uint32_t k) const;
 
+  /// Removes every pattern whose first item is >= cutoff. Because the
+  /// comparative order compares position 0 first, this erases exactly the
+  /// comparative-order suffix starting at ⟨(cutoff)⟩ — what remains is a
+  /// prefix of the full set. Used to trim a cancelled parallel run down to
+  /// its exact partial result (docs/ROBUSTNESS.md).
+  void EraseFromFirstItem(Item cutoff);
+
   bool operator==(const PatternSet& other) const {
     return patterns_ == other.patterns_;
   }

@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
+#include "disc/common/file_util.h"
 #include "disc/obs/json.h"
 #include "disc/obs/trace.h"
 
@@ -63,6 +63,8 @@ void WriteRun(obs::JsonWriter* w, const obs::MineStats& stats) {
   w->Key("max_length").Uint(stats.max_length);
   w->Key("db_sequences").Uint(stats.db_sequences);
   w->Key("peak_rss_bytes").Uint(stats.peak_rss_bytes);
+  w->Key("cancelled").Bool(stats.cancelled);
+  w->Key("deadline_exceeded").Bool(stats.deadline_exceeded);
   w->Key("counters").BeginObject();
   for (const auto& [name, value] : stats.counters) {
     w->Key(name).Uint(value);
@@ -104,14 +106,11 @@ std::string BenchReport::ToJson() const {
 
 bool BenchReport::WriteJson(const std::string& path,
                             std::string* error) const {
-  std::ofstream out(path);
-  if (!out) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
-  out << ToJson() << '\n';
-  if (!out) {
-    if (error != nullptr) *error = "write failed for " + path;
+  // Atomic (temp + rename): a crash or injected failure mid-write never
+  // leaves a truncated report where a previous good one stood.
+  const Status status = WriteFileAtomic(path, ToJson() + '\n');
+  if (!status.ok()) {
+    if (error != nullptr) *error = status.message();
     return false;
   }
   return true;

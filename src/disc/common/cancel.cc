@@ -1,0 +1,27 @@
+#include "disc/common/cancel.h"
+
+#include <mutex>
+
+namespace disc {
+
+void RunControl::ReportError(Status status) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (!has_error_.load(std::memory_order_relaxed)) {
+    error_ = std::move(status);
+    has_error_.store(true, std::memory_order_release);
+  }
+}
+
+Status RunControl::ToStatus() const {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (has_error_.load(std::memory_order_relaxed)) return error_;
+  }
+  if (cancelled()) return Status::Cancelled("run cancelled by token");
+  if (deadline_exceeded()) {
+    return Status::DeadlineExceeded("run deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace disc

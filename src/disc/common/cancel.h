@@ -1,0 +1,130 @@
+// Cooperative run control: cancellation tokens and deadlines.
+//
+// A long DISC-all run must be stoppable — one oversized request cannot be
+// allowed to hold the process hostage. Cancellation is *cooperative*: the
+// partition-scheduled miners poll a RunControl at partition boundaries
+// (cold code, a handful of polls per run), never mid-scan, so every
+// pattern emitted before the stop is exact and the partial PatternSet is a
+// well-defined comparative-order prefix of the full result (see
+// docs/ROBUSTNESS.md for the exact guarantee).
+#ifndef DISC_COMMON_CANCEL_H_
+#define DISC_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "disc/common/status.h"
+
+namespace disc {
+
+/// Thread-safe cancellation flag shared between a run and its controller.
+/// The controller calls RequestCancel() (idempotent); the run polls
+/// cancelled() at its checkpoints. CancelAfter(n) arms a *check budget*:
+/// the token auto-cancels once n checkpoints have polled it — a
+/// deterministic stop point used by tests ("cancel at partition k") and by
+/// callers that want work-bounded best-effort mining.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Auto-cancel after `checks` checkpoint polls (0 = cancel at the first
+  /// poll). Replaces any previous budget.
+  void CancelAfter(std::uint64_t checks) {
+    budget_.store(static_cast<std::int64_t>(checks),
+                  std::memory_order_release);
+  }
+
+  /// One checkpoint poll: consumes a unit of the check budget (if armed)
+  /// and returns whether the token is now cancelled.
+  bool Poll() {
+    if (cancelled()) return true;
+    std::int64_t b = budget_.load(std::memory_order_relaxed);
+    if (b >= 0 &&
+        budget_.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+      RequestCancel();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> budget_{-1};  // < 0 = no budget armed
+};
+
+/// Per-run stop state built by Miner::TryMine from MineOptions: bundles the
+/// caller's CancelToken (optional) with the run deadline (optional) and
+/// records *why* the run stopped. Shared by the scheduling thread and the
+/// pool workers; all members are thread-safe.
+class RunControl {
+ public:
+  /// `token` may be null; `deadline_ms` 0 means no deadline.
+  RunControl(CancelToken* token, std::uint64_t deadline_ms)
+      : token_(token),
+        deadline_(deadline_ms == 0
+                      ? std::chrono::steady_clock::time_point::max()
+                      : std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(deadline_ms)) {}
+
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  /// Checkpoint: polls the token and the deadline clock. Returns true once
+  /// the run should stop; sticky after the first true.
+  bool ShouldStop() {
+    if (stopped()) return true;
+    if (token_ != nullptr && token_->Poll()) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    if (deadline_ != std::chrono::steady_clock::time_point::max() &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      deadline_exceeded_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// True once any stop condition has been observed (does not poll).
+  bool stopped() const {
+    return cancelled() || deadline_exceeded() || !error_ok();
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  bool deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_acquire);
+  }
+
+  /// Records a contained failure (first one wins); also stops the run.
+  void ReportError(Status status);
+
+  /// The run's final status: first contained error, else cancelled /
+  /// deadline exceeded, else OK.
+  Status ToStatus() const;
+
+ private:
+  bool error_ok() const { return !has_error_.load(std::memory_order_acquire); }
+
+  CancelToken* token_;
+  const std::chrono::steady_clock::time_point deadline_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> deadline_exceeded_{false};
+  std::atomic<bool> has_error_{false};
+  mutable std::mutex error_mu_;
+  Status error_;  // guarded by error_mu_
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_CANCEL_H_

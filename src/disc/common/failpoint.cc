@@ -1,0 +1,205 @@
+#include "disc/common/failpoint.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "disc/obs/metrics.h"
+
+namespace disc {
+namespace failpoint {
+namespace {
+
+// Number of sites whose action is not kOff. The fast-path gate: AnyArmed()
+// is this (plus the one-time env parse), so an unarmed binary never takes
+// the registry mutex.
+std::atomic<int> g_armed_count{0};
+std::once_flag g_env_once;
+
+struct ParsedEntry {
+  std::string name;
+  Action action = Action::kOff;
+  std::uint32_t delay_ms = 0;
+};
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Status ParseSpec(const std::string& spec, std::vector<ParsedEntry>* out) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = Trim(spec.substr(start, end - start));
+    start = end + 1;
+    if (entry.empty()) {
+      if (end == spec.size()) break;
+      continue;
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry '" + entry +
+                                     "' is not name=action");
+    }
+    ParsedEntry parsed;
+    parsed.name = Trim(entry.substr(0, eq));
+    const std::string action = Trim(entry.substr(eq + 1));
+    if (action == "off") {
+      parsed.action = Action::kOff;
+    } else if (action == "error" || action == "throw") {
+      parsed.action = Action::kError;
+    } else if (action.rfind("delay:", 0) == 0) {
+      const std::string ms = action.substr(6);
+      if (ms.empty()) {
+        return Status::InvalidArgument("failpoint '" + parsed.name +
+                                       "': delay needs a millisecond count");
+      }
+      std::uint64_t value = 0;
+      for (const char c : ms) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Status::InvalidArgument("failpoint '" + parsed.name +
+                                         "': bad delay '" + ms + "'");
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        if (value > 60'000) {
+          return Status::InvalidArgument("failpoint '" + parsed.name +
+                                         "': delay capped at 60000 ms");
+        }
+      }
+      parsed.action = Action::kDelay;
+      parsed.delay_ms = static_cast<std::uint32_t>(value);
+    } else {
+      return Status::InvalidArgument(
+          "failpoint '" + parsed.name + "': unknown action '" + action +
+          "' (want off, error, throw, or delay:<ms>)");
+    }
+    out->push_back(std::move(parsed));
+    if (end == spec.size()) break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Site>> sites;
+
+  static Registry& Global() {
+    static Registry* r = new Registry();  // leaked: sites live forever
+    return *r;
+  }
+
+  Site& GetLocked(const std::string& name) {
+    auto& slot = sites[name];
+    if (slot == nullptr) slot.reset(new Site(name));
+    return *slot;
+  }
+
+  // Applies one parsed entry, keeping g_armed_count in sync.
+  void Apply(const ParsedEntry& e) {
+    Site& site = GetLocked(e.name);
+    const bool was_armed =
+        site.action_.load(std::memory_order_relaxed) !=
+        static_cast<std::uint8_t>(Action::kOff);
+    const bool now_armed = e.action != Action::kOff;
+    site.delay_ms_.store(e.delay_ms, std::memory_order_relaxed);
+    site.action_.store(static_cast<std::uint8_t>(e.action),
+                       std::memory_order_release);
+    if (was_armed != now_armed) {
+      g_armed_count.fetch_add(now_armed ? 1 : -1,
+                              std::memory_order_acq_rel);
+    }
+  }
+};
+
+namespace {
+
+void InitFromEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("DISC_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    std::vector<ParsedEntry> entries;
+    const Status status = ParseSpec(env, &entries);
+    if (!status.ok()) {
+      std::fprintf(stderr, "DISC_FAILPOINTS ignored: %s\n",
+                   status.message().c_str());
+      return;
+    }
+    Registry& reg = Registry::Global();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const ParsedEntry& e : entries) reg.Apply(e);
+  });
+}
+
+}  // namespace
+
+Site& Site::Get(const std::string& name) {
+  InitFromEnvOnce();
+  Registry& reg = Registry::Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.GetLocked(name);
+}
+
+Action Site::Fire() {
+  const Action action =
+      static_cast<Action>(action_.load(std::memory_order_acquire));
+  if (action == Action::kOff) return Action::kOff;
+  obs::MetricsRegistry::Global()
+      .counter("failpoint.triggered." + name_)
+      ->Increment();
+  if (action == Action::kDelay) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(delay_ms_.load(std::memory_order_relaxed)));
+  }
+  return action;
+}
+
+bool AnyArmed() {
+  InitFromEnvOnce();
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+Status Configure(const std::string& spec) {
+  InitFromEnvOnce();
+  std::vector<ParsedEntry> entries;
+  DISC_RETURN_IF_ERROR(ParseSpec(spec, &entries));
+  Registry& reg = Registry::Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const ParsedEntry& e : entries) reg.Apply(e);
+  return Status::Ok();
+}
+
+void Reset() {
+  InitFromEnvOnce();
+  Registry& reg = Registry::Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, site] : reg.sites) {
+    ParsedEntry off;
+    off.name = name;
+    reg.Apply(off);
+  }
+}
+
+std::vector<std::string> Armed() {
+  InitFromEnvOnce();
+  Registry& reg = Registry::Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, site] : reg.sites) {
+    if (site->armed()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace failpoint
+}  // namespace disc

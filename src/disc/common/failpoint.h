@@ -1,0 +1,101 @@
+// Named fail points: deterministic fault injection for robustness testing.
+//
+// A fail point is a named hook compiled into a failure-prone code path
+// (I/O, pool tasks, the reduction scratch path). Normally it does nothing
+// and costs one relaxed atomic load. Armed — via the DISC_FAILPOINTS
+// environment variable or failpoint::Configure() — it fires an action at
+// the site:
+//
+//   DISC_FAILPOINTS=io.read=error;pool.task=delay:10
+//
+//   name=error      the site fails recoverably (returns a Status / throws
+//                   where the site is exception-contained)
+//   name=throw      alias of error at throwing sites; sites that return
+//                   Status treat it identically
+//   name=delay:<ms> the site sleeps <ms> milliseconds, then proceeds
+//   name=off        explicit no-op (overrides an earlier entry)
+//
+// Every firing bumps the "failpoint.triggered.<name>" counter in the obs
+// registry, so tests and the CLI smoke (tools/check_failpoints.sh) can
+// assert a fault was actually exercised. Registered sites are catalogued
+// in docs/ROBUSTNESS.md.
+#ifndef DISC_COMMON_FAILPOINT_H_
+#define DISC_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "disc/common/status.h"
+
+namespace disc {
+namespace failpoint {
+
+enum class Action : std::uint8_t {
+  kOff = 0,
+  kError,  ///< fail the site recoverably
+  kDelay,  ///< sleep, then proceed (the sleep happens inside Fire())
+};
+
+/// One configured fail point; obtained via Site::Get and cached at the
+/// call site by DISC_FAILPOINT. Thread-safe.
+class Site {
+ public:
+  /// Registry lookup (creates the site on first use). The returned
+  /// reference lives forever.
+  static Site& Get(const std::string& name);
+
+  /// Evaluates the configured action: performs the delay for kDelay, bumps
+  /// failpoint.triggered.<name>, and returns what the site should do.
+  Action Fire();
+
+  const std::string& name() const { return name_; }
+
+  /// True when the site's action is anything but kOff.
+  bool armed() const {
+    return action_.load(std::memory_order_relaxed) !=
+           static_cast<std::uint8_t>(Action::kOff);
+  }
+
+ private:
+  friend struct Registry;
+  explicit Site(std::string name) : name_(std::move(name)) {}
+
+  const std::string name_;
+  std::atomic<std::uint8_t> action_{0};  // Action
+  std::atomic<std::uint32_t> delay_ms_{0};
+};
+
+/// True when any fail point is armed. First call parses DISC_FAILPOINTS
+/// from the environment; afterwards this is a single relaxed load, so an
+/// unarmed binary pays nothing measurable per DISC_FAILPOINT.
+bool AnyArmed();
+
+/// Applies a spec ("a=error;b=delay:10"), on top of whatever is already
+/// configured. Unknown names are fine (the site arms when first reached).
+/// Malformed specs leave the configuration untouched and return
+/// kInvalidArgument with the offending entry.
+Status Configure(const std::string& spec);
+
+/// Disarms every fail point (tests; idempotent).
+void Reset();
+
+/// Names of currently armed fail points, sorted (diagnostics/banners).
+std::vector<std::string> Armed();
+
+}  // namespace failpoint
+}  // namespace disc
+
+/// Evaluates to the Action for the named fail point at this call site;
+/// Action::kOff (after one relaxed load) when nothing is armed. Name must
+/// be a string literal; the site lookup happens once per call site.
+#define DISC_FAILPOINT(name)                                          \
+  (::disc::failpoint::AnyArmed()                                      \
+       ? [] {                                                         \
+           static ::disc::failpoint::Site& disc_fp_site_ =            \
+               ::disc::failpoint::Site::Get(name);                    \
+           return disc_fp_site_.Fire();                               \
+         }()                                                          \
+       : ::disc::failpoint::Action::kOff)
+
+#endif  // DISC_COMMON_FAILPOINT_H_

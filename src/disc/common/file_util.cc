@@ -1,0 +1,44 @@
+#include "disc/common/file_util.h"
+
+#include <cstdio>
+#include <fstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define DISC_GETPID _getpid
+#else
+#include <unistd.h>
+#define DISC_GETPID getpid
+#endif
+
+#include "disc/common/failpoint.h"
+
+namespace disc {
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(DISC_GETPID());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    out << contents;
+    out.close();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write to " + tmp + " failed");
+    }
+  }
+  if (DISC_FAILPOINT("io.write") == failpoint::Action::kError) {
+    std::remove(tmp.c_str());
+    return Status::IoError("failpoint io.write injected while writing " +
+                           path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace disc

@@ -1,0 +1,25 @@
+// Crash-safe file writing shared by the report/trace emitters.
+//
+// WriteFileAtomic writes to "<path>.tmp.<pid>" and renames over the target
+// only after the whole payload is on disk, so a crash, a full disk, or an
+// injected I/O fault ("io.write" fail point) never leaves a truncated
+// BENCH_*.json / trace file behind — the previous contents of `path`, if
+// any, survive every failure mode.
+#ifndef DISC_COMMON_FILE_UTIL_H_
+#define DISC_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "disc/common/status.h"
+
+namespace disc {
+
+/// Atomically replaces `path` with `contents` (write temp + rename).
+/// On failure the temp file is removed and `path` is untouched.
+/// Fail point: "io.write" (error makes the write fail after the temp file
+/// is created, exercising the cleanup path).
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_FILE_UTIL_H_

@@ -1,0 +1,142 @@
+// Recoverable error handling: a dependency-free Status / StatusOr<T>.
+//
+// The library distinguishes two failure regimes:
+//   * programmer errors (broken invariants, misuse of internal APIs) keep
+//     aborting through DISC_CHECK — a corrupted mining state must never
+//     limp on;
+//   * environmental and input errors (unreadable files, malformed records,
+//     cancelled or deadline-bounded runs) are *recoverable* and travel as
+//     Status values so a long-lived process can reject one request without
+//     dying. See docs/ROBUSTNESS.md for the taxonomy.
+//
+// Conventions mirror absl::Status without the dependency: Status is cheap
+// to copy in the OK case (no allocation), StatusOr<T> carries either a
+// value or a non-OK Status, and the DISC_RETURN_IF_ERROR /
+// DISC_ASSIGN_OR_RETURN macros keep call sites linear.
+#ifndef DISC_COMMON_STATUS_H_
+#define DISC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "disc/common/check.h"
+
+namespace disc {
+
+/// Error taxonomy (docs/ROBUSTNESS.md). Codes are stable — tools and exit
+/// code mappings rely on them.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< caller misuse: bad flag, bad option value
+  kDataLoss = 2,         ///< malformed input record / corrupt file contents
+  kCancelled = 3,        ///< run stopped by a CancelToken
+  kDeadlineExceeded = 4, ///< run stopped by MineOptions::deadline_ms
+  kIoError = 5,          ///< file unreadable / write failed
+  kInternal = 6,         ///< contained worker failure (exception, failpoint)
+};
+
+/// Stable lower-case name of a code ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An error code plus a human-readable message. OK carries no message.
+class Status {
+ public:
+  /// OK by default.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or a non-OK Status. value() on an error aborts (programmer
+/// error); check ok() or use the macros.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value (OK) or from a non-OK Status.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DISC_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    DISC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  const T& value() const {
+    DISC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ is engaged
+  std::optional<T> value_;
+};
+
+}  // namespace disc
+
+/// Propagates a non-OK Status from an expression of type Status.
+#define DISC_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::disc::Status disc_status_tmp_ = (expr);        \
+    if (!disc_status_tmp_.ok()) return disc_status_tmp_; \
+  } while (0)
+
+#define DISC_STATUS_CONCAT_INNER_(a, b) a##b
+#define DISC_STATUS_CONCAT_(a, b) DISC_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr<T> expression; on error returns the Status, else
+/// assigns the value to `lhs` (which may declare a new variable).
+#define DISC_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  DISC_ASSIGN_OR_RETURN_IMPL_(                                            \
+      DISC_STATUS_CONCAT_(disc_statusor_tmp_, __LINE__), lhs, expr)
+
+#define DISC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(*tmp)
+
+#endif  // DISC_COMMON_STATUS_H_

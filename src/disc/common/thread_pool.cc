@@ -1,8 +1,10 @@
 #include "disc/common/thread_pool.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <string>
 
+#include "disc/common/failpoint.h"
 #include "disc/obs/metrics.h"
 #include "disc/obs/trace.h"
 
@@ -10,6 +12,7 @@ namespace disc {
 namespace {
 
 DISC_OBS_COUNTER(g_pool_tasks, "pool.tasks");
+DISC_OBS_COUNTER(g_pool_tasks_dropped, "pool.tasks.dropped");
 DISC_OBS_HISTOGRAM(g_queue_wait_us, "pool.queue_wait_us");
 
 }  // namespace
@@ -45,6 +48,18 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+bool ThreadPool::has_error() const {
+  return has_error_.load(std::memory_order_acquire);
+}
+
+std::exception_ptr ThreadPool::TakeFirstError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::exception_ptr err = std::move(first_error_);
+  first_error_ = nullptr;
+  has_error_.store(false, std::memory_order_release);
+  return err;
+}
+
 void ThreadPool::WorkerLoop(std::size_t worker) {
 #if DISC_OBS_ENABLED
   obs::Tracer::Global().SetCurrentThreadName("pool-worker-" +
@@ -71,12 +86,30 @@ void ThreadPool::WorkerLoop(std::size_t worker) {
     if (queue_.empty() && stop_) return;
     Task task = std::move(queue_.front());
     queue_.pop_front();
+    // After a task failure the rest of the batch is drained unexecuted:
+    // running on would waste work whose merge the caller is about to
+    // discard, and could hide the first (root-cause) exception behind
+    // cascading ones.
+    if (has_error_.load(std::memory_order_acquire)) {
+      DISC_OBS_INC(g_pool_tasks_dropped);
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      continue;
+    }
     ++in_flight_;
     lock.unlock();
-    {
+    try {
       DISC_OBS_SPAN("pool/task");
       DISC_OBS_INC(g_pool_tasks);
+      if (DISC_FAILPOINT("pool.task") == failpoint::Action::kError) {
+        throw std::runtime_error("failpoint pool.task");
+      }
       task(worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> relock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+        has_error_.store(true, std::memory_order_release);
+      }
     }
     lock.lock();
     --in_flight_;

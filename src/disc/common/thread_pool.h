@@ -10,16 +10,29 @@
 // The queue lock is cold by construction — a task is a whole ⟨λ⟩-partition
 // mine, so pops are orders of magnitude rarer than the work they dispatch.
 //
+// Exception containment: a task that throws does NOT terminate the
+// process. The first exception is captured (first_error()), the remaining
+// queued tasks are drained unexecuted (counted in "pool.tasks.dropped"),
+// and Wait() returns normally — the scheduling caller turns the captured
+// failure into a Status and preserves its deterministic merge by treating
+// unexecuted tasks exactly like cancelled ones. TakeFirstError() re-arms
+// the pool for reuse.
+//
 // Observability: workers register a "pool-worker-<i>" trace lane, every
 // executed task bumps the "pool.tasks" counter inside a "pool/task" span,
 // and time a worker spends blocked on an empty queue while tasks are still
 // outstanding is recorded in the "pool.queue_wait_us" histogram.
+//
+// Fail point: "pool.task" fires before each task runs (delay:<ms> stalls
+// workers, error/throw makes the task throw — exercising containment).
 #ifndef DISC_COMMON_THREAD_POOL_H_
 #define DISC_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -47,9 +60,17 @@ class ThreadPool {
   /// bound tail latency).
   void Submit(Task task);
 
-  /// Blocks until every submitted task has finished. The pool is reusable
-  /// afterwards.
+  /// Blocks until every submitted task has finished or been drained after
+  /// a task failure. The pool is reusable afterwards (clear the failure
+  /// with TakeFirstError() first).
   void Wait();
+
+  /// True once a task has thrown; sticky until TakeFirstError().
+  bool has_error() const;
+
+  /// The first exception a task threw (null if none); clears it, re-arming
+  /// the pool to execute tasks again. Call after Wait().
+  std::exception_ptr TakeFirstError();
 
   /// Number of hardware threads; at least 1.
   static std::size_t HardwareThreads();
@@ -63,6 +84,8 @@ class ThreadPool {
   std::deque<Task> queue_;
   std::size_t in_flight_ = 0;  // popped but not yet finished
   bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by mu_
+  std::atomic<bool> has_error_{false};
   std::vector<std::thread> workers_;
 };
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
+#include "disc/common/cancel.h"
 #include "disc/common/check.h"
+#include "disc/common/failpoint.h"
 #include "disc/common/thread_pool.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
@@ -68,6 +71,11 @@ struct PartitionResult {
   /// ascending-λ order so the "disc.arena.bytes" gauge is thread-count
   /// invariant.
   std::size_t arena_bytes = 0;
+  /// The partition was mined to completion. A task that observed a stop
+  /// request at entry (or whose worker threw) leaves this false; the merge
+  /// folds only the leading completed run in ascending-λ order, which is
+  /// what makes the partial result an exact comparative-order prefix.
+  bool completed = false;
 };
 
 // Mines one first-level ⟨λ⟩-partition into `result`, using (and warming)
@@ -133,6 +141,12 @@ class PartitionMiner {
       DISC_DCHECK(it != freq2.end() && *it == e);
       return static_cast<std::size_t>(it - freq2.begin());
     };
+
+    // Fault-injection hook covering the scratch/reduction path (the
+    // allocation-heavy part of a partition mine).
+    if (DISC_FAILPOINT("disc.reduce") == failpoint::Action::kError) {
+      throw std::runtime_error("failpoint disc.reduce");
+    }
 
     // Reduce members (step 2.1.2) and split into second-level partitions by
     // 2-minimum sequence. Each reduced sequence gets an occurrence index,
@@ -288,9 +302,12 @@ class PartitionMiner {
 
 class Run {
  public:
+  /// `ctl` may be null (no cancellation/deadline/error plumbing).
   Run(const SequenceDatabase& db, const MineOptions& options,
-      const DiscAll::Config& config)
-      : db_(db), options_(options), config_(config) {}
+      const DiscAll::Config& config, RunControl* ctl)
+      : db_(db), options_(options), config_(config), ctl_(ctl) {}
+
+  bool ShouldStop() { return ctl_ != nullptr && ctl_->ShouldStop(); }
 
   PatternSet Execute() {
     const std::uint32_t delta = options_.min_support_count;
@@ -360,9 +377,20 @@ class Run {
       if (nthreads <= 1) {
         Scratch scratch(max_item);
         for (std::size_t i = 0; i < lambdas.size(); ++i) {
-          PartitionMiner(db_, options_, config_, max_item, &scratch,
-                         &results[i])
-              .Mine(lambdas[i], members_of[lambdas[i]]);
+          // Cancellation checkpoint: partitions are all-or-nothing, so a
+          // stop between partitions keeps every emitted support exact.
+          if (ShouldStop()) break;
+          try {
+            PartitionMiner(db_, options_, config_, max_item, &scratch,
+                           &results[i])
+                .Mine(lambdas[i], members_of[lambdas[i]]);
+          } catch (const std::exception& e) {
+            if (ctl_ == nullptr) throw;
+            ctl_->ReportError(Status::Internal(
+                std::string("partition mining failed: ") + e.what()));
+            break;
+          }
+          results[i].completed = true;
         }
       } else {
         std::vector<std::size_t> order(lambdas.size());
@@ -380,12 +408,33 @@ class Run {
         for (const std::size_t i : order) {
           pool.Submit([this, max_item, i, &lambdas, &members_of, &scratches,
                        &results](std::size_t worker) {
+            // Cancellation checkpoint: a stopped task leaves its result
+            // incomplete, and the merge below discards it.
+            if (ShouldStop()) return;
             PartitionMiner(db_, options_, config_, max_item,
                            &scratches[worker], &results[i])
                 .Mine(lambdas[i], members_of[lambdas[i]]);
+            results[i].completed = true;
           });
         }
         pool.Wait();
+        if (std::exception_ptr err = pool.TakeFirstError()) {
+          // A worker threw (miner bug or injected fault): its partition is
+          // incomplete and the pool drained the rest, so the merge below
+          // degrades to the same exact-prefix partial result as a
+          // cancellation. Surface the root cause as the run's Status; with
+          // no RunControl to carry it, fall back to propagating.
+          if (ctl_ == nullptr) std::rethrow_exception(err);
+          try {
+            std::rethrow_exception(err);
+          } catch (const std::exception& e) {
+            ctl_->ReportError(Status::Internal(
+                std::string("worker task failed: ") + e.what()));
+          } catch (...) {
+            ctl_->ReportError(
+                Status::Internal("worker task failed: unknown exception"));
+          }
+        }
       }
     }
 
@@ -393,12 +442,28 @@ class Run {
     // minimum item λ are found only in the ⟨λ⟩-partition, so the union is
     // disjoint; folding ascending in λ keeps the gauge arithmetic (and
     // with it MineStats) independent of scheduling.
+    //
+    // On a stop (cancellation, deadline, contained worker failure) only
+    // the leading run of completed partitions is merged, and the
+    // 1-sequences from step 1 are trimmed to the same λ cutoff: every
+    // pattern whose first item is >= the first incomplete λ is dropped.
+    // Because the comparative order decides on position 0 first, what
+    // remains is byte-for-byte the prefix of the full serial result below
+    // ⟨(λ_cutoff)⟩ — exact supports, no gaps (docs/ROBUSTNESS.md).
+    std::size_t merged = results.size();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].completed) {
+        merged = i;
+        break;
+      }
+    }
     std::uint64_t level0_partitions = 0;
     double level0_ratio_sum = 0.0;
     double level1_ratio_sum = 0.0;
     std::uint64_t level1_partitions = 0;
     std::size_t arena_bytes_peak = 0;
-    for (const PartitionResult& r : results) {
+    for (std::size_t i = 0; i < merged; ++i) {
+      const PartitionResult& r = results[i];
       for (const auto& [pattern, support] : r.patterns) {
         out_.Add(pattern, support);
       }
@@ -410,6 +475,7 @@ class Run {
       }
       arena_bytes_peak = std::max(arena_bytes_peak, r.arena_bytes);
     }
+    if (merged < lambdas.size()) out_.EraseFromFirstItem(lambdas[merged]);
     if (config_.arena_scratch && level0_partitions > 0) {
       DISC_OBS_SET(g_arena_bytes, static_cast<double>(arena_bytes_peak));
     }
@@ -430,6 +496,7 @@ class Run {
   const SequenceDatabase& db_;
   const MineOptions& options_;
   const DiscAll::Config& config_;
+  RunControl* ctl_;
   PatternSet out_;
 };
 
@@ -438,7 +505,7 @@ class Run {
 PatternSet DiscAll::DoMine(const SequenceDatabase& db,
                            const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  Run run(db, options, config_);
+  Run run(db, options, config_, run_control());
   return run.Execute();
 }
 

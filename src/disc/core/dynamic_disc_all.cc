@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
+#include "disc/common/cancel.h"
 #include "disc/common/check.h"
 #include "disc/common/thread_pool.h"
 #include "disc/core/counting_array.h"
@@ -25,9 +27,12 @@ using Members = PartitionMembers;
 
 class Run {
  public:
+  /// `ctl` may be null (no cancellation/deadline/error plumbing).
   Run(const SequenceDatabase& db, const MineOptions& options,
-      const DynamicDiscAll::Config& config)
-      : db_(db), options_(options), config_(config) {}
+      const DynamicDiscAll::Config& config, RunControl* ctl)
+      : db_(db), options_(options), config_(config), ctl_(ctl) {}
+
+  bool ShouldStop() { return ctl_ != nullptr && ctl_->ShouldStop(); }
 
   PatternSet Execute() {
     if (db_.empty() || options_.min_support_count > db_.size()) {
@@ -50,6 +55,10 @@ class Run {
     } else {
       ParallelRoot(all, nthreads);
     }
+    // On a stop the root loop records the first unmined root child; erasing
+    // everything from that item yields the exact comparative-order prefix
+    // of the full result (same rule as DISC-all; docs/ROBUSTNESS.md).
+    if (root_truncated_) out_.EraseFromFirstItem(root_cutoff_);
     return std::move(out_);
   }
 
@@ -125,6 +134,14 @@ class Run {
         if (key.has_value()) children[ext_index(*key)].push_back(member);
       }
       for (std::size_t j = 0; j < freq.size(); ++j) {
+        // Cancellation checkpoint (root children only — one root child is
+        // the unit of partial-result bookkeeping, like a ⟨λ⟩-partition in
+        // DISC-all). Deeper levels run their child to completion.
+        if (k == 0 && ShouldStop()) {
+          root_truncated_ = true;
+          root_cutoff_ = freq[j].first;
+          break;
+        }
         Members child = std::move(children[j]);
         if (child.empty()) continue;
         if (child.size() >= delta) {
@@ -140,7 +157,15 @@ class Run {
       }
     } else {
       // Step 4: the partitioning overhead no longer pays; DISC finds every
-      // remaining length in this partition.
+      // remaining length in this partition. A root partition that goes
+      // straight to DISC is one indivisible unit: a stop observed here
+      // trims the result to the prefix below the smallest frequent item
+      // (i.e. empty).
+      if (k == 0 && ShouldStop()) {
+        root_truncated_ = true;
+        root_cutoff_ = freq[0].first;
+        return;
+      }
       DISC_OBS_INC(g_partitions_to_disc);
       std::vector<Sequence> sorted_list;
       sorted_list.reserve(freq.size());
@@ -196,7 +221,12 @@ class Run {
     if (!split) {
       // The whole database switches to DISC at once — no partitions to
       // fan out; run the loop on the calling thread as the serial path
-      // would.
+      // would (and honor a stop the same way).
+      if (ShouldStop()) {
+        root_truncated_ = true;
+        root_cutoff_ = freq[0].first;
+        return;
+      }
       DISC_OBS_INC(g_partitions_to_disc);
       std::vector<Sequence> sorted_list;
       sorted_list.reserve(freq.size());
@@ -237,6 +267,9 @@ class Run {
       if (children[j].size() >= delta) viable.push_back(j);
     }
     std::vector<PatternSet> results(viable.size());
+    // One flag per viable child, each written by exactly one task; the
+    // merge reads them only after pool.Wait().
+    std::vector<char> completed(viable.size(), 0);
     std::vector<std::size_t> order(viable.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::stable_sort(order.begin(), order.end(),
@@ -248,26 +281,67 @@ class Run {
       DISC_OBS_SPAN("dynamic/partitions");
       ThreadPool pool(nthreads);
       for (const std::size_t i : order) {
-        pool.Submit([this, i, &viable, &freq, &children, &results,
+        pool.Submit([this, i, &viable, &freq, &children, &results, &completed,
                      &empty_prefix](std::size_t) {
+          // Cancellation checkpoint: a stopped task leaves its child
+          // incomplete, and the merge below discards it.
+          if (ShouldStop()) return;
           DISC_OBS_SPAN("dynamic/partition");
           const std::size_t j = viable[i];
           Recurse(Extend(empty_prefix, freq[j].first, freq[j].second),
                   children[j], &results[i]);
+          completed[i] = 1;
         });
       }
       pool.Wait();
+      if (std::exception_ptr err = pool.TakeFirstError()) {
+        // A worker threw: its child stays incomplete and the pool drained
+        // the rest, so the merge degrades to the same exact-prefix partial
+        // result as a cancellation.
+        if (ctl_ == nullptr) std::rethrow_exception(err);
+        try {
+          std::rethrow_exception(err);
+        } catch (const std::exception& e) {
+          ctl_->ReportError(
+              Status::Internal(std::string("worker task failed: ") + e.what()));
+        } catch (...) {
+          ctl_->ReportError(
+              Status::Internal("worker task failed: unknown exception"));
+        }
+      }
     }
-    for (const PatternSet& r : results) {
-      for (const auto& [pattern, support] : r) out_.Add(pattern, support);
+    // Merge the leading run of completed children (ascending item order);
+    // on a stop, record the first incomplete child as the truncation
+    // cutoff. Children below delta are trivially complete — they can hold
+    // no pattern of length >= 2 — so only viable ones gate the prefix.
+    std::size_t merged = viable.size();
+    for (std::size_t i = 0; i < viable.size(); ++i) {
+      if (!completed[i]) {
+        merged = i;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < merged; ++i) {
+      for (const auto& [pattern, support] : results[i]) {
+        out_.Add(pattern, support);
+      }
+    }
+    if (merged < viable.size()) {
+      root_truncated_ = true;
+      root_cutoff_ = freq[viable[merged]].first;
     }
   }
 
   const SequenceDatabase& db_;
   const MineOptions& options_;
   const DynamicDiscAll::Config& config_;
+  RunControl* ctl_;
   std::deque<SequenceIndex> indexes_;
   PatternSet out_;
+  // Set when a stop (or contained failure) left root children unmined;
+  // Execute() erases every pattern with first item >= root_cutoff_.
+  bool root_truncated_ = false;
+  Item root_cutoff_ = 0;
 };
 
 }  // namespace
@@ -275,7 +349,7 @@ class Run {
 PatternSet DynamicDiscAll::DoMine(const SequenceDatabase& db,
                                   const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  Run run(db, options, config_);
+  Run run(db, options, config_, run_control());
   return run.Execute();
 }
 

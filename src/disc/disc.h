@@ -8,6 +8,12 @@
 #ifndef DISC_DISC_H_
 #define DISC_DISC_H_
 
+// Robustness substrate: recoverable errors, run control, fault injection.
+#include "disc/common/status.h"     // IWYU pragma: export
+#include "disc/common/cancel.h"     // IWYU pragma: export
+#include "disc/common/failpoint.h"  // IWYU pragma: export
+#include "disc/common/file_util.h"  // IWYU pragma: export
+
 // Sequence substrate.
 #include "disc/seq/types.h"        // IWYU pragma: export
 #include "disc/seq/itemset.h"      // IWYU pragma: export

@@ -40,6 +40,8 @@ std::string MineStats::ToString() const {
                 db_sequences,
                 static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
   std::string out = buf;
+  if (cancelled) out += " [cancelled: partial result]";
+  if (deadline_exceeded) out += " [deadline exceeded: partial result]";
   for (const auto& [name, value] : counters) {
     std::snprintf(buf, sizeof(buf), "\n  %-36s %llu", name.c_str(),
                   static_cast<unsigned long long>(value));

@@ -31,6 +31,11 @@ struct MineStats {
   /// is monotone per process: in a multi-run binary this reflects the
   /// largest run so far, not this run alone.
   std::uint64_t peak_rss_bytes = 0;
+  /// The run stopped early via its CancelToken; the patterns are the
+  /// documented partial result (docs/ROBUSTNESS.md).
+  bool cancelled = false;
+  /// The run stopped early because MineOptions::deadline_ms elapsed.
+  bool deadline_exceeded = false;
 
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;

@@ -1,7 +1,6 @@
 #include "disc/obs/trace.h"
 
-#include <fstream>
-
+#include "disc/common/file_util.h"
 #include "disc/obs/json.h"
 
 namespace disc {
@@ -171,15 +170,11 @@ std::string Tracer::ToChromeTraceJson() const {
 
 bool Tracer::WriteChromeTrace(const std::string& path,
                               std::string* error) const {
-  std::ofstream out(path);
-  if (!out) {
-    if (error != nullptr) *error = "cannot open " + path + " for writing";
-    return false;
-  }
-  out << ToChromeTraceJson();
-  out.close();
-  if (!out) {
-    if (error != nullptr) *error = "write to " + path + " failed";
+  // Atomic (temp + rename) so an interrupted run cannot clobber a previous
+  // good trace with a truncated one.
+  const Status status = WriteFileAtomic(path, ToChromeTraceJson());
+  if (!status.ok()) {
+    if (error != nullptr) *error = status.message();
     return false;
   }
   return true;

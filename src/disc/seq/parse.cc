@@ -7,61 +7,97 @@
 namespace disc {
 namespace {
 
-// Skips spaces and the decorative '<' '>' characters.
-void SkipFluff(const std::string& s, std::size_t* i) {
-  while (*i < s.size() &&
-         (std::isspace(static_cast<unsigned char>(s[*i])) || s[*i] == '<' ||
-          s[*i] == '>')) {
-    ++*i;
-  }
-}
+// Recursive-descent parser for the paper notation. Errors collect into
+// `error` (first one wins) instead of aborting, so TryParseSequence can
+// surface them as a Status while ParseSequence keeps its loud-abort
+// contract.
+struct SeqParser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string error;
 
-Item ParseItem(const std::string& s, std::size_t* i) {
-  SkipFluff(s, i);
-  DISC_CHECK_MSG(*i < s.size(), "expected item");
-  const char c = s[*i];
-  if (std::isalpha(static_cast<unsigned char>(c))) {
-    ++*i;
-    const char lower = static_cast<char>(std::tolower(c));
-    return static_cast<Item>(lower - 'a' + 1);
+  bool Fail(const char* msg) {
+    if (error.empty()) {
+      error = std::string(msg) + " at position " + std::to_string(i);
+    }
+    return false;
   }
-  DISC_CHECK_MSG(std::isdigit(static_cast<unsigned char>(c)),
-                 "expected letter or integer item");
-  Item value = 0;
-  while (*i < s.size() && std::isdigit(static_cast<unsigned char>(s[*i]))) {
-    value = value * 10 + static_cast<Item>(s[*i] - '0');
-    ++*i;
+
+  // Skips spaces and the decorative '<' '>' characters.
+  void SkipFluff() {
+    while (i < s.size() &&
+           (std::isspace(static_cast<unsigned char>(s[i])) || s[i] == '<' ||
+            s[i] == '>')) {
+      ++i;
+    }
   }
-  DISC_CHECK_MSG(value != kNoItem, "item 0 is reserved");
-  return value;
-}
+
+  bool ParseItem(Item* out) {
+    SkipFluff();
+    if (i >= s.size()) return Fail("expected item");
+    const char c = s[i];
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      ++i;
+      const char lower = static_cast<char>(std::tolower(c));
+      *out = static_cast<Item>(lower - 'a' + 1);
+      return true;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Fail("expected letter or integer item");
+    }
+    Item value = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      value = value * 10 + static_cast<Item>(s[i] - '0');
+      ++i;
+    }
+    if (value == kNoItem) return Fail("item 0 is reserved");
+    *out = value;
+    return true;
+  }
+
+  bool Parse(std::vector<Itemset>* itemsets) {
+    SkipFluff();
+    while (i < s.size()) {
+      if (s[i] != '(') return Fail("expected '('");
+      ++i;
+      std::vector<Item> items;
+      for (;;) {
+        Item item = kNoItem;
+        if (!ParseItem(&item)) return false;
+        items.push_back(item);
+        SkipFluff();
+        if (i >= s.size()) return Fail("unterminated itemset");
+        if (s[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (s[i] != ')') return Fail("expected ',' or ')'");
+        ++i;
+        break;
+      }
+      itemsets->emplace_back(std::move(items));
+      SkipFluff();
+    }
+    return true;
+  }
+};
 
 }  // namespace
 
-Sequence ParseSequence(const std::string& text) {
+StatusOr<Sequence> TryParseSequence(const std::string& text) {
+  SeqParser parser{text, 0, {}};
   std::vector<Itemset> itemsets;
-  std::size_t i = 0;
-  SkipFluff(text, &i);
-  while (i < text.size()) {
-    DISC_CHECK_MSG(text[i] == '(', "expected '('");
-    ++i;
-    std::vector<Item> items;
-    for (;;) {
-      items.push_back(ParseItem(text, &i));
-      SkipFluff(text, &i);
-      DISC_CHECK_MSG(i < text.size(), "unterminated itemset");
-      if (text[i] == ',') {
-        ++i;
-        continue;
-      }
-      DISC_CHECK_MSG(text[i] == ')', "expected ',' or ')'");
-      ++i;
-      break;
-    }
-    itemsets.emplace_back(std::move(items));
-    SkipFluff(text, &i);
+  if (!parser.Parse(&itemsets)) {
+    return Status::DataLoss("cannot parse sequence '" + text +
+                            "': " + parser.error);
   }
   return Sequence(itemsets);
+}
+
+Sequence ParseSequence(const std::string& text) {
+  auto result = TryParseSequence(text);
+  DISC_CHECK_MSG(result.ok(), result.status().message().c_str());
+  return std::move(*result);
 }
 
 SequenceDatabase ParseDatabase(const std::string& text) {

@@ -5,23 +5,31 @@
 //   itemset  := '(' item (',' item)* ')'
 //   item     := letter | integer
 // Letters map a..z -> 1..26, matching the paper's examples; integers are
-// taken verbatim. Parsing aborts on malformed input (these parsers exist for
-// tests, examples, and file loading, where failing loudly is correct).
+// taken verbatim.
+//
+// TryParseSequence is the recoverable entry point (kDataLoss on malformed
+// text); the other parsers abort on malformed input — they exist for
+// tests, examples, and literals in code, where failing loudly is correct.
 #ifndef DISC_SEQ_PARSE_H_
 #define DISC_SEQ_PARSE_H_
 
 #include <string>
 #include <vector>
 
+#include "disc/common/status.h"
 #include "disc/seq/database.h"
 #include "disc/seq/sequence.h"
 
 namespace disc {
 
 /// Parses a single sequence, e.g. "<(a,e,g)(b)(h)>" or "(1,5)(2)".
+/// Malformed text returns kDataLoss with a position diagnostic.
+StatusOr<Sequence> TryParseSequence(const std::string& text);
+
+/// Parses a single sequence; aborts on malformed input.
 Sequence ParseSequence(const std::string& text);
 
-/// Parses one sequence per non-empty line.
+/// Parses one sequence per non-empty line. Aborts on malformed input.
 SequenceDatabase ParseDatabase(const std::string& text);
 
 /// Convenience: parses several sequence literals into a database.

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "disc/obs/metrics.h"
 #include "disc/seq/io.h"
 #include "disc/seq/parse.h"
 
@@ -95,6 +100,135 @@ TEST(Io, DatabaseStats) {
   EXPECT_DOUBLE_EQ(db.AvgTransactionsPerCustomer(), 1.5);
   EXPECT_DOUBLE_EQ(db.AvgItemsPerTransaction(), 4.0 / 3.0);
   EXPECT_EQ(db.max_item(), 4u);
+}
+
+// --- Recoverable parsing (TryFromSpmfString / TryLoadSpmf) ---
+
+TEST(TryIo, StrictReportsDataLossWithLineNumber) {
+  const auto result = TryFromSpmfString("1 -1 -2\nbogus -1 -2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(TryIo, PermissiveSkipsAndCountsMalformedRecords) {
+  ParseReport report;
+  const auto result = TryFromSpmfString(
+      "1 -1 -2\n"
+      "3 2 -1 -2\n"   // unsorted: skipped
+      "2 -1 -2\n"
+      "0 -1 -2\n",    // item zero: skipped
+      ParseOptions::Permissive(), &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(report.records, 2u);  // successfully ingested
+  EXPECT_EQ(report.skipped, 2u);
+  EXPECT_NE(report.first_error.find("line 2"), std::string::npos);
+}
+
+TEST(TryIo, PermissiveSkipBumpsSkippedCounter) {
+  const std::uint64_t before =
+      obs::MetricsRegistry::Global().counter("io.records.skipped")->value();
+  ParseReport report;
+  ASSERT_TRUE(TryFromSpmfString("oops\n1 -1 -2\n",
+                                ParseOptions::Permissive(), &report)
+                  .ok());
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().counter("io.records.skipped")->value(),
+      before + 1);
+}
+
+TEST(TryIo, CrlfLineEndingsAccepted) {
+  const auto result = TryFromSpmfString("1 -1 -2\r\n2 3 -1 -2\r\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[1].ToString(), "(b,c)");
+}
+
+TEST(TryIo, WhitespaceOnlyLinesIgnored) {
+  const auto result = TryFromSpmfString("1 -1 -2\n   \n\t\n2 -1 -2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(TryIo, MissingTrailingNewlineAccepted) {
+  const auto result = TryFromSpmfString("1 -1 -2\n2 -1 -2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(TryIo, MultipleSequencesPerLine) {
+  const auto result = TryFromSpmfString("1 -1 -2 2 -1 -2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(TryIo, GarbageTokenIsDataLossNotAbort) {
+  const auto result = TryFromSpmfString("1x -1 -2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("malformed token"),
+            std::string::npos);
+}
+
+TEST(TryIo, ItemOutOfRangeRejected) {
+  const auto result = TryFromSpmfString("99999999999 -1 -2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(TryIo, MissingFileIsIoError) {
+  const auto result = TryLoadSpmf("/nonexistent/disc_try_load.spmf");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(TryIo, LoadErrorIncludesPathAndLine) {
+  const std::string path = ::testing::TempDir() + "/disc_try_io_bad.spmf";
+  {
+    std::ofstream out(path);
+    out << "1 -1 -2\n\n2 2 -1 -2\n";
+  }
+  const auto result = TryLoadSpmf(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TryIo, RoundTripMatchesLegacyLoader) {
+  const SequenceDatabase db = MakeDatabase({"(a,e,g)(b)(h)", "(b)(d,f)(e)"});
+  const std::string text = ToSpmfString(db);
+  const auto strict = TryFromSpmfString(text);
+  ASSERT_TRUE(strict.ok());
+  const SequenceDatabase legacy = FromSpmfString(text);
+  ASSERT_EQ(strict->size(), legacy.size());
+  for (Cid cid = 0; cid < legacy.size(); ++cid) {
+    EXPECT_EQ((*strict)[cid], legacy[cid]) << cid;
+  }
+}
+
+// --- Recoverable sequence parsing (TryParseSequence) ---
+
+TEST(TryParse, GoodSequence) {
+  const auto result = TryParseSequence("(a,b)(c)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(), "(a,b)(c)");
+}
+
+TEST(TryParse, ErrorsCarryPosition) {
+  const auto missing_paren = TryParseSequence("a,b)");
+  ASSERT_FALSE(missing_paren.ok());
+  EXPECT_EQ(missing_paren.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(missing_paren.status().message().find("expected '('"),
+            std::string::npos);
+  EXPECT_NE(missing_paren.status().message().find("at position"),
+            std::string::npos);
+
+  EXPECT_FALSE(TryParseSequence("(a,)").ok());
+  EXPECT_FALSE(TryParseSequence("(a").ok());
+  EXPECT_FALSE(TryParseSequence("(0)").ok());
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+#include "disc/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "disc/common/cancel.h"
+
+namespace disc {
+namespace {
+
+TEST(Status, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  const Status s = Status::DataLoss("bad record");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad record");
+  EXPECT_EQ(s.ToString(), "data_loss: bad record");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("a"));
+  EXPECT_NE(Status::IoError("a"), Status::IoError("b"));
+  EXPECT_NE(Status::IoError("a"), Status::DataLoss("a"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.status(), Status::Ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::DataLoss("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(*v);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> v = std::string("hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 5u);
+}
+
+Status FailsThrough() {
+  DISC_RETURN_IF_ERROR(Status::IoError("inner"));
+  return Status::Ok();
+}
+
+Status PassesThrough() {
+  DISC_RETURN_IF_ERROR(Status::Ok());
+  return Status::Internal("reached the end");
+}
+
+TEST(StatusMacros, ReturnIfError) {
+  EXPECT_EQ(FailsThrough(), Status::IoError("inner"));
+  EXPECT_EQ(PassesThrough().code(), StatusCode::kInternal);
+}
+
+StatusOr<int> MakeValue(bool ok) {
+  if (!ok) return Status::DataLoss("no value");
+  return 5;
+}
+
+Status UsesAssign(bool ok, int* out) {
+  int v = 0;
+  DISC_ASSIGN_OR_RETURN(v, MakeValue(ok));
+  *out = v + 1;
+  return Status::Ok();
+}
+
+TEST(StatusMacros, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssign(true, &out).ok());
+  EXPECT_EQ(out, 6);
+  out = 0;
+  EXPECT_EQ(UsesAssign(false, &out).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(CancelTokenTest, RequestCancelIsSticky) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.Poll());
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.Poll());
+}
+
+TEST(CancelTokenTest, CancelAfterBudget) {
+  CancelToken token;
+  token.CancelAfter(3);
+  EXPECT_FALSE(token.Poll());  // budget 3 -> 2
+  EXPECT_FALSE(token.Poll());  // 2 -> 1
+  EXPECT_FALSE(token.Poll());  // 1 -> 0
+  EXPECT_TRUE(token.Poll());   // exhausted
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelAfterZeroCancelsFirstPoll) {
+  CancelToken token;
+  token.CancelAfter(0);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.Poll());
+}
+
+TEST(RunControlTest, NoStopConditions) {
+  RunControl ctl(nullptr, 0);
+  EXPECT_FALSE(ctl.ShouldStop());
+  EXPECT_FALSE(ctl.stopped());
+  EXPECT_TRUE(ctl.ToStatus().ok());
+}
+
+TEST(RunControlTest, TokenCancellation) {
+  CancelToken token;
+  RunControl ctl(&token, 0);
+  EXPECT_FALSE(ctl.ShouldStop());
+  token.RequestCancel();
+  EXPECT_TRUE(ctl.ShouldStop());
+  EXPECT_TRUE(ctl.cancelled());
+  EXPECT_FALSE(ctl.deadline_exceeded());
+  EXPECT_EQ(ctl.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(RunControlTest, DeadlineExpires) {
+  RunControl ctl(nullptr, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(ctl.ShouldStop());
+  EXPECT_TRUE(ctl.deadline_exceeded());
+  EXPECT_EQ(ctl.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  // Sticky: later polls stay stopped.
+  EXPECT_TRUE(ctl.ShouldStop());
+}
+
+TEST(RunControlTest, FirstErrorWinsOverStopReasons) {
+  CancelToken token;
+  RunControl ctl(&token, 0);
+  ctl.ReportError(Status::Internal("first"));
+  ctl.ReportError(Status::Internal("second"));
+  token.RequestCancel();
+  EXPECT_TRUE(ctl.stopped());
+  EXPECT_EQ(ctl.ToStatus(), Status::Internal("first"));
+}
+
+TEST(RunControlTest, ErrorStopsTheRun) {
+  RunControl ctl(nullptr, 0);
+  EXPECT_FALSE(ctl.ShouldStop());
+  ctl.ReportError(Status::IoError("disk gone"));
+  EXPECT_TRUE(ctl.ShouldStop());
+  EXPECT_EQ(ctl.ToStatus().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace disc

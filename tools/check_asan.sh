@@ -14,7 +14,8 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DDISC_SANITIZE=address,undefined >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   view_arena_test parse_io_test sequence_test index_test \
-  disc_all_test parallel_determinism_test bench_parallel
+  disc_all_test parallel_determinism_test status_test failpoint_test \
+  bench_parallel seqmine
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
@@ -24,6 +25,8 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/index_test"
 "$BUILD_DIR/tests/disc_all_test"
 "$BUILD_DIR/tests/parallel_determinism_test"
+"$BUILD_DIR/tests/status_test"
+"$BUILD_DIR/tests/failpoint_test"
 # A tiny end-to-end parallel mine through the bench driver (exercises the
 # per-worker scratch arenas under real partition scheduling).
 "$BUILD_DIR/bench/bench_parallel" --ncust=200 --minsup=0.05 \
