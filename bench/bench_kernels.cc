@@ -1,0 +1,297 @@
+// Comparative-order kernel benchmarks: the encoded order (order/encoded.h)
+// against the legacy itemset-by-itemset scans, on the paper's Table 11
+// workload (Fig8Params: slen 10, tlen 2.5, nitems 1K, seq.patlen 4).
+//
+// Three paired kernels, each reported as <name>.legacy / <name>.encoded
+// runs in BENCH_kernels.json (tools/check_perf.sh gates the speedups
+// against the committed baseline):
+//
+//   * kernel.compare — pairwise sequence comparisons over the workload's
+//     mined pattern pool: CompareSequences vs EncodedCompare on
+//     pre-encoded words. Pairs are drawn near each other in the pool's
+//     comparative order, mirroring where the comparator actually runs
+//     (AVL fences, k-sorted walks compare keys that share long prefixes).
+//     Sign agreement is asserted over the whole pair set.
+//   * kernel.kms     — the pure DISC loop (DynamicDiscAll fixed_levels=0:
+//     no partitioning, every length mined by compare + Apriori-CKMS over
+//     the k-sorted database) with encoded_order on vs off.
+//   * kernel.mine    — end-to-end disc-all (two-level partitioning + DISC
+//     from k = 4) with encoded_order on vs off.
+//
+// Every encoded mining run is checked byte-for-byte against its legacy
+// twin; any mismatch fails the binary. --min-speedup=X additionally fails
+// the run when the compare or kms kernel speedup drops below X.
+//
+//   $ ./bench_kernels [--ncust=2000] [--minsup=0.008] [--pairs=2000000]
+//                     [--reps=3] [--seed=42] [--min-speedup=0]
+//                     [--kernel=all|compare|kms|mine] [--only=legacy|encoded]
+//
+// --kernel narrows the run to one kernel; --only skips a mining kernel's
+// twin (for profiling one side), which also skips the byte-identity check.
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disc/benchlib/report.h"
+#include "disc/benchlib/workload.h"
+#include "disc/common/flags.h"
+#include "disc/common/table.h"
+#include "disc/common/timer.h"
+#include "disc/core/disc_all.h"
+#include "disc/core/dynamic_disc_all.h"
+#include "disc/order/compare.h"
+#include "disc/order/encoded.h"
+
+using namespace disc;
+
+namespace {
+
+// Deterministic pair picker (no std:: engine: stable across libstdc++s).
+std::uint64_t XorShift(std::uint64_t* s) {
+  std::uint64_t x = *s;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *s = x;
+}
+
+int Sign(int v) { return (v > 0) - (v < 0); }
+
+// One timed run of fn(), folded into a running best-of (-1 = no best yet).
+// Paired kernels alternate their two sides through this so a drifting
+// machine slows both sides alike.
+template <typename Fn>
+double MinTime(double best, Fn&& fn) {
+  Timer timer;
+  fn();
+  const double s = timer.Seconds();
+  return best < 0.0 || s < best ? s : best;
+}
+
+obs::MineStats KernelStats(const std::string& name, double seconds) {
+  obs::MineStats stats;
+  stats.miner = name;
+  stats.wall_seconds = seconds;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const std::uint32_t ncust =
+      static_cast<std::uint32_t>(flags.GetInt("ncust", 2000));
+  const double minsup = flags.GetDouble("minsup", 0.008);
+  const std::uint64_t npairs =
+      static_cast<std::uint64_t>(flags.GetInt("pairs", 2000000));
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const double min_speedup = flags.GetDouble("min-speedup", 0.0);
+  const std::string kernel_filter = flags.GetString("kernel", "all");
+  const std::string only = flags.GetString("only", "");
+
+  QuestParams params = Fig8Params(ncust);
+  params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const SequenceDatabase db = GenerateQuestDatabase(params);
+
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), minsup);
+  options.threads = 1;
+
+  PrintBanner(
+      "Comparative-order kernels: encoded (order/encoded.h) vs legacy "
+      "(minsup = " + std::to_string(minsup) + ")",
+      "Quest slen=10 tlen=2.5 nitems=1K seq.patlen=4 (Table 11), ncust=" +
+          std::to_string(ncust),
+      false);
+
+  ObsSession obs("kernels", flags);
+  WorkloadInfo workload = MakeWorkloadInfo(db, "quest:fig8");
+  workload.min_support_count = options.min_support_count;
+  obs.SetWorkload(workload);
+  BenchReport report("kernels", workload);
+
+  TablePrinter table({"kernel", "legacy (s)", "encoded (s)", "speedup"});
+  bool ok = true;
+  bool ran_compare = false, ran_kms = false;
+  double compare_speedup = 0.0, kms_speedup = 0.0;
+
+  // --- kernel.compare: pairwise comparisons over the mined pattern pool ---
+  if (kernel_filter == "all" || kernel_filter == "compare") {
+    ran_compare = true;
+    DiscAll::Config cfg;  // defaults: encoded on — only used to build a pool
+    const PatternSet patterns = DiscAll(cfg).Mine(db, options);
+    std::vector<Sequence> pool;
+    for (const auto& [p, sup] : patterns) {
+      (void)sup;
+      if (p.Length() >= 2) pool.push_back(p);
+      if (pool.size() >= 4096) break;
+    }
+    if (pool.size() < 2) {
+      std::fprintf(stderr,
+                   "bench_kernels: pattern pool too small (%zu); lower "
+                   "--minsup\n",
+                   pool.size());
+      return 3;
+    }
+    ItemEncoder encoder;
+    for (const Sequence& p : pool) encoder.NoteItems(p);
+    encoder.Finalize();
+    std::vector<std::vector<EncodedWord>> epool(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      EncodeSequence(pool[i], encoder, &epool[i]);
+    }
+    std::vector<std::uint32_t> lhs(npairs), rhs(npairs);
+    std::uint64_t rng = params.seed | 1;
+    for (std::uint64_t i = 0; i < npairs; ++i) {
+      lhs[i] = static_cast<std::uint32_t>(XorShift(&rng) % pool.size());
+      // PatternSet iterates in comparative order, so nearby indices share
+      // long prefixes — the regime the comparator sees inside the sorted
+      // structures (random far-apart pairs differ at word 0 and measure
+      // only call overhead).
+      const std::uint32_t stride =
+          1 + static_cast<std::uint32_t>(XorShift(&rng) % 8);
+      rhs[i] = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(pool.size() - 1, lhs[i] + stride));
+    }
+    // Reps interleave the two sides so slow drift in machine load cancels
+    // out of the ratio instead of skewing whichever side ran last.
+    std::int64_t sum_legacy = 0, sum_encoded = 0;
+    double t_legacy = -1.0, t_encoded = -1.0;
+    for (int r = 0; r < reps; ++r) {
+      t_legacy = MinTime(t_legacy, [&] {
+        sum_legacy = 0;
+        for (std::uint64_t i = 0; i < npairs; ++i) {
+          sum_legacy += Sign(CompareSequences(pool[lhs[i]], pool[rhs[i]]));
+        }
+      });
+      t_encoded = MinTime(t_encoded, [&] {
+        sum_encoded = 0;
+        for (std::uint64_t i = 0; i < npairs; ++i) {
+          sum_encoded += Sign(EncodedCompare(epool[lhs[i]], epool[rhs[i]]));
+        }
+      });
+    }
+    if (sum_legacy != sum_encoded) {
+      std::fprintf(stderr,
+                   "bench_kernels: ** SIGN MISMATCH ** legacy %lld vs "
+                   "encoded %lld\n",
+                   static_cast<long long>(sum_legacy),
+                   static_cast<long long>(sum_encoded));
+      ok = false;
+    }
+    compare_speedup = t_encoded > 0.0 ? t_legacy / t_encoded : 0.0;
+    const obs::MineStats cl = KernelStats("kernel.compare.legacy", t_legacy);
+    const obs::MineStats ce = KernelStats("kernel.compare.encoded", t_encoded);
+    report.AddRun(cl);
+    report.AddRun(ce);
+    obs.Record(cl);
+    obs.Record(ce);
+    table.AddRow({"compare (" + std::to_string(npairs) + " pairs, pool " +
+                      std::to_string(pool.size()) + ")",
+                  TablePrinter::Num(t_legacy), TablePrinter::Num(t_encoded),
+                  TablePrinter::Num(compare_speedup)});
+  }
+
+  // --- kernel.kms / kernel.mine: paired mining runs, byte-checked ---
+  struct MiningKernel {
+    const char* name;
+    bool pure_disc;  // DynamicDiscAll fixed_levels=0 vs DiscAll
+  };
+  for (const MiningKernel kernel :
+       {MiningKernel{"kernel.kms", true}, MiningKernel{"kernel.mine", false}}) {
+    if (kernel_filter != "all" &&
+        kernel_filter != (kernel.pure_disc ? "kms" : "mine")) {
+      continue;
+    }
+    if (kernel.pure_disc && only.empty()) ran_kms = true;
+    auto make_miner = [&](bool encoded) -> std::unique_ptr<Miner> {
+      if (kernel.pure_disc) {
+        DynamicDiscAll::Config cfg;
+        cfg.fixed_levels = 0;
+        cfg.encoded_order = encoded;
+        return std::make_unique<DynamicDiscAll>(cfg);
+      }
+      DiscAll::Config cfg;
+      cfg.encoded_order = encoded;
+      return std::make_unique<DiscAll>(cfg);
+    };
+    std::unique_ptr<Miner> legacy =
+        only == "encoded" ? nullptr : make_miner(false);
+    std::unique_ptr<Miner> encoded =
+        only == "legacy" ? nullptr : make_miner(true);
+    std::string out_legacy, out_encoded;
+    double t_legacy = -1.0, t_encoded = -1.0;
+    // Interleave the sides rep by rep (same rationale as kernel.compare).
+    for (int r = 0; r < reps; ++r) {
+      if (legacy != nullptr) {
+        t_legacy = MinTime(t_legacy, [&] {
+          out_legacy = legacy->Mine(db, options).ToString();
+        });
+      }
+      if (encoded != nullptr) {
+        t_encoded = MinTime(t_encoded, [&] {
+          out_encoded = encoded->Mine(db, options).ToString();
+        });
+      }
+    }
+    if (t_legacy < 0.0) t_legacy = 0.0;
+    if (t_encoded < 0.0) t_encoded = 0.0;
+    obs::MineStats stats_legacy, stats_encoded;
+    if (legacy != nullptr) {
+      stats_legacy = legacy->last_stats();
+      stats_legacy.miner = std::string(kernel.name) + ".legacy";
+      stats_legacy.wall_seconds = t_legacy;
+    }
+    if (encoded != nullptr) {
+      stats_encoded = encoded->last_stats();
+      stats_encoded.miner = std::string(kernel.name) + ".encoded";
+      stats_encoded.wall_seconds = t_encoded;
+    }
+    if (only.empty() && out_legacy != out_encoded) {
+      std::fprintf(stderr, "bench_kernels: ** PATTERN MISMATCH ** in %s\n",
+                   kernel.name);
+      ok = false;
+    }
+    const double speedup =
+        only.empty() && t_encoded > 0.0 ? t_legacy / t_encoded : 0.0;
+    if (kernel.pure_disc && only.empty()) kms_speedup = speedup;
+    if (only != "encoded") {
+      report.AddRun(stats_legacy);
+      obs.Record(stats_legacy);
+    }
+    if (only != "legacy") {
+      report.AddRun(stats_encoded);
+      obs.Record(stats_encoded);
+    }
+    table.AddRow({kernel.name, TablePrinter::Num(t_legacy),
+                  TablePrinter::Num(t_encoded), TablePrinter::Num(speedup)});
+  }
+  table.Print();
+
+  if (min_speedup > 0.0 && ((ran_compare && compare_speedup < min_speedup) ||
+                            (ran_kms && kms_speedup < min_speedup))) {
+    std::fprintf(stderr,
+                 "bench_kernels: speedup below --min-speedup=%.2f "
+                 "(compare %.2f, kms %.2f)\n",
+                 min_speedup, compare_speedup, kms_speedup);
+    ok = false;
+  }
+
+  ok = obs.Finish() && ok;
+  std::string json_path = flags.GetString("json-out", "");
+  if (json_path.empty() && !flags.Has("json-out")) {
+    json_path = "BENCH_kernels.json";
+  }
+  if (!json_path.empty() && obs.json_out().empty()) {
+    std::string error;
+    if (report.WriteJson(json_path, &error)) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_kernels: %s\n", error.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,10 +1,24 @@
 #include "disc/common/flags.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
-#include "disc/common/check.h"
-
 namespace disc {
+namespace {
+
+// Malformed flag values are usage errors, not bugs: report which flag and
+// what it got, then exit with the CLI convention's usage code
+// (docs/ROBUSTNESS.md) instead of aborting with a stack trace.
+[[noreturn]] void UsageError(const std::string& name, const std::string& value,
+                             const char* what) {
+  std::fprintf(stderr, "flag --%s=%s: %s\n", name.c_str(), value.c_str(),
+               what);
+  std::exit(2);
+}
+
+}  // namespace
 
 Flags Flags::Parse(int argc, char** argv) {
   Flags flags;
@@ -41,9 +55,15 @@ std::int64_t Flags::GetInt(const std::string& name, std::int64_t dflt) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return dflt;
   char* end = nullptr;
+  errno = 0;
   const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  DISC_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-                 "integer flag has non-integer value");
+  // Trailing junk ("--slen=2x") must not silently truncate to a prefix.
+  if (end == it->second.c_str() || *end != '\0') {
+    UsageError(name, it->second, "expects an integer");
+  }
+  if (errno == ERANGE) {
+    UsageError(name, it->second, "integer out of range");
+  }
   return v;
 }
 
@@ -51,9 +71,15 @@ double Flags::GetDouble(const std::string& name, double dflt) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return dflt;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
-  DISC_CHECK_MSG(end != it->second.c_str() && *end == '\0',
-                 "double flag has non-numeric value");
+  // Trailing junk ("--slen=2.5x") must not silently truncate to a prefix.
+  if (end == it->second.c_str() || *end != '\0') {
+    UsageError(name, it->second, "expects a number");
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    UsageError(name, it->second, "number out of range");
+  }
   return v;
 }
 
@@ -63,8 +89,7 @@ bool Flags::GetBool(const std::string& name, bool dflt) const {
   const std::string& v = it->second;
   if (v.empty() || v == "1" || v == "true" || v == "yes") return true;
   if (v == "0" || v == "false" || v == "no") return false;
-  DISC_CHECK_MSG(false, "boolean flag has non-boolean value");
-  return dflt;
+  UsageError(name, v, "expects a boolean (1/0/true/false/yes/no)");
 }
 
 }  // namespace disc

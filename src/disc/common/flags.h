@@ -24,7 +24,10 @@ class Flags {
   /// Returns true if --name was present (with or without a value).
   bool Has(const std::string& name) const;
 
-  /// Typed getters with defaults. Malformed values abort with a message.
+  /// Typed getters with defaults. A malformed value — non-numeric text,
+  /// trailing junk ("--slen=2.5x"), or an out-of-range magnitude — is a
+  /// usage error: a "flag --name=value: ..." line on stderr, then exit(2)
+  /// per the CLI exit-code convention (docs/ROBUSTNESS.md).
   std::string GetString(const std::string& name, const std::string& dflt) const;
   std::int64_t GetInt(const std::string& name, std::int64_t dflt) const;
   double GetDouble(const std::string& name, double dflt) const;

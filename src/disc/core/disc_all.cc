@@ -289,7 +289,7 @@ class PartitionMiner {
     }
     RunDiscLoop(pairs, std::move(sorted_list), 4, delta, config_.bilevel,
                 max_item_, options_.max_length, &result_.patterns, nullptr,
-                config_.use_avl);
+                config_.use_avl, config_.encoded_order);
   }
 
   const SequenceDatabase& db_;

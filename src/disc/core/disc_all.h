@@ -44,6 +44,13 @@ class DiscAll : public Miner {
     /// the bench_micro --alloc-compare mode. Output is byte-identical
     /// either way.
     bool arena_scratch = true;
+    /// Run the k >= 4 DISC loops on the encoded comparative order
+    /// (order/encoded.h): dense item remap, word-scan comparisons,
+    /// prefix-skip CKMS walks, cached embedding ends. False keeps the
+    /// legacy itemset-by-itemset scans as an ablation (bench_kernels
+    /// measures the gap; output is byte-identical either way, enforced by
+    /// parallel_determinism_test).
+    bool encoded_order = true;
   };
 
   DiscAll() : DiscAll(Config{}) {}
@@ -52,6 +59,7 @@ class DiscAll : public Miner {
   std::string name() const override {
     std::string n = config_.bilevel ? "disc-all" : "disc-all-nobilevel";
     if (!config_.arena_scratch) n += "-ownedscratch";
+    if (!config_.encoded_order) n += "-legacyorder";
     return n;
   }
 

@@ -8,6 +8,7 @@
 #include "disc/core/ksorted.h"
 #include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
+#include "disc/order/encoded.h"
 #include "disc/seq/extension.h"
 
 namespace disc {
@@ -142,7 +143,25 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
     return DiscoverFrequentKResort(members, sorted_list, options);
   }
 
-  KSortedDatabase sd(members, &sorted_list, options.k);
+  // Encoded-order setup (order/encoded.h): one dense remap per pass over
+  // the partition's item universe. Keys generated by (C)KMS draw their
+  // prefixes from the sorted list and their extension items from the member
+  // sequences, so noting both covers every sequence the pass compares.
+  ItemEncoder encoder;
+  EncodedList encoded_list;
+  EncodedOrder encoded;
+  const EncodedOrder* encoded_ptr = nullptr;
+  if (options.encoded_order) {
+    for (const PartitionMember& m : members) encoder.NoteItems(m.seq);
+    for (const Sequence& f : sorted_list) encoder.NoteItems(f);
+    encoder.Finalize();
+    encoded_list.Build(sorted_list, encoder);
+    encoded.encoder = &encoder;
+    encoded.list = &encoded_list;
+    encoded_ptr = &encoded;
+  }
+
+  KSortedDatabase sd(members, &sorted_list, options.k, encoded_ptr);
   CountingArray counts(options.bilevel ? options.max_item : 0);
   std::vector<std::uint32_t> handles;
 
@@ -189,7 +208,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
         AttributeSupportIncrements(counts, options.k + 1);
       }
       // Supporters move strictly past α_δ (== α₁ here).
-      const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/true);
+      const CkmsBound bound = sd.MakeBound(alpha_delta, /*strict=*/true);
       for (const std::uint32_t h : handles) {
         sd.AdvanceAndReinsert(h, bound);
       }
@@ -199,7 +218,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
       DISC_OBS_INC(g_infrequent_skips);
       sd.PopAllLess(alpha_delta, &handles);
       DISC_CHECK(!handles.empty());
-      const CkmsBound bound = CkmsBound::Make(alpha_delta, /*strict=*/false);
+      const CkmsBound bound = sd.MakeBound(alpha_delta, /*strict=*/false);
       for (const std::uint32_t h : handles) {
         sd.AdvanceAndReinsert(h, bound);
       }

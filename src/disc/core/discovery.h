@@ -36,6 +36,12 @@ struct DiscoveryOptions {
   /// ablation (bench_ablations) and differential oracle. Results are
   /// identical either way.
   bool use_avl = true;
+  /// Run the AVL path on the encoded comparative order (order/encoded.h):
+  /// dense item remap, word-scan comparisons, prefix-skip CKMS walks, and
+  /// cached embedding ends. False keeps the legacy itemset-by-itemset
+  /// scans (ablation). Results are identical either way; the re-sort
+  /// ablation (use_avl = false) always runs legacy.
+  bool encoded_order = true;
 };
 
 /// Output of one discovery pass.

@@ -174,7 +174,7 @@ class Run {
       }
       RunDiscLoop(members, std::move(sorted_list), k + 2, delta,
                   config_.bilevel, db_.max_item(), options_.max_length,
-                  out, nullptr);
+                  out, nullptr, /*use_avl=*/true, config_.encoded_order);
     }
   }
 
@@ -234,7 +234,8 @@ class Run {
         sorted_list.push_back(Extend(empty_prefix, x, type));
       }
       RunDiscLoop(members, std::move(sorted_list), 2, delta, config_.bilevel,
-                  db_.max_item(), options_.max_length, &out_, nullptr);
+                  db_.max_item(), options_.max_length, &out_, nullptr,
+                  /*use_avl=*/true, config_.encoded_order);
       return;
     }
 

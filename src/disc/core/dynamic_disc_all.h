@@ -42,6 +42,10 @@ class DynamicDiscAll : public Miner {
     /// DISC from length 2, 2 = DISC-all's two-level scheme, large = pure
     /// pattern growth).
     std::int32_t fixed_levels = -1;
+    /// Run the DISC loops on the encoded comparative order
+    /// (order/encoded.h); false keeps the legacy scans as an ablation.
+    /// Output is byte-identical either way.
+    bool encoded_order = true;
   };
 
   DynamicDiscAll() : DynamicDiscAll(Config{}) {}

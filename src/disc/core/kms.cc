@@ -7,6 +7,12 @@
 namespace disc {
 namespace {
 
+DISC_OBS_COUNTER(g_initial_scans, "kms.initial_scans");
+DISC_OBS_COUNTER(g_ckms_advances, "kms.ckms_advances");
+DISC_OBS_COUNTER(g_walk_skips, "disc.encode.walk_skips");
+DISC_OBS_COUNTER(g_walk_compares, "disc.encode.compares");
+DISC_OBS_COUNTER(g_scan_reuses, "disc.encode.scan_reuses");
+
 // The extension type by which `bound` grew out of its (k-1)-prefix: itemset
 // if the last item shares its transaction with the previous item.
 ExtType LastExtType(const Sequence& bound) {
@@ -15,17 +21,53 @@ ExtType LastExtType(const Sequence& bound) {
                                       : ExtType::kSequence;
 }
 
+// Extension sets of sorted_list[idx] in s through the scan-state cache: a
+// hit answers min-extension queries by binary search, skipping both the
+// embedding walk and the extension scan. Misses gather into the state's
+// vectors, reusing their capacity.
+const ExtensionSets& SetsFor(SequenceView s, const Sequence& prefix,
+                             std::uint32_t idx, const SequenceIndex* index,
+                             KmsScanState* state) {
+  if (state->sets_index == idx) {
+    DISC_OBS_INC(g_scan_reuses);
+    return state->sets;
+  }
+  ScanExtensionsWithEnds(s, prefix, LeftmostEnds(s, prefix, index), index,
+                         &state->sets);
+  state->sets_index = idx;
+  return state->sets;
+}
+
+// One scanned entry of a (C)KMS walk: the minimum extension of
+// sorted_list[idx] within s, floored when the entry sits at the bound's
+// prefix. Only the floored query consults the scan-state cache — it is the
+// one that repeats (successive advances against the same at-bound entry
+// with a tightening floor); entries past the bound are each scanned at most
+// once per pass, so for them the gather would cost more than the
+// allocation-free scan it replaces.
+MinExtension ScanEntry(SequenceView s, const Sequence& prefix,
+                       std::uint32_t idx,
+                       const std::pair<Item, ExtType>* floor, bool strict,
+                       const SequenceIndex* index, KmsScanState* state) {
+  if (state != nullptr && floor != nullptr) {
+    return MinExtensionFromSets(SetsFor(s, prefix, idx, index, state), floor,
+                                strict);
+  }
+  const EmbeddingEnds ends = LeftmostEnds(s, prefix, index);
+  if (!ends.contained) return MinExtension{};
+  return MinExtensionWithEnds(s, prefix, ends, floor, strict, index);
+}
+
 }  // namespace
 
 KmsResult AprioriKms(SequenceView s,
                      const std::vector<Sequence>& sorted_list,
-                     const SequenceIndex* index) {
-  DISC_OBS_COUNTER(g_initial_scans, "kms.initial_scans");
+                     const SequenceIndex* index, KmsScanState* state) {
   DISC_OBS_INC(g_initial_scans);
   KmsResult result;
   for (std::uint32_t idx = 0; idx < sorted_list.size(); ++idx) {
     const MinExtension ext =
-        ScanMinExtension(s, sorted_list[idx], nullptr, false, index);
+        ScanEntry(s, sorted_list[idx], idx, nullptr, false, index, state);
     if (!ext.found) continue;
     result.found = true;
     result.kmin = Extend(sorted_list[idx], ext.item, ext.type);
@@ -35,40 +77,92 @@ KmsResult AprioriKms(SequenceView s,
   return result;
 }
 
-CkmsBound CkmsBound::Make(const Sequence& bound, bool strict) {
+CkmsBound CkmsBound::Make(const Sequence& bound, bool strict,
+                          const ItemEncoder* encoder) {
   DISC_CHECK(!bound.Empty());
   CkmsBound out;
   out.prefix = bound.Prefix(bound.Length() - 1);
   out.floor = {bound.LastItem(), LastExtType(bound)};
   out.strict = strict;
+  if (encoder != nullptr) {
+    EncodeSequence(out.prefix, *encoder, &out.encoded_prefix);
+  }
   return out;
 }
 
 KmsResult AprioriCkms(SequenceView s,
                       const std::vector<Sequence>& sorted_list,
                       std::uint32_t start_index, const CkmsBound& bound,
-                      const SequenceIndex* index) {
-  DISC_OBS_COUNTER(g_ckms_advances, "kms.ckms_advances");
+                      const SequenceIndex* index, const EncodedList* elist,
+                      KmsScanState* state) {
   DISC_OBS_INC(g_ckms_advances);
   KmsResult result;
   // Steps 4-7 of Figure 6: advance to the first list entry >= the bound's
   // prefix. The apriori pointer makes this a short walk.
   std::uint32_t idx = start_index;
-  while (idx < sorted_list.size() &&
-         CompareSequences(sorted_list[idx], bound.prefix) < 0) {
-    ++idx;
+  // Compare result of sorted_list[idx] vs bound.prefix, when known without
+  // re-deriving (encoded walk); kUnknown falls back to a per-entry compare.
+  constexpr int kUnknown = 2;
+  int cmp = kUnknown;
+  if (elist != nullptr) {
+    DISC_DCHECK(elist->size() == sorted_list.size());
+    const EncodedWord* bp = bound.encoded_prefix.data();
+    const std::size_t bn = bound.encoded_prefix.size();
+    std::uint32_t lcp = 0;
+    std::uint32_t walk_compares = 0;
+    std::uint32_t walk_skips = 0;
+    if (idx < elist->size()) {
+      ++walk_compares;
+      cmp = EncodedCompareFrom(elist->WordsBegin(idx), elist->NumWords(idx),
+                               bp, bn, 0, &lcp);
+    }
+    while (idx < elist->size() && cmp < 0) {
+      ++idx;
+      if (idx >= elist->size()) break;
+      const std::uint32_t p = elist->LcpWithPrev(idx);
+      if (p > lcp) {
+        // The entry agrees with its predecessor beyond the predecessor's
+        // differential point with the bound, so it compares the same way
+        // (< 0) with the same LCP: skip it without reading any words.
+        ++walk_skips;
+        continue;
+      }
+      if (p < lcp) {
+        // The entry departs from its predecessor before the bound does;
+        // ascending order forces entry[p] > predecessor[p] == bound[p].
+        ++walk_skips;
+        cmp = 1;
+        lcp = p;
+        continue;  // loop condition exits
+      }
+      ++walk_compares;
+      cmp = EncodedCompareFrom(elist->WordsBegin(idx), elist->NumWords(idx),
+                               bp, bn, lcp, &lcp);
+    }
+    DISC_OBS_ADD(g_walk_compares, walk_compares);
+    if (walk_skips != 0) DISC_OBS_ADD(g_walk_skips, walk_skips);
+  } else {
+    while (idx < sorted_list.size() &&
+           CompareSequences(sorted_list[idx], bound.prefix) < 0) {
+      ++idx;
+    }
+    cmp = kUnknown;
   }
+  // Distinct keys: only the first non-less entry can equal the prefix.
+  bool maybe_at_bound = true;
   for (; idx < sorted_list.size(); ++idx) {
     const Sequence& prefix = sorted_list[idx];
     // Only extensions of the bound's own prefix are floor-constrained;
     // prefix-compatibility puts every extension of a larger prefix above
     // the bound already.
     const bool at_bound_prefix =
-        CompareSequences(prefix, bound.prefix) == 0;
+        maybe_at_bound &&
+        (cmp != kUnknown ? cmp == 0
+                         : CompareSequences(prefix, bound.prefix) == 0);
+    maybe_at_bound = cmp == kUnknown;  // legacy mode re-checks every entry
     const MinExtension ext =
-        at_bound_prefix
-            ? ScanMinExtension(s, prefix, &bound.floor, bound.strict, index)
-            : ScanMinExtension(s, prefix, nullptr, false, index);
+        ScanEntry(s, prefix, idx, at_bound_prefix ? &bound.floor : nullptr,
+                  at_bound_prefix && bound.strict, index, state);
     if (!ext.found) continue;
     result.found = true;
     result.kmin = Extend(prefix, ext.item, ext.type);

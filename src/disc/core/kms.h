@@ -18,9 +18,13 @@
 #define DISC_CORE_KMS_H_
 
 #include <cstdint>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "disc/order/compare.h"
+#include "disc/order/encoded.h"
+#include "disc/seq/extension.h"
 #include "disc/seq/index.h"
 #include "disc/seq/sequence.h"
 #include "disc/seq/view.h"
@@ -39,12 +43,33 @@ struct KmsResult {
   std::uint32_t prefix_index = 0;
 };
 
+/// Reusable per-customer-sequence advance state: the complete extension
+/// sets of the last sorted-list prefix scanned for this sequence. The sets
+/// depend only on the immutable (sequence, prefix) pair, so when
+/// consecutive (C)KMS generations land on the same prefix index — the
+/// common case, since a bucket advance usually only changes the bound's
+/// tail — the floored minimum is answered by binary search into the cached
+/// sets ("disc.encode.scan_reuses") instead of re-walking the customer
+/// sequence. Only the single last-scanned entry is worth caching: the
+/// apriori pointer is monotone, so every entry past it is scanned at most
+/// once per pass (a full per-entry memo was tried and never hit). The state
+/// is tied to one sorted list; the k-sorted database owns one per entry and
+/// discards it with the pass.
+struct KmsScanState {
+  static constexpr std::uint32_t kNoIndex =
+      std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t sets_index = kNoIndex;  ///< sorted-list index of the cache
+  ExtensionSets sets;  ///< ScanExtensions(s, list[sets_index])
+};
+
 /// The k-minimum subsequence of s whose (k-1)-prefix appears in
 /// `sorted_list` (frequent (k-1)-sequences, ascending). Figure 5.
-/// `index`, when provided, must be built from s.
+/// `index`, when provided, must be built from s. `state`, when provided,
+/// caches the winning prefix's embedding for the next AprioriCkms call.
 KmsResult AprioriKms(SequenceView s,
                      const std::vector<Sequence>& sorted_list,
-                     const SequenceIndex* index = nullptr);
+                     const SequenceIndex* index = nullptr,
+                     KmsScanState* state = nullptr);
 
 /// A condition k-sequence, preprocessed for repeated CKMS calls: the DISC
 /// loop advances a whole bucket against the same bound, so the prefix split
@@ -54,19 +79,34 @@ struct CkmsBound {
   Sequence prefix;                       ///< the bound's (k-1)-prefix
   std::pair<Item, ExtType> floor;        ///< the bound's final extension
   bool strict = false;                   ///< Ω: '>' when true, '>=' else
+  /// Encoded form of `prefix` (empty in legacy mode, or when the prefix is
+  /// itself empty — the encoded walk keys off its EncodedList instead).
+  std::vector<EncodedWord> encoded_prefix;
 
-  /// Decomposes a k-sequence bound. The bound must be non-empty.
-  static CkmsBound Make(const Sequence& bound, bool strict);
+  /// Decomposes a k-sequence bound. The bound must be non-empty. When
+  /// `encoder` is given the prefix is encoded for the prefix-skip walk.
+  static CkmsBound Make(const Sequence& bound, bool strict,
+                        const ItemEncoder* encoder = nullptr);
 };
 
 /// The conditional k-minimum subsequence of s (Definition 2.5): minimum
 /// qualifying k-subsequence that compares > bound (strict) or >= bound.
 /// The bound's (k-1)-prefix must be in the list. `start_index` is the
 /// sequence's apriori pointer (0 is always safe). Figure 6.
+///
+/// `elist`, when non-null, must be the encoded form of `sorted_list` (and
+/// the bound made with the same encoder): the advance-to-bound walk then
+/// runs on encoded words and skips entries via the list's precomputed
+/// LCP-with-predecessor — an entry whose shared prefix with its predecessor
+/// extends past the predecessor's differential point compares identically
+/// and is decided without reading a single word. `state` caches the
+/// leftmost embedding across calls (see KmsScanState).
 KmsResult AprioriCkms(SequenceView s,
                       const std::vector<Sequence>& sorted_list,
                       std::uint32_t start_index, const CkmsBound& bound,
-                      const SequenceIndex* index = nullptr);
+                      const SequenceIndex* index = nullptr,
+                      const EncodedList* elist = nullptr,
+                      KmsScanState* state = nullptr);
 
 /// Convenience overload decomposing the bound per call.
 KmsResult AprioriCkms(SequenceView s,

@@ -35,9 +35,13 @@ class KSortedDatabase {
  public:
   /// `sorted_list` holds the frequent (k-1)-sequences ascending; for k == 1
   /// pass a single empty sequence. The list is borrowed and must outlive
-  /// this object.
+  /// this object. `encoded`, when non-null, activates the encoded-order
+  /// fast paths (docs in order/encoded.h): its list must be the encoded
+  /// form of `sorted_list`, keys are stored encoded in the tree, and every
+  /// entry keeps a KmsScanState across advances. Both pointees are borrowed.
   KSortedDatabase(const PartitionMembers& members,
-                  const std::vector<Sequence>* sorted_list, std::uint32_t k);
+                  const std::vector<Sequence>* sorted_list, std::uint32_t k,
+                  const EncodedOrder* encoded = nullptr);
 
   /// Number of customer sequences still present.
   std::size_t size() const { return tree_.size(); }
@@ -57,9 +61,15 @@ class KSortedDatabase {
     tree_.PopMinBucket(handles);
   }
 
-  /// Pops every entry with key < bound.
-  void PopAllLess(const Sequence& bound, std::vector<std::uint32_t>* handles) {
-    tree_.PopAllLess(bound, handles);
+  /// Pops every entry with key < bound. The bound must be encodable (any
+  /// tree key is) when the database runs in encoded mode.
+  void PopAllLess(const Sequence& bound, std::vector<std::uint32_t>* handles);
+
+  /// Decomposes a bound for AdvanceAndReinsert, encoding its prefix when
+  /// this database runs in encoded mode.
+  CkmsBound MakeBound(const Sequence& bound, bool strict) const {
+    return CkmsBound::Make(bound, strict,
+                           encoded_ != nullptr ? encoded_->encoder : nullptr);
   }
 
   /// Entry access by handle (valid for popped handles until re-advanced).
@@ -82,9 +92,12 @@ class KSortedDatabase {
 
  private:
   const std::vector<Sequence>* sorted_list_;
+  const EncodedOrder* encoded_;  // nullptr = legacy comparative-order path
   std::uint32_t k_;
   std::vector<KSortedEntry> entries_;
   std::vector<const SequenceIndex*> index_ptrs_;  // parallel to entries_
+  std::vector<KmsScanState> scan_states_;         // parallel (encoded mode)
+  std::vector<EncodedWord> ebound_scratch_;       // PopAllLess bound encoding
   std::deque<SequenceIndex> owned_indexes_;       // for index-less members
   LocativeAvlTree tree_;
 };

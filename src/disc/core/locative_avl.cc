@@ -100,6 +100,49 @@ void LocativeAvlTree::Insert(Sequence&& key, std::uint32_t handle,
   ++size_;
 }
 
+LocativeAvlTree::Node* LocativeAvlTree::InsertEncodedAt(
+    Node* n, Sequence* key, std::vector<EncodedWord>* ekey,
+    std::uint32_t handle, double weight, std::uint32_t llcp,
+    std::uint32_t hlcp) {
+  if (n == nullptr) {
+    Node* fresh = new Node;
+    fresh->key = std::move(*key);
+    fresh->ekey = std::move(*ekey);
+    fresh->bucket.push_back(handle);
+    fresh->count = 1;
+    fresh->bucket_weight = weight;
+    fresh->weight = weight;
+    ++num_nodes_;
+    return fresh;
+  }
+  DISC_DCHECK(n->key.Empty() || !n->ekey.empty());  // no mixed-mode trees
+  std::uint32_t lcp = 0;
+  const int cmp =
+      EncodedCompareFrom(ekey->data(), ekey->size(), n->ekey.data(),
+                         n->ekey.size(), std::min(llcp, hlcp), &lcp);
+  if (cmp == 0) {
+    n->bucket.push_back(handle);
+    ++n->count;
+    n->bucket_weight += weight;
+    n->weight += weight;
+    return n;
+  }
+  if (cmp < 0) {
+    // n becomes the tightest upper fence of the left subtree.
+    n->left = InsertEncodedAt(n->left, key, ekey, handle, weight, llcp, lcp);
+  } else {
+    n->right = InsertEncodedAt(n->right, key, ekey, handle, weight, lcp,
+                               hlcp);
+  }
+  return Rebalance(n);
+}
+
+void LocativeAvlTree::Insert(Sequence&& key, std::vector<EncodedWord>&& ekey,
+                             std::uint32_t handle, double weight) {
+  root_ = InsertEncodedAt(root_, &key, &ekey, handle, weight, 0, 0);
+  ++size_;
+}
+
 const LocativeAvlTree::Node* LocativeAvlTree::MinNode(const Node* n) {
   DISC_CHECK(n != nullptr);
   while (n->left != nullptr) n = n->left;
@@ -171,6 +214,20 @@ void LocativeAvlTree::PopMinBucket(std::vector<std::uint32_t>* out) {
 void LocativeAvlTree::PopAllLess(const Sequence& bound,
                                  std::vector<std::uint32_t>* out) {
   while (root_ != nullptr && CompareSequences(MinKey(), bound) < 0) {
+    PopMinBucket(out);
+  }
+}
+
+void LocativeAvlTree::PopAllLess(const Sequence& bound,
+                                 const std::vector<EncodedWord>* ebound,
+                                 std::vector<std::uint32_t>* out) {
+  if (ebound == nullptr) {
+    PopAllLess(bound, out);
+    return;
+  }
+  while (root_ != nullptr) {
+    const Node* min = MinNode(root_);
+    if (EncodedCompare(min->ekey, *ebound) >= 0) break;
     PopMinBucket(out);
   }
 }

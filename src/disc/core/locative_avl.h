@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "disc/order/compare.h"
+#include "disc/order/encoded.h"
 #include "disc/seq/sequence.h"
 
 namespace disc {
@@ -41,6 +42,16 @@ class LocativeAvlTree {
   /// Move-inserting variant: a new node takes ownership of the key; when
   /// the key already exists it is simply discarded.
   void Insert(Sequence&& key, std::uint32_t handle, double weight = 1.0);
+
+  /// Encoded-order insert: `ekey` is the encoded form of `key` (same
+  /// ItemEncoder for every key of this tree — mixing encoded and plain
+  /// inserts in one tree is a programming error, DCHECKed). The descent
+  /// compares encoded words and starts each comparison at the longest
+  /// common prefix the key is known to share with the narrowing fences:
+  /// for lo < x, y < hi under a lexicographic order, lcp(x, y) >=
+  /// min(lcp(x, lo), lcp(x, hi)), so deep descents skip most words.
+  void Insert(Sequence&& key, std::vector<EncodedWord>&& ekey,
+              std::uint32_t handle, double weight = 1.0);
 
   /// Total number of handles stored.
   std::size_t size() const { return size_; }
@@ -74,6 +85,12 @@ class LocativeAvlTree {
   /// handles to `out` (ascending key order).
   void PopAllLess(const Sequence& bound, std::vector<std::uint32_t>* out);
 
+  /// Encoded-order variant: `ebound` must be the encoded form of `bound`
+  /// under the tree's encoder; min-key comparisons run on encoded words.
+  void PopAllLess(const Sequence& bound,
+                  const std::vector<EncodedWord>* ebound,
+                  std::vector<std::uint32_t>* out);
+
   /// Removes everything.
   void Clear();
 
@@ -86,6 +103,7 @@ class LocativeAvlTree {
  private:
   struct Node {
     Sequence key;
+    std::vector<EncodedWord> ekey;  // encoded key (encoded inserts only)
     std::vector<std::uint32_t> bucket;
     Node* left = nullptr;
     Node* right = nullptr;
@@ -104,6 +122,11 @@ class LocativeAvlTree {
   static Node* Rebalance(Node* n);
   Node* InsertAt(Node* n, Sequence* key, std::uint32_t handle,
                  double weight);
+  // Encoded-order descent with fence LCPs: the key shares `llcp` words with
+  // the tightest lower fence passed so far and `hlcp` with the upper one.
+  Node* InsertEncodedAt(Node* n, Sequence* key,
+                        std::vector<EncodedWord>* ekey, std::uint32_t handle,
+                        double weight, std::uint32_t llcp, std::uint32_t hlcp);
   static Node* RemoveMin(Node* n, Node** removed);
   static void Destroy(Node* n);
   static const Node* MinNode(const Node* n);

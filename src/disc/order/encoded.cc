@@ -1,0 +1,82 @@
+#include "disc/order/encoded.h"
+
+#include <algorithm>
+
+#include "disc/common/check.h"
+#include "disc/obs/metrics.h"
+
+namespace disc {
+namespace {
+
+DISC_OBS_COUNTER(g_encoder_builds, "disc.encode.builds");
+DISC_OBS_COUNTER(g_encoded_words, "disc.encode.words");
+
+}  // namespace
+
+void ItemEncoder::NoteItems(SequenceView s) {
+  for (const Item x : s.items()) NoteItem(x);
+}
+
+void ItemEncoder::NoteItem(Item x) {
+  DISC_DCHECK(!finalized_);
+  if (x >= codes_.size()) codes_.resize(x + 1, 0);
+  codes_[x] = 1;  // presence mark; Finalize turns marks into dense codes
+}
+
+void ItemEncoder::Finalize() {
+  DISC_CHECK(!finalized_);
+  std::uint32_t next = 0;
+  for (std::uint32_t& c : codes_) {
+    if (c != 0) c = ++next;
+  }
+  num_codes_ = next;
+  // The code must leave the boundary bit room in 32 bits.
+  DISC_CHECK(num_codes_ < (1u << 31));
+  finalized_ = true;
+  DISC_OBS_INC(g_encoder_builds);
+}
+
+void EncodeSequence(SequenceView s, const ItemEncoder& encoder,
+                    std::vector<EncodedWord>* out) {
+  DISC_DCHECK(encoder.finalized());
+  out->clear();
+  out->reserve(s.Length());
+  for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+    EncodedWord boundary = 1;
+    for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+      const std::uint32_t code = encoder.Code(*p);
+      DISC_DCHECK(code != 0);
+      out->push_back((code << 1) | boundary);
+      boundary = 0;
+    }
+  }
+}
+
+void EncodedList::Build(const std::vector<Sequence>& list,
+                        const ItemEncoder& encoder) {
+  words_.clear();
+  offsets_.assign(1, 0);
+  lcp_with_prev_.clear();
+  offsets_.reserve(list.size() + 1);
+  lcp_with_prev_.reserve(list.size());
+  std::vector<EncodedWord> scratch;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EncodeSequence(list[i], encoder, &scratch);
+    words_.insert(words_.end(), scratch.begin(), scratch.end());
+    offsets_.push_back(static_cast<std::uint32_t>(words_.size()));
+    if (i == 0) {
+      lcp_with_prev_.push_back(0);
+      continue;
+    }
+    std::uint32_t lcp = 0;
+    const int cmp =
+        EncodedCompareFrom(WordsBegin(i - 1), NumWords(i - 1), WordsBegin(i),
+                           NumWords(i), 0, &lcp);
+    DISC_DCHECK(cmp < 0);  // the list must be strictly ascending
+    (void)cmp;
+    lcp_with_prev_.push_back(lcp);
+  }
+  DISC_OBS_ADD(g_encoded_words, words_.size());
+}
+
+}  // namespace disc

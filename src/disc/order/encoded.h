@@ -1,0 +1,155 @@
+// Encoded comparative order: a per-partition dense re-encoding of sequences
+// that turns CompareSequences into a memcmp-style word scan.
+//
+// Within one discovery pass the item universe is tiny (the partition's
+// frequent items plus whatever the member sequences still contain), so items
+// are remapped to contiguous codes 1..m in ascending item order — a
+// *monotone* remap, which preserves the comparative order. Each sequence is
+// then flattened to one uint32 word per item:
+//
+//   word(pos) = (code(item) << 1) | starts_new_transaction(pos)
+//
+// with the boundary bit set on the first position of every transaction
+// (position 0 included). Plain lexicographic comparison of the word streams,
+// with "proper prefix precedes its extensions" as the final tiebreak, is
+// EXACTLY the comparative order of Definition 2.2: when all earlier words
+// agree, the two sequences have identical transaction structure up to the
+// differential point, so their transaction numbers there differ iff the
+// boundary bits differ — and no-boundary (bit 0) means the earlier
+// transaction, i.e. the smaller token. The item code sits above the bit, so
+// the smaller item still dominates.
+//
+// A *sentinel-delimited* stream (a separator word between transactions, no
+// per-word bit) would NOT be order-equivalent, which is why this module
+// folds the boundary into each word instead: with a separator S compared
+// against real items, <(x)(y ...)> vs <(x z ...)> hits S-versus-z at the
+// third word and the separator's fixed value decides — but Definition 2.2
+// wants the item comparison y-versus-z to decide, and y < z can go either
+// way. tests/encoded_order_test.cc pins a concrete counterexample.
+//
+// The encoded forms back three hot paths (all behind Config::encoded_order,
+// default on, with the legacy scan kept as an ablation):
+//   * locative-AVL descent (core/locative_avl.cc) — fence-LCP prefix
+//     skipping: each comparison starts at min(lcp(key, lower fence),
+//     lcp(key, upper fence)) instead of word 0;
+//   * the Apriori-CKMS list walk (core/kms.cc) — EncodedList precomputes
+//     each entry's LCP with its predecessor, so advancing the walk decides
+//     most entries without touching their words;
+//   * k-sorted keys (core/ksorted.cc) — keys are encoded once on insert.
+#ifndef DISC_ORDER_ENCODED_H_
+#define DISC_ORDER_ENCODED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disc/seq/sequence.h"
+#include "disc/seq/types.h"
+#include "disc/seq/view.h"
+
+namespace disc {
+
+/// One encoded flattened position: (dense item code << 1) | boundary bit.
+using EncodedWord = std::uint32_t;
+
+/// Monotone dense item remap for one partition / discovery pass. Mark the
+/// item universe with NoteItem/NoteItems, then Finalize() to assign codes
+/// 1..m in ascending item order. Encoding a sequence containing an unnoted
+/// item is a programming error (DCHECKed).
+class ItemEncoder {
+ public:
+  /// Marks every item of `s` as present.
+  void NoteItems(SequenceView s);
+  void NoteItem(Item x);
+
+  /// Assigns contiguous codes in ascending item order. Call exactly once,
+  /// after all NoteItem(s) calls.
+  void Finalize();
+
+  /// Dense code of x (1-based); 0 means "never noted".
+  std::uint32_t Code(Item x) const {
+    return x < codes_.size() ? codes_[x] : 0;
+  }
+  bool CanEncode(Item x) const { return Code(x) != 0; }
+
+  /// Number of distinct items encoded.
+  std::uint32_t num_codes() const { return num_codes_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::vector<std::uint32_t> codes_;  // item -> 1-based dense code; 0 absent
+  std::uint32_t num_codes_ = 0;
+  bool finalized_ = false;
+};
+
+/// Appends the encoded word stream of `s` to `out` (cleared first).
+void EncodeSequence(SequenceView s, const ItemEncoder& encoder,
+                    std::vector<EncodedWord>* out);
+
+/// Three-way comparison of two word streams starting at word `from` (the
+/// caller guarantees the first `from` words are equal), shorter-prefix
+/// first. `*lcp_out` (when non-null) receives the length of the longest
+/// common prefix — the fuel for the prefix-skip tricks above. Inline and
+/// counter-free on purpose: this is the innermost loop of the AVL descent
+/// and the CKMS walk (consumers batch their own "disc.encode.compares"
+/// accounting outside it).
+inline int EncodedCompareFrom(const EncodedWord* a, std::size_t na,
+                              const EncodedWord* b, std::size_t nb,
+                              std::uint32_t from, std::uint32_t* lcp_out) {
+  const std::size_t n = na < nb ? na : nb;
+  std::size_t i = from;
+  while (i < n && a[i] == b[i]) ++i;
+  if (lcp_out != nullptr) *lcp_out = static_cast<std::uint32_t>(i);
+  if (i < n) return a[i] < b[i] ? -1 : 1;
+  // All common words equal: the proper prefix is smaller.
+  if (na == nb) return 0;
+  return na < nb ? -1 : 1;
+}
+
+/// Full comparison from word 0 — equals CompareSequences on the original
+/// sequences when both were encoded by the same ItemEncoder
+/// (tests/order_property_test.cc fuzzes the agreement).
+inline int EncodedCompare(const EncodedWord* a, std::size_t na,
+                          const EncodedWord* b, std::size_t nb) {
+  return EncodedCompareFrom(a, na, b, nb, 0, nullptr);
+}
+inline int EncodedCompare(const std::vector<EncodedWord>& a,
+                          const std::vector<EncodedWord>& b) {
+  return EncodedCompare(a.data(), a.size(), b.data(), b.size());
+}
+
+/// The encoded form of a sorted list of sequences (the (k-1)-sorted list of
+/// a discovery pass): a flat word buffer with per-entry offsets, plus each
+/// entry's LCP with its predecessor. Entries must be ascending under the
+/// comparative order (DCHECKed via the encoded order itself).
+class EncodedList {
+ public:
+  /// Encodes `list` (ascending). The encoder must cover every item.
+  void Build(const std::vector<Sequence>& list, const ItemEncoder& encoder);
+
+  std::size_t size() const { return offsets_.size() - 1; }
+  const EncodedWord* WordsBegin(std::size_t i) const {
+    return words_.data() + offsets_[i];
+  }
+  std::uint32_t NumWords(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+  /// LCP of entry i with entry i-1 (0 for entry 0).
+  std::uint32_t LcpWithPrev(std::size_t i) const { return lcp_with_prev_[i]; }
+
+ private:
+  std::vector<EncodedWord> words_;
+  std::vector<std::uint32_t> offsets_ = {0};
+  std::vector<std::uint32_t> lcp_with_prev_;
+};
+
+/// Bundles the two encoded artifacts a discovery pass threads through the
+/// k-sorted machinery. Null pointers never appear: the bundle itself is
+/// passed as a nullable pointer (nullptr = legacy comparative-order path).
+struct EncodedOrder {
+  const ItemEncoder* encoder = nullptr;
+  const EncodedList* list = nullptr;
+};
+
+}  // namespace disc
+
+#endif  // DISC_ORDER_ENCODED_H_

@@ -11,6 +11,24 @@ void SortUnique(std::vector<Item>* v) {
   v->erase(std::unique(v->begin(), v->end()), v->end());
 }
 
+// Minimum admissible item per extension type, derived from the floor under
+// the (item, itemset-before-sequence) extension order. Shared by the scan
+// and the set-based lookup so the two can never diverge.
+void FloorMinItems(const std::pair<Item, ExtType>* floor, bool strict,
+                   Item* s_min_item, Item* i_min_item) {
+  *s_min_item = 1;
+  *i_min_item = 1;
+  if (floor == nullptr) return;
+  const Item y = floor->first;
+  if (floor->second == ExtType::kSequence) {
+    *s_min_item = strict ? y + 1 : y;
+    *i_min_item = y + 1;  // (y, I) < (y, S): equality never qualifies
+  } else {
+    *s_min_item = y;  // (y, S) > (y, I) even when strict
+    *i_min_item = strict ? y + 1 : y;
+  }
+}
+
 }  // namespace
 
 EmbeddingEnds LeftmostEnds(SequenceView s, const Sequence& pattern,
@@ -43,37 +61,44 @@ EmbeddingEnds LeftmostEnds(SequenceView s, const Sequence& pattern,
 
 ExtensionSets ScanExtensions(SequenceView s, const Sequence& pattern) {
   ExtensionSets out;
-  const EmbeddingEnds ends = LeftmostEnds(s, pattern);
-  if (!ends.contained) return out;
-  out.contained = true;
-  ForEachExtension(s, pattern, [&out](Item x, ExtType type) {
-    (type == ExtType::kItemset ? out.i_items : out.s_items).push_back(x);
-  });
-  SortUnique(&out.i_items);
-  SortUnique(&out.s_items);
+  ScanExtensionsWithEnds(s, pattern, LeftmostEnds(s, pattern), nullptr,
+                         &out);
   return out;
+}
+
+void ScanExtensionsWithEnds(SequenceView s, const Sequence& pattern,
+                            const EmbeddingEnds& ends,
+                            const SequenceIndex* index, ExtensionSets* out) {
+  out->contained = ends.contained;
+  out->i_items.clear();
+  out->s_items.clear();
+  if (!ends.contained) return;
+  ForEachExtensionWithEnds(
+      s, pattern, ends,
+      [out](Item x, ExtType type) {
+        (type == ExtType::kItemset ? out->i_items : out->s_items)
+            .push_back(x);
+      },
+      index);
+  SortUnique(&out->i_items);
+  SortUnique(&out->s_items);
 }
 
 MinExtension ScanMinExtension(SequenceView s, const Sequence& pattern,
                               const std::pair<Item, ExtType>* floor,
                               bool strict, const SequenceIndex* index) {
-  MinExtension out;
-  // Minimum admissible item per extension type, derived from the floor
-  // under the (item, itemset-before-sequence) extension order.
-  Item s_min_item = 1;
-  Item i_min_item = 1;
-  if (floor != nullptr) {
-    const Item y = floor->first;
-    if (floor->second == ExtType::kSequence) {
-      s_min_item = strict ? y + 1 : y;
-      i_min_item = y + 1;  // (y, I) < (y, S): equality never qualifies
-    } else {
-      s_min_item = y;  // (y, S) > (y, I) even when strict
-      i_min_item = strict ? y + 1 : y;
-    }
-  }
+  return MinExtensionWithEnds(s, pattern, LeftmostEnds(s, pattern, index),
+                              floor, strict, index);
+}
 
-  const EmbeddingEnds ends = LeftmostEnds(s, pattern, index);
+MinExtension MinExtensionWithEnds(SequenceView s, const Sequence& pattern,
+                                  const EmbeddingEnds& ends,
+                                  const std::pair<Item, ExtType>* floor,
+                                  bool strict, const SequenceIndex* index) {
+  MinExtension out;
+  Item s_min_item, i_min_item;
+  FloorMinItems(floor, strict, &s_min_item, &i_min_item);
+
   if (!ends.contained) return out;
   out.contained = true;
 
@@ -129,6 +154,37 @@ MinExtension ScanMinExtension(SequenceView s, const Sequence& pattern,
     }
   }
 
+  if (best_i != kNoItem &&
+      (best_s == kNoItem ||
+       CompareExtensions(best_i, ExtType::kItemset, best_s,
+                         ExtType::kSequence) < 0)) {
+    out.found = true;
+    out.item = best_i;
+    out.type = ExtType::kItemset;
+  } else if (best_s != kNoItem) {
+    out.found = true;
+    out.item = best_s;
+    out.type = ExtType::kSequence;
+  }
+  return out;
+}
+
+MinExtension MinExtensionFromSets(const ExtensionSets& sets,
+                                  const std::pair<Item, ExtType>* floor,
+                                  bool strict) {
+  MinExtension out;
+  if (!sets.contained) return out;
+  out.contained = true;
+  Item s_min_item, i_min_item;
+  FloorMinItems(floor, strict, &s_min_item, &i_min_item);
+  // The sets are sorted and complete, so each floored minimum is one
+  // binary search; the tie-break mirrors MinExtensionWithEnds exactly.
+  auto si = std::lower_bound(sets.s_items.begin(), sets.s_items.end(),
+                             s_min_item);
+  auto ii = std::lower_bound(sets.i_items.begin(), sets.i_items.end(),
+                             i_min_item);
+  const Item best_s = si == sets.s_items.end() ? kNoItem : *si;
+  const Item best_i = ii == sets.i_items.end() ? kNoItem : *ii;
   if (best_i != kNoItem &&
       (best_s == kNoItem ||
        CompareExtensions(best_i, ExtType::kItemset, best_s,

@@ -50,6 +50,19 @@ struct ExtensionSets {
 /// (1-sequences) and it has no i-extensions.
 ExtensionSets ScanExtensions(SequenceView s, const Sequence& pattern);
 
+struct EmbeddingEnds;
+
+/// ScanExtensions with the embedding step already done (`ends` must be
+/// LeftmostEnds(s, pattern, index)), writing into `*out` so a caller that
+/// gathers repeatedly reuses the vectors' capacity. The sets depend only on
+/// the immutable (s, pattern) pair: Apriori-CKMS caches them per sorted-list
+/// entry and answers successive floor-constrained minimum queries against
+/// the same entry by binary search (MinExtensionFromSets) instead of
+/// re-scanning the customer sequence.
+void ScanExtensionsWithEnds(SequenceView s, const Sequence& pattern,
+                            const EmbeddingEnds& ends,
+                            const SequenceIndex* index, ExtensionSets* out);
+
 /// Result of a minimum-extension scan.
 struct MinExtension {
   bool contained = false;  ///< pattern occurs in the sequence
@@ -69,6 +82,24 @@ MinExtension ScanMinExtension(SequenceView s, const Sequence& pattern,
                               bool strict = false,
                               const SequenceIndex* index = nullptr);
 
+/// ScanMinExtension with the leftmost-embedding step already done: `ends`
+/// must be LeftmostEnds(s, pattern, index). The embedding depends only on
+/// the immutable (sequence, pattern) pair, so Apriori-CKMS caches it per
+/// entry and skips the re-derivation when consecutive advances scan the
+/// same prefix (the common case — only the tail of the bound changed).
+MinExtension MinExtensionWithEnds(SequenceView s, const Sequence& pattern,
+                                  const EmbeddingEnds& ends,
+                                  const std::pair<Item, ExtType>* floor,
+                                  bool strict, const SequenceIndex* index);
+
+/// The same minimum, answered from precomputed extension sets by binary
+/// search: agrees with ScanMinExtension(s, pattern, floor, strict) whenever
+/// `sets` == ScanExtensions(s, pattern). O(log |sets|) instead of a
+/// customer-sequence scan — the payoff of caching the sets per entry.
+MinExtension MinExtensionFromSets(const ExtensionSets& sets,
+                                  const std::pair<Item, ExtType>* floor,
+                                  bool strict);
+
 /// Leftmost-embedding endpoints of a pattern: the shared first step of
 /// every extension scan. For an empty pattern both ends are kNoTxn with
 /// contained == true. `index` (when non-null, built from `s`) turns each
@@ -87,9 +118,9 @@ EmbeddingEnds LeftmostEnds(SequenceView s, const Sequence& pattern,
 /// idempotent per item (CountingArray, min-tracking) use this to skip the
 /// sort-unique cost.
 template <typename Fn>
-void ForEachExtension(SequenceView s, const Sequence& pattern, Fn&& fn,
-                      const SequenceIndex* index = nullptr) {
-  const EmbeddingEnds ends = LeftmostEnds(s, pattern, index);
+void ForEachExtensionWithEnds(SequenceView s, const Sequence& pattern,
+                              const EmbeddingEnds& ends, Fn&& fn,
+                              const SequenceIndex* index = nullptr) {
   if (!ends.contained) return;
   const std::uint32_t s_from =
       ends.full_end == kNoTxn ? 0 : ends.full_end + 1;
@@ -123,6 +154,13 @@ void ForEachExtension(SequenceView s, const Sequence& pattern, Fn&& fn,
       fn(*p, ExtType::kItemset);
     }
   }
+}
+
+template <typename Fn>
+void ForEachExtension(SequenceView s, const Sequence& pattern, Fn&& fn,
+                      const SequenceIndex* index = nullptr) {
+  ForEachExtensionWithEnds(s, pattern, LeftmostEnds(s, pattern, index),
+                           static_cast<Fn&&>(fn), index);
 }
 
 }  // namespace disc

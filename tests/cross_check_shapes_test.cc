@@ -20,16 +20,14 @@ class QuestShapes
 
 TEST_P(QuestShapes, AllMinersAgree) {
   const auto [slen, tlen, patlen] = GetParam();
-  QuestParams params;
-  params.ncust = 150;
-  params.nitems = 50;
-  params.slen = slen;
-  params.tlen = tlen;
-  params.seq_patlen = patlen;
-  params.npats = 40;
-  params.nlits = 80;
-  params.seed = 20240705;
-  const SequenceDatabase db = GenerateQuestDatabase(params);
+  const SequenceDatabase db = testutil::MakeQuestDb({.ncust = 150,
+                                                     .nitems = 50,
+                                                     .slen = slen,
+                                                     .tlen = tlen,
+                                                     .seq_patlen = patlen,
+                                                     .npats = 40,
+                                                     .nlits = 80,
+                                                     .seed = 20240705});
   MineOptions options;
   options.min_support_count = MineOptions::CountForFraction(db.size(), 0.08);
   options.max_length = 4;  // bounds GSP's candidate sets on dense corners

@@ -14,12 +14,6 @@
 namespace disc {
 namespace {
 
-struct CrossCase {
-  std::uint64_t seed;
-  std::uint32_t delta;
-  testutil::RandomDbSpec spec;
-};
-
 void ExpectAllAgree(const SequenceDatabase& db, const MineOptions& options) {
   const PatternSet reference = CreateMiner("pseudo")->Mine(db, options);
   for (const std::string& name : AllMinerNames()) {
@@ -56,7 +50,8 @@ TEST(CrossCheck, DenseNarrowAlphabet) {
   spec.max_txns = 4;
   spec.max_items_per_txn = 2;
   for (std::uint64_t seed = 100; seed < 106; ++seed) {
-    const SequenceDatabase db = testutil::RandomDatabase(seed, spec);
+    spec.seed = seed;
+    const SequenceDatabase db = testutil::MakeRandomDb(spec);
     MineOptions options;
     options.min_support_count = 3;
     ExpectAllAgree(db, options);
@@ -70,7 +65,8 @@ TEST(CrossCheck, LongSequencesWithLengthCap) {
   spec.max_txns = 8;
   spec.max_items_per_txn = 3;
   for (std::uint64_t seed = 200; seed < 204; ++seed) {
-    const SequenceDatabase db = testutil::RandomDatabase(seed, spec);
+    spec.seed = seed;
+    const SequenceDatabase db = testutil::MakeRandomDb(spec);
     MineOptions options;
     options.min_support_count = 4;
     options.max_length = 5;
@@ -85,7 +81,8 @@ TEST(CrossCheck, SingleItemTransactions) {
   spec.max_txns = 6;
   spec.max_items_per_txn = 1;
   for (std::uint64_t seed = 300; seed < 305; ++seed) {
-    const SequenceDatabase db = testutil::RandomDatabase(seed, spec);
+    spec.seed = seed;
+    const SequenceDatabase db = testutil::MakeRandomDb(spec);
     MineOptions options;
     options.min_support_count = 4;
     ExpectAllAgree(db, options);
@@ -93,16 +90,8 @@ TEST(CrossCheck, SingleItemTransactions) {
 }
 
 TEST(CrossCheck, QuestWorkload) {
-  QuestParams params;
-  params.ncust = 120;
-  params.nitems = 40;
-  params.slen = 4.0;
-  params.tlen = 2.0;
-  params.seq_patlen = 3.0;
-  params.npats = 30;
-  params.nlits = 60;
-  params.seed = 7;
-  const SequenceDatabase db = GenerateQuestDatabase(params);
+  // testutil::QuestDbSpec's defaults ARE this suite's workload shape.
+  const SequenceDatabase db = testutil::MakeQuestDb();
   MineOptions options;
   options.min_support_count = MineOptions::CountForFraction(db.size(), 0.05);
   ExpectAllAgree(db, options);

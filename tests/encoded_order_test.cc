@@ -1,0 +1,132 @@
+// Unit tests for the encoded comparative order (order/encoded.h): the
+// dense monotone remap, the word layout, the EncodedList LCP table, and —
+// pinned as a concrete counterexample — why the boundary bit is folded
+// into each word instead of using sentinel-delimited streams.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disc/order/compare.h"
+#include "disc/order/encoded.h"
+#include "test_util.h"
+
+namespace disc {
+namespace {
+
+using testutil::Seq;
+
+TEST(ItemEncoderTest, AssignsDenseCodesInAscendingItemOrder) {
+  ItemEncoder encoder;
+  encoder.NoteItem(50);
+  encoder.NoteItem(3);
+  encoder.NoteItem(3);  // duplicates collapse
+  encoder.NoteItem(17);
+  EXPECT_FALSE(encoder.finalized());
+  encoder.Finalize();
+  ASSERT_TRUE(encoder.finalized());
+  EXPECT_EQ(encoder.num_codes(), 3u);
+  // Monotone: ascending items get ascending codes 1..m.
+  EXPECT_EQ(encoder.Code(3), 1u);
+  EXPECT_EQ(encoder.Code(17), 2u);
+  EXPECT_EQ(encoder.Code(50), 3u);
+  // Unnoted items report 0 / not encodable.
+  EXPECT_EQ(encoder.Code(4), 0u);
+  EXPECT_FALSE(encoder.CanEncode(4));
+  EXPECT_TRUE(encoder.CanEncode(17));
+}
+
+TEST(ItemEncoderTest, NoteItemsCoversWholeSequence) {
+  ItemEncoder encoder;
+  const Sequence s = Seq("(b,d)(a)(d)");
+  encoder.NoteItems(s);
+  encoder.Finalize();
+  EXPECT_EQ(encoder.num_codes(), 3u);  // a, b, d
+  for (std::uint32_t i = 0; i < s.Length(); ++i) {
+    EXPECT_TRUE(encoder.CanEncode(s.ItemAt(i)));
+  }
+}
+
+TEST(EncodeSequenceTest, WordLayoutIsCodeShiftedOverBoundaryBit) {
+  // <(a,c)(b)> with codes a=1, b=2, c=3: word = (code << 1) | boundary,
+  // boundary set on the first position of every transaction.
+  ItemEncoder encoder;
+  encoder.NoteItems(Seq("(a,c)(b)"));
+  encoder.Finalize();
+  std::vector<EncodedWord> words;
+  EncodeSequence(Seq("(a,c)(b)"), encoder, &words);
+  EXPECT_EQ(words, (std::vector<EncodedWord>{
+                       (1u << 1) | 1u,    // a opens transaction 1
+                       (3u << 1),         // c continues it
+                       (2u << 1) | 1u,    // b opens transaction 2
+                   }));
+}
+
+TEST(EncodedListTest, OffsetsAndLcpTable) {
+  // An ascending list with progressively shared prefixes.
+  std::vector<Sequence> list = {Seq("(a)"), Seq("(a)(b)"), Seq("(a)(c)"),
+                                Seq("(b)")};
+  ASSERT_TRUE(std::is_sorted(list.begin(), list.end(),
+                             [](const Sequence& x, const Sequence& y) {
+                               return CompareSequences(x, y) < 0;
+                             }));
+  ItemEncoder encoder;
+  for (const Sequence& s : list) encoder.NoteItems(s);
+  encoder.Finalize();
+  EncodedList elist;
+  elist.Build(list, encoder);
+  ASSERT_EQ(elist.size(), list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    std::vector<EncodedWord> expect;
+    EncodeSequence(list[i], encoder, &expect);
+    ASSERT_EQ(elist.NumWords(i), expect.size());
+    EXPECT_TRUE(std::equal(expect.begin(), expect.end(),
+                           elist.WordsBegin(i)));
+  }
+  EXPECT_EQ(elist.LcpWithPrev(0), 0u);  // entry 0 has no predecessor
+  EXPECT_EQ(elist.LcpWithPrev(1), 1u);  // (a)(b) shares (a)
+  EXPECT_EQ(elist.LcpWithPrev(2), 1u);  // (a)(c) shares (a) with (a)(b)
+  EXPECT_EQ(elist.LcpWithPrev(3), 0u);  // (b) shares nothing
+}
+
+TEST(EncodedOrderTest, SentinelDelimitedStreamsWouldMisorder) {
+  // The counterexample promised by order/encoded.h: under the comparative
+  // order, <(a,b)> precedes <(a)(c)> — the differential point compares
+  // items b < c, and only then transaction structure. A sentinel-delimited
+  // stream instead hits sentinel-versus-b at the second word, and any
+  // fixed sentinel value below the item range flips the verdict.
+  const Sequence ab = Seq("(a,b)");   // one transaction {a, b}
+  const Sequence a_c = Seq("(a)(c)");  // two transactions
+  ASSERT_LT(CompareSequences(ab, a_c), 0);
+
+  ItemEncoder encoder;
+  encoder.NoteItems(ab);
+  encoder.NoteItems(a_c);
+  encoder.Finalize();
+  std::vector<EncodedWord> e_ab, e_ac;
+  EncodeSequence(ab, encoder, &e_ab);
+  EncodeSequence(a_c, encoder, &e_ac);
+  // The boundary-bit encoding agrees with the comparative order...
+  EXPECT_LT(EncodedCompare(e_ab, e_ac), 0);
+
+  // ...while the sentinel scheme (separator word 0 between transactions,
+  // no per-word bit) orders the same pair the other way.
+  const auto sentinel_encode = [&](const Sequence& s) {
+    std::vector<EncodedWord> out;
+    for (std::uint32_t t = 0; t < s.NumTransactions(); ++t) {
+      if (t > 0) out.push_back(0);  // separator below every item code
+      for (const Item* p = s.TxnBegin(t); p != s.TxnEnd(t); ++p) {
+        out.push_back(encoder.Code(*p));
+      }
+    }
+    return out;
+  };
+  const std::vector<EncodedWord> s_ab = sentinel_encode(ab);
+  const std::vector<EncodedWord> s_ac = sentinel_encode(a_c);
+  // Word 1: code(b) in s_ab vs the separator 0 in s_ac — the sentinel
+  // decides, against Definition 2.2.
+  EXPECT_GT(EncodedCompare(s_ab, s_ac), 0);
+}
+
+}  // namespace
+}  // namespace disc

@@ -50,6 +50,43 @@ TEST(Flags, Positional) {
   EXPECT_EQ(f.positional()[1], "out.txt");
 }
 
+using FlagsDeath = ::testing::Test;
+
+TEST(FlagsDeath, MalformedNumericValuesAreUsageErrors) {
+  // Trailing junk must not silently truncate ("--slen=2.5x" reading as
+  // 2.5); the getter reports the flag and exits with the usage code 2.
+  EXPECT_EXIT(ParseArgs({"--slen=2.5x"}).GetDouble("slen", 0.0),
+              ::testing::ExitedWithCode(2), "flag --slen=2.5x: expects a "
+                                            "number");
+  EXPECT_EXIT(ParseArgs({"--slen=abc"}).GetDouble("slen", 0.0),
+              ::testing::ExitedWithCode(2), "expects a number");
+  EXPECT_EXIT(ParseArgs({"--ncust=2x"}).GetInt("ncust", 0),
+              ::testing::ExitedWithCode(2), "flag --ncust=2x: expects an "
+                                            "integer");
+  EXPECT_EXIT(ParseArgs({"--ncust=1.5"}).GetInt("ncust", 0),
+              ::testing::ExitedWithCode(2), "expects an integer");
+  EXPECT_EXIT(ParseArgs({"--ncust="}).GetInt("ncust", 0),
+              ::testing::ExitedWithCode(2), "expects an integer");
+  EXPECT_EXIT(ParseArgs({"--x=maybe"}).GetBool("x", false),
+              ::testing::ExitedWithCode(2), "expects a boolean");
+}
+
+TEST(FlagsDeath, OutOfRangeNumericValuesAreUsageErrors) {
+  EXPECT_EXIT(ParseArgs({"--n=99999999999999999999"}).GetInt("n", 0),
+              ::testing::ExitedWithCode(2), "integer out of range");
+  EXPECT_EXIT(ParseArgs({"--x=1e999"}).GetDouble("x", 0.0),
+              ::testing::ExitedWithCode(2), "number out of range");
+}
+
+TEST(Flags, ValidNumericEdgeValuesStillParse) {
+  EXPECT_EQ(ParseArgs({"--n=-7"}).GetInt("n", 0), -7);
+  EXPECT_DOUBLE_EQ(ParseArgs({"--x=-0.5"}).GetDouble("x", 0.0), -0.5);
+  EXPECT_DOUBLE_EQ(ParseArgs({"--x=1e3"}).GetDouble("x", 0.0), 1000.0);
+  // Denormal underflow is not a usage error: strtod sets ERANGE but
+  // returns the (usable) tiny magnitude, not HUGE_VAL.
+  EXPECT_GT(ParseArgs({"--x=1e-320"}).GetDouble("x", 1.0), 0.0);
+}
+
 TEST(Table, MarkdownRendering) {
   TablePrinter t({"col", "value"});
   t.AddRow({"a", TablePrinter::Num(1.2345, 2)});

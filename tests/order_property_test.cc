@@ -6,10 +6,13 @@
 
 #include "disc/common/rng.h"
 #include "disc/order/compare.h"
+#include "disc/order/encoded.h"
 #include "test_util.h"
 
 namespace disc {
 namespace {
+
+int Sign(int v) { return (v > 0) - (v < 0); }
 
 class OrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -93,6 +96,88 @@ TEST_P(OrderProperty, ExtensionOrderMatchesSequenceOrder) {
             EXPECT_EQ(ext_cmp < 0, seq_cmp < 0);
             EXPECT_EQ(ext_cmp == 0, seq_cmp == 0);
           }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OrderProperty, EncodedCompareAgreesWithCompareSequences) {
+  // The encoded word streams (order/encoded.h) must induce exactly the
+  // comparative order: for every pair in a fuzzed pool sharing one
+  // ItemEncoder, EncodedCompare's sign equals CompareSequences's.
+  Rng rng(GetParam() + 3000);
+  std::vector<Sequence> pool;
+  for (int i = 0; i < 48; ++i) {
+    // A wide alphabet with few sequences AND a narrow alphabet with long
+    // sequences: the former exercises the dense remap, the latter long
+    // shared prefixes.
+    pool.push_back(i % 2 == 0 ? testutil::RandomSequence(&rng, 40, 4, 3)
+                              : testutil::RandomSequence(&rng, 3, 6, 2));
+  }
+  ItemEncoder encoder;
+  for (const Sequence& s : pool) encoder.NoteItems(s);
+  encoder.Finalize();
+  std::vector<std::vector<EncodedWord>> epool(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EncodeSequence(pool[i], encoder, &epool[i]);
+    ASSERT_EQ(epool[i].size(), pool[i].Length());
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      EXPECT_EQ(Sign(CompareSequences(pool[i], pool[j])),
+                Sign(EncodedCompare(epool[i], epool[j])))
+          << pool[i].ToString() << " vs " << pool[j].ToString();
+    }
+  }
+}
+
+TEST_P(OrderProperty, EncodedCompareIsAStrictTotalOrder) {
+  // Antisymmetry, equality-iff-structural-equality, and transitivity of
+  // EncodedCompare itself (spot checks mirroring TotalOrderAxioms), plus
+  // the EncodedCompareFrom contract: the reported LCP is the true common
+  // prefix, and restarting the comparison from any point at or below it
+  // reproduces the word-0 result.
+  Rng rng(GetParam() + 4000);
+  std::vector<Sequence> pool;
+  for (int i = 0; i < 20; ++i) {
+    pool.push_back(testutil::RandomSequence(&rng, 4, 3, 2));
+  }
+  ItemEncoder encoder;
+  for (const Sequence& s : pool) encoder.NoteItems(s);
+  encoder.Finalize();
+  std::vector<std::vector<EncodedWord>> epool(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EncodeSequence(pool[i], encoder, &epool[i]);
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto& a = epool[i];
+    EXPECT_EQ(EncodedCompare(a, a), 0);
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const auto& b = epool[j];
+      const int ab = EncodedCompare(a, b);
+      const int ba = EncodedCompare(b, a);
+      EXPECT_EQ(ab < 0, ba > 0);
+      EXPECT_EQ(ab == 0, ba == 0);
+      EXPECT_EQ(ab == 0, pool[i] == pool[j]);
+      std::uint32_t lcp = 0;
+      EXPECT_EQ(EncodedCompareFrom(a.data(), a.size(), b.data(), b.size(), 0,
+                                   &lcp),
+                ab);
+      std::uint32_t true_lcp = 0;
+      while (true_lcp < a.size() && true_lcp < b.size() &&
+             a[true_lcp] == b[true_lcp]) {
+        ++true_lcp;
+      }
+      EXPECT_EQ(lcp, true_lcp);
+      for (std::uint32_t from = 0; from <= lcp; ++from) {
+        EXPECT_EQ(EncodedCompareFrom(a.data(), a.size(), b.data(), b.size(),
+                                     from, nullptr),
+                  ab);
+      }
+      for (std::size_t k = 0; k < pool.size(); ++k) {
+        if (ab <= 0 && EncodedCompare(b, epool[k]) <= 0) {
+          EXPECT_LE(EncodedCompare(a, epool[k]), 0);
         }
       }
     }

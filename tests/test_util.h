@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "disc/common/rng.h"
+#include "disc/gen/quest.h"
 #include "disc/seq/database.h"
 #include "disc/seq/parse.h"
 #include "disc/seq/sequence.h"
@@ -20,13 +21,13 @@ struct RandomDbSpec {
   std::uint32_t alphabet = 8;
   std::uint32_t max_txns = 5;
   std::uint32_t max_items_per_txn = 3;
+  std::uint64_t seed = 1;
 };
 
 /// Deterministic random database: every sequence has 1..max_txns
 /// transactions of 1..max_items_per_txn distinct items from 1..alphabet.
-inline SequenceDatabase RandomDatabase(std::uint64_t seed,
-                                       const RandomDbSpec& spec = {}) {
-  Rng rng(seed);
+inline SequenceDatabase MakeRandomDb(const RandomDbSpec& spec = {}) {
+  Rng rng(spec.seed);
   SequenceDatabase db;
   for (std::uint32_t i = 0; i < spec.num_seqs; ++i) {
     std::vector<Itemset> itemsets;
@@ -46,6 +47,42 @@ inline SequenceDatabase RandomDatabase(std::uint64_t seed,
     db.Add(Sequence(itemsets));
   }
   return db;
+}
+
+/// Seed-first spelling of MakeRandomDb (the spec's own seed is ignored).
+inline SequenceDatabase RandomDatabase(std::uint64_t seed,
+                                       RandomDbSpec spec = {}) {
+  spec.seed = seed;
+  return MakeRandomDb(spec);
+}
+
+/// Shape of a small-test Quest database: GenerateQuestDatabase with the
+/// pattern tables scaled down to the data size, so construction is
+/// milliseconds instead of the production-default table burn-in.
+struct QuestDbSpec {
+  std::uint32_t ncust = 120;
+  std::uint32_t nitems = 40;
+  double slen = 4.0;
+  double tlen = 2.0;
+  double seq_patlen = 3.0;
+  std::uint32_t npats = 30;
+  std::uint32_t nlits = 60;
+  std::uint64_t seed = 7;
+};
+
+/// Deterministic small Quest database (the shared shape behind the
+/// cross-check and determinism suites).
+inline SequenceDatabase MakeQuestDb(const QuestDbSpec& spec = {}) {
+  QuestParams params;
+  params.ncust = spec.ncust;
+  params.nitems = spec.nitems;
+  params.slen = spec.slen;
+  params.tlen = spec.tlen;
+  params.seq_patlen = spec.seq_patlen;
+  params.npats = spec.npats;
+  params.nlits = spec.nlits;
+  params.seed = spec.seed;
+  return GenerateQuestDatabase(params);
 }
 
 /// A random sequence (for per-sequence property tests).

@@ -144,7 +144,7 @@ TEST(SequenceArena, StreamingBuildMatchesAppendCopy) {
 TEST(SequenceArena, ClearKeepsCapacityAndReusesStorage) {
   SequenceArena arena;
   const SequenceDatabase db =
-      testutil::RandomDatabase(11, {.num_seqs = 50, .alphabet = 12});
+      testutil::MakeRandomDb({.num_seqs = 50, .alphabet = 12, .seed = 11});
   for (const SequenceView v : db) arena.AppendCopy(v);
   const std::size_t cap = arena.CapacityBytes();
   ASSERT_GT(cap, 0u);

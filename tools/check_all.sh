@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs every sanitizer smoke check in sequence: ASan+UBSan (memory/lifetime
 # bugs in the arena/view pipeline), TSan (data races in the parallel
-# partition scheduler), then the fail-point CLI smoke (exit-code convention
-# under injected faults). Each check uses its own build directory, so
+# partition scheduler), the fail-point CLI smoke (exit-code convention
+# under injected faults), then the benchmark regression gate for the
+# encoded-order kernels. Each check uses its own build directory, so
 # repeat runs are incremental.
 #
 #   $ tools/check_all.sh
@@ -13,5 +14,6 @@ cd "$(dirname "$0")"
 ./check_asan.sh
 ./check_tsan.sh
 ./check_failpoints.sh ../build-asan/examples/seqmine
+./check_perf.sh
 
-echo "all sanitizer checks passed"
+echo "all checks passed"

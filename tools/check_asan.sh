@@ -3,7 +3,9 @@
 # with -fsanitize=address,undefined (DISC_SANITIZE=address,undefined) and
 # runs the tests most likely to catch lifetime bugs in the flat-arena
 # database and the non-owning SequenceView read paths (dangling views after
-# arena growth, off-by-one offset arithmetic, scratch reuse after Clear).
+# arena growth, off-by-one offset arithmetic, scratch reuse after Clear),
+# plus the encoded-order kernels (borrowed ItemEncoder/EncodedList
+# pointers, flat word-buffer offset arithmetic, scan-state reuse).
 #
 #   $ tools/check_asan.sh [build-dir]      # default build-asan
 set -euo pipefail
@@ -15,6 +17,7 @@ cmake -B "$BUILD_DIR" -S . -DDISC_SANITIZE=address,undefined >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   view_arena_test parse_io_test sequence_test index_test \
   disc_all_test parallel_determinism_test status_test failpoint_test \
+  encoded_order_test order_property_test ksorted_test \
   bench_parallel seqmine
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -27,6 +30,9 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/parallel_determinism_test"
 "$BUILD_DIR/tests/status_test"
 "$BUILD_DIR/tests/failpoint_test"
+"$BUILD_DIR/tests/encoded_order_test"
+"$BUILD_DIR/tests/order_property_test"
+"$BUILD_DIR/tests/ksorted_test"
 # A tiny end-to-end parallel mine through the bench driver (exercises the
 # per-worker scratch arenas under real partition scheduling).
 "$BUILD_DIR/bench/bench_parallel" --ncust=200 --minsup=0.05 \

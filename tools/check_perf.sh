@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Benchmark regression gate for the encoded comparative-order kernels:
+# runs bench/bench_kernels on the paper's Table 11 workload and fails when
+# either gated kernel (compare, kms) regresses by more than 10% against the
+# committed baseline speedups in BENCH_kernels.json, or drops below the
+# absolute floor (default 1.3x, the encoded order's acceptance bar;
+# override with DISC_PERF_FLOOR for noisy machines).
+#
+#   $ tools/check_perf.sh                    # full run, gate vs baseline
+#   $ tools/check_perf.sh --smoke            # tiny workload, no gating
+#   $ tools/check_perf.sh --update           # refresh the committed baseline
+#   $ tools/check_perf.sh --build-dir DIR    # default: build
+#   $ tools/check_perf.sh --baseline FILE    # default: BENCH_kernels.json
+#
+# See docs/BENCHMARKS.md for the baseline-refresh workflow.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+BASELINE=BENCH_kernels.json
+SMOKE=0
+UPDATE=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --update) UPDATE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --build-dir=*) BUILD_DIR="${1#*=}" ;;
+    --baseline) BASELINE="$2"; shift ;;
+    --baseline=*) BASELINE="${1#*=}" ;;
+    *) echo "check_perf.sh: unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+BIN="$BUILD_DIR/bench/bench_kernels"
+if [[ ! -x "$BIN" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_kernels
+fi
+
+OUT="$BUILD_DIR/BENCH_kernels.json"
+
+if [[ "$SMOKE" == 1 ]]; then
+  # Tiny workload: asserts the gate pipeline runs end to end (binary, JSON
+  # report, speedup extraction) without gating the speedups themselves —
+  # they are pure noise at this size.
+  "$BIN" --ncust=300 --minsup=0.02 --pairs=100000 --reps=2 \
+    --json-out="$OUT" >/dev/null
+  for miner in kernel.compare.legacy kernel.compare.encoded \
+               kernel.kms.legacy kernel.kms.encoded; do
+    jq -e --arg m "$miner" \
+      '.runs[] | select(.miner == $m) | .wall_seconds > 0' "$OUT" >/dev/null \
+      || { echo "check_perf.sh: smoke run missing $miner in $OUT" >&2
+           exit 1; }
+  done
+  echo "perf gate smoke: ok ($OUT)"
+  exit 0
+fi
+
+# Full Table 11 workload, 5 interleaved reps per side for a stable
+# best-of ratio. --min-speedup is the absolute floor: the binary itself
+# exits non-zero when a gated kernel drops below it (or when an encoded
+# mining run stops being byte-identical to its legacy twin). A baseline
+# refresh skips the floor so a noisy run cannot block it — eyeball the
+# refreshed speedups instead (docs/BENCHMARKS.md).
+FLOOR="${DISC_PERF_FLOOR:-1.3}"
+if [[ "$UPDATE" == 1 ]]; then
+  "$BIN" --reps=5 --json-out="$OUT"
+  cp "$OUT" "$BASELINE"
+  echo "check_perf.sh: baseline refreshed: $BASELINE"
+  exit 0
+fi
+"$BIN" --reps=5 --min-speedup="$FLOOR" --json-out="$OUT"
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "check_perf.sh: no baseline at $BASELINE; run tools/check_perf.sh --update" >&2
+  exit 1
+fi
+
+# legacy-over-encoded wall-time ratio of one kernel in a report.
+speedup() {
+  jq -r --arg l "kernel.$2.legacy" --arg e "kernel.$2.encoded" '
+    ([.runs[] | select(.miner == $l)] | last | .wall_seconds) /
+    ([.runs[] | select(.miner == $e)] | last | .wall_seconds)' "$1"
+}
+
+STATUS=0
+for kernel in compare kms; do
+  fresh="$(speedup "$OUT" "$kernel")"
+  base="$(speedup "$BASELINE" "$kernel")"
+  # Speedup ratios (not absolute times) are gated: both sides of a ratio
+  # run in the same process on the same data, so machine speed cancels out.
+  if ! awk -v f="$fresh" -v b="$base" -v k="$kernel" 'BEGIN {
+        lim = 0.9 * b
+        printf "kernel.%s: speedup %.3f (baseline %.3f, limit %.3f)\n", \
+               k, f, b, lim
+        exit !(f >= lim)
+      }'; then
+    echo "check_perf.sh: kernel.$kernel regressed >10% vs $BASELINE" >&2
+    STATUS=1
+  fi
+done
+
+[[ "$STATUS" == 0 ]] && echo "perf gate: ok"
+exit "$STATUS"
