@@ -7,13 +7,19 @@
 //               [--closed] [--out=patterns.spmf] [--quiet] [--stats]
 //               [--permissive] [--deadline-ms=N] [--failpoints=SPEC]
 //               [--trace-out=trace.json] [--json-out=report.json]
+//               [--progress] [--progress-period-ms=N]
+//               [--metrics-out=m.prom] [--events-out=e.jsonl]
 //
 // --stats prints the per-run work counters, --trace-out writes a
 // chrome://tracing span file, --json-out a machine-readable report.
-// --permissive skips (and counts) malformed input records instead of
-// failing; --deadline-ms stops the run cooperatively, keeping the exact
-// partial result; --failpoints arms fault-injection sites (same syntax as
-// the DISC_FAILPOINTS environment variable; see docs/ROBUSTNESS.md).
+// --progress prints a live partition-progress/ETA ticker to stderr (period
+// --progress-period-ms, default 200); --metrics-out writes a Prometheus
+// text exposition of the run, --events-out a structured JSONL event log
+// (docs/OBSERVABILITY.md). --permissive skips (and counts) malformed input
+// records instead of failing; --deadline-ms stops the run cooperatively,
+// keeping the exact partial result; --failpoints arms fault-injection
+// sites (same syntax as the DISC_FAILPOINTS environment variable; see
+// docs/ROBUSTNESS.md).
 //
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 2 usage error, 3 data or
 // internal error, 4 stopped by deadline/cancellation (partial result
@@ -42,6 +48,8 @@ int Usage() {
       "               [--maximal] [--closed] [--out=FILE] [--quiet]\n"
       "               [--permissive] [--deadline-ms=N] [--failpoints=SPEC]\n"
       "               [--stats] [--trace-out=FILE] [--json-out=FILE]\n"
+      "               [--progress] [--progress-period-ms=N]\n"
+      "               [--metrics-out=FILE] [--events-out=FILE]\n"
       "algorithms:");
   for (const std::string& name : disc::AllMinerNames()) {
     std::fprintf(stderr, " %s", name.c_str());

@@ -12,6 +12,7 @@
 #include "disc/common/cancel.h"
 #include "disc/common/status.h"
 #include "disc/obs/mine_stats.h"
+#include "disc/obs/progress.h"
 #include "disc/seq/database.h"
 
 namespace disc {
@@ -114,10 +115,16 @@ class Miner {
   /// (null outside a run).
   RunControl* run_control() const { return ctl_; }
 
+  /// The active run's live-telemetry handle (obs/progress.h); null outside
+  /// a run and when the run registry is disabled. The partition-scheduled
+  /// miners tick it at their cancellation checkpoints.
+  obs::RunTelemetry* telemetry() const { return telemetry_.get(); }
+
  private:
   MineStats stats_;
   Status status_;
   RunControl* ctl_ = nullptr;
+  std::shared_ptr<obs::RunTelemetry> telemetry_;
 };
 
 /// Creates a miner by name; aborts on an unknown name. Known names:

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "disc/common/file_util.h"
+#include "disc/obs/event_log.h"
+#include "disc/obs/expose.h"
 #include "disc/obs/json.h"
 #include "disc/obs/trace.h"
 
@@ -185,8 +187,46 @@ ObsSession::ObsSession(std::string bench_name, const Flags& flags)
     : bench_name_(std::move(bench_name)),
       json_out_(flags.GetString("json-out", "")),
       trace_out_(flags.GetString("trace-out", "")),
-      print_stats_(flags.GetBool("stats", false)) {
+      metrics_out_(flags.GetString("metrics-out", "")),
+      events_out_(flags.GetString("events-out", "")),
+      print_stats_(flags.GetBool("stats", false)),
+      progress_(flags.GetBool("progress", false)) {
   if (!trace_out_.empty()) obs::Tracer::Global().set_enabled(true);
+  if (!events_out_.empty()) {
+    const Status status = obs::EventLog::Global().Open(events_out_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "events-out: %s\n", status.message().c_str());
+      events_out_.clear();
+    }
+  }
+  if (progress_) {
+    obs::TelemetrySampler::Options options;
+    options.period_ms = static_cast<std::uint64_t>(
+        flags.GetInt("progress-period-ms", 200));
+    sampler_.Start(options, [](const std::vector<obs::ProgressSnapshot>& runs,
+                               bool final) {
+      // The final tick fires after the last run left the active set; its
+      // 100% state is reported by the run snapshot printed below.
+      for (const obs::ProgressSnapshot& run : runs) {
+        std::fprintf(stderr, "%s\n", run.ToString().c_str());
+      }
+      if (final) {
+        for (const obs::ProgressSnapshot& run :
+             obs::RunRegistry::Global().SnapshotAll()) {
+          std::fprintf(stderr, "%s\n", run.ToString().c_str());
+        }
+      }
+    });
+  }
+}
+
+ObsSession::~ObsSession() {
+  // A driver that exits early (usage error, load failure) still stops the
+  // sampler thread and closes the event sink.
+  if (!finished_) {
+    sampler_.Stop();
+    obs::EventLog::Global().Close();
+  }
 }
 
 void ObsSession::Record(const obs::MineStats& stats) {
@@ -200,6 +240,42 @@ void ObsSession::Record(const obs::MineStats& stats) {
 bool ObsSession::Finish() {
   bool ok = true;
   std::string error;
+  finished_ = true;
+  sampler_.Stop();  // delivers the final --progress tick
+  if (!events_out_.empty()) {
+    obs::EventLog& log = obs::EventLog::Global();
+    const std::uint64_t records = log.records_written();
+    log.Close();
+    // Validate what we just wrote: the event log is an API other tools
+    // tail, so a malformed file is a bug worth failing the run over.
+    std::string text;
+    const Status read = ReadFileToString(events_out_, &text);
+    if (!read.ok()) {
+      std::fprintf(stderr, "events-out: %s\n", read.message().c_str());
+      ok = false;
+    } else if (!obs::ValidateEventLogJsonl(text, &error)) {
+      std::fprintf(stderr, "events-out: invalid event log: %s\n",
+                   error.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s (%llu events)\n", events_out_.c_str(),
+                  static_cast<unsigned long long>(records));
+    }
+  }
+  if (!metrics_out_.empty()) {
+    const std::string text = obs::RenderPrometheusText();
+    if (!obs::ValidatePrometheusText(text, &error)) {
+      std::fprintf(stderr, "metrics-out: invalid exposition: %s\n",
+                   error.c_str());
+      ok = false;
+    } else if (const Status status = WriteFileAtomic(metrics_out_, text);
+               !status.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", status.message().c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", metrics_out_.c_str());
+    }
+  }
   if (!json_out_.empty()) {
     BenchReport report(bench_name_, workload_);
     for (const obs::MineStats& stats : runs_) report.AddRun(stats);

@@ -17,6 +17,7 @@
 
 #include "disc/common/flags.h"
 #include "disc/obs/mine_stats.h"
+#include "disc/obs/sampler.h"
 #include "disc/seq/database.h"
 
 namespace disc {
@@ -91,30 +92,54 @@ bool ValidateBenchReportJson(const std::string& json, std::string* error);
 /// --stats prints each recorded MineStats; --trace-out=<file> enables the
 /// span tracer and writes a Chrome trace; --json-out=<file> writes the
 /// BenchReport.
+///
+/// Live-telemetry flags (the same session wires them for seqmine and every
+/// bench driver):
+///   --progress             stderr ticker: one line per sampler tick and
+///                          per in-flight run ("run=1 miner=disc-all
+///                          partitions=12/58 pct=20.7% ... eta=1.2s"),
+///                          powered by a background TelemetrySampler that
+///                          also gives MineStats its per-run peak RSS
+///   --progress-period-ms=N sampler period (default 200, min 10)
+///   --events-out=<file>    structured JSONL event log (obs/event_log.h),
+///                          opened at construction, validated at Finish
+///   --metrics-out=<file>   Prometheus text exposition of the metrics +
+///                          run registries, written at Finish
 class ObsSession {
  public:
   ObsSession(std::string bench_name, const Flags& flags);
+  ~ObsSession();
 
   void SetWorkload(WorkloadInfo workload) { workload_ = std::move(workload); }
 
   /// Records one mining run; prints it when --stats was given.
   void Record(const obs::MineStats& stats);
 
-  /// Writes the requested outputs. Returns false (after printing a
-  /// diagnostic to stderr) if any write failed.
+  /// Stops the sampler, writes the requested outputs, and validates the
+  /// telemetry files it wrote (Prometheus exposition, JSONL event log).
+  /// Returns false (after printing a diagnostic to stderr) if any write or
+  /// validation failed.
   bool Finish();
 
   const std::string& json_out() const { return json_out_; }
   const std::string& trace_out() const { return trace_out_; }
+  const std::string& metrics_out() const { return metrics_out_; }
+  const std::string& events_out() const { return events_out_; }
   bool stats_enabled() const { return print_stats_; }
+  bool progress_enabled() const { return progress_; }
 
  private:
   std::string bench_name_;
   std::string json_out_;
   std::string trace_out_;
+  std::string metrics_out_;
+  std::string events_out_;
   bool print_stats_ = false;
+  bool progress_ = false;
+  bool finished_ = false;
   WorkloadInfo workload_;
   std::vector<obs::MineStats> runs_;
+  obs::TelemetrySampler sampler_;
 };
 
 }  // namespace disc

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #ifdef _WIN32
 #include <process.h>
@@ -38,6 +39,16 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents) {
     std::remove(tmp.c_str());
     return Status::IoError("rename " + tmp + " -> " + path + " failed");
   }
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path + " for reading");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read from " + path + " failed");
+  *contents = std::move(data);
   return Status::Ok();
 }
 

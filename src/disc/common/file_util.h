@@ -20,6 +20,10 @@ namespace disc {
 /// is created, exercising the cleanup path).
 Status WriteFileAtomic(const std::string& path, const std::string& contents);
 
+/// Reads all of `path` (binary) into `*contents`; IoError when the file
+/// cannot be opened or read.
+Status ReadFileToString(const std::string& path, std::string* contents);
+
 }  // namespace disc
 
 #endif  // DISC_COMMON_FILE_UTIL_H_

@@ -14,6 +14,11 @@ namespace {
 DISC_OBS_COUNTER(g_pool_tasks, "pool.tasks");
 DISC_OBS_COUNTER(g_pool_tasks_dropped, "pool.tasks.dropped");
 DISC_OBS_HISTOGRAM(g_queue_wait_us, "pool.queue_wait_us");
+// Live pool state for the telemetry sampler / Prometheus exposition. Both
+// are set under the queue mutex, which is cold by construction (one update
+// per whole-partition task, not per sequence).
+DISC_OBS_GAUGE(g_queue_depth, "pool.queue_depth");
+DISC_OBS_GAUGE(g_active_workers, "pool.active_workers");
 
 }  // namespace
 
@@ -39,6 +44,7 @@ void ThreadPool::Submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    DISC_OBS_SET(g_queue_depth, static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -86,6 +92,7 @@ void ThreadPool::WorkerLoop(std::size_t worker) {
     if (queue_.empty() && stop_) return;
     Task task = std::move(queue_.front());
     queue_.pop_front();
+    DISC_OBS_SET(g_queue_depth, static_cast<double>(queue_.size()));
     // After a task failure the rest of the batch is drained unexecuted:
     // running on would waste work whose merge the caller is about to
     // discard, and could hide the first (root-cause) exception behind
@@ -96,6 +103,7 @@ void ThreadPool::WorkerLoop(std::size_t worker) {
       continue;
     }
     ++in_flight_;
+    DISC_OBS_SET(g_active_workers, static_cast<double>(in_flight_));
     lock.unlock();
     try {
       DISC_OBS_SPAN("pool/task");
@@ -113,6 +121,7 @@ void ThreadPool::WorkerLoop(std::size_t worker) {
     }
     lock.lock();
     --in_flight_;
+    DISC_OBS_SET(g_active_workers, static_cast<double>(in_flight_));
     if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
   }
 }

@@ -13,6 +13,7 @@
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
 #include "disc/obs/metrics.h"
+#include "disc/obs/progress.h"
 #include "disc/obs/trace.h"
 #include "disc/seq/extension.h"
 
@@ -302,10 +303,11 @@ class PartitionMiner {
 
 class Run {
  public:
-  /// `ctl` may be null (no cancellation/deadline/error plumbing).
+  /// `ctl` and `tel` may be null (no cancellation/deadline/error plumbing,
+  /// no live telemetry).
   Run(const SequenceDatabase& db, const MineOptions& options,
-      const DiscAll::Config& config, RunControl* ctl)
-      : db_(db), options_(options), config_(config), ctl_(ctl) {}
+      const DiscAll::Config& config, RunControl* ctl, obs::RunTelemetry* tel)
+      : db_(db), options_(options), config_(config), ctl_(ctl), tel_(tel) {}
 
   bool ShouldStop() { return ctl_ != nullptr && ctl_->ShouldStop(); }
 
@@ -362,6 +364,14 @@ class Run {
         lambdas.push_back(x);
       }
     }
+    if (tel_ != nullptr) {
+      // Progress plan: one unit per ⟨λ⟩-partition, weighted by member
+      // count (the ETA's cost surrogate — see obs/progress.h).
+      std::uint64_t total_weight = 0;
+      for (const Item x : lambdas) total_weight += members_of[x].size();
+      tel_->BeginPartitions(lambdas.size(), total_weight);
+      tel_->AddPatterns(out_.size());  // the frequent 1-sequences
+    }
 
     // ---- Step 3: fan the partitions out (largest first, so no huge
     // partition lands last and stretches the tail), then fold the results
@@ -379,18 +389,25 @@ class Run {
         for (std::size_t i = 0; i < lambdas.size(); ++i) {
           // Cancellation checkpoint: partitions are all-or-nothing, so a
           // stop between partitions keeps every emitted support exact.
+          // The same boundary ticks the run telemetry.
           if (ShouldStop()) break;
+          if (tel_ != nullptr) tel_->PartitionStarted(lambdas[i]);
           try {
             PartitionMiner(db_, options_, config_, max_item, &scratch,
                            &results[i])
                 .Mine(lambdas[i], members_of[lambdas[i]]);
           } catch (const std::exception& e) {
+            if (tel_ != nullptr) tel_->PartitionAborted(lambdas[i]);
             if (ctl_ == nullptr) throw;
             ctl_->ReportError(Status::Internal(
                 std::string("partition mining failed: ") + e.what()));
             break;
           }
           results[i].completed = true;
+          if (tel_ != nullptr) {
+            tel_->PartitionDone(lambdas[i], members_of[lambdas[i]].size(),
+                                results[i].patterns.size());
+          }
         }
       } else {
         std::vector<std::size_t> order(lambdas.size());
@@ -409,12 +426,23 @@ class Run {
           pool.Submit([this, max_item, i, &lambdas, &members_of, &scratches,
                        &results](std::size_t worker) {
             // Cancellation checkpoint: a stopped task leaves its result
-            // incomplete, and the merge below discards it.
+            // incomplete, and the merge below discards it. The same
+            // boundary ticks the run telemetry.
             if (ShouldStop()) return;
-            PartitionMiner(db_, options_, config_, max_item,
-                           &scratches[worker], &results[i])
-                .Mine(lambdas[i], members_of[lambdas[i]]);
+            if (tel_ != nullptr) tel_->PartitionStarted(lambdas[i]);
+            try {
+              PartitionMiner(db_, options_, config_, max_item,
+                             &scratches[worker], &results[i])
+                  .Mine(lambdas[i], members_of[lambdas[i]]);
+            } catch (...) {
+              if (tel_ != nullptr) tel_->PartitionAborted(lambdas[i]);
+              throw;  // contained by the pool (TakeFirstError below)
+            }
             results[i].completed = true;
+            if (tel_ != nullptr) {
+              tel_->PartitionDone(lambdas[i], members_of[lambdas[i]].size(),
+                                  results[i].patterns.size());
+            }
           });
         }
         pool.Wait();
@@ -497,6 +525,7 @@ class Run {
   const MineOptions& options_;
   const DiscAll::Config& config_;
   RunControl* ctl_;
+  obs::RunTelemetry* tel_;
   PatternSet out_;
 };
 
@@ -505,7 +534,7 @@ class Run {
 PatternSet DiscAll::DoMine(const SequenceDatabase& db,
                            const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  Run run(db, options, config_, run_control());
+  Run run(db, options, config_, run_control(), telemetry());
   return run.Execute();
 }
 

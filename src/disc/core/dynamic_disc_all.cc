@@ -12,6 +12,7 @@
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
 #include "disc/obs/metrics.h"
+#include "disc/obs/progress.h"
 #include "disc/obs/trace.h"
 #include "disc/seq/extension.h"
 
@@ -27,10 +28,12 @@ using Members = PartitionMembers;
 
 class Run {
  public:
-  /// `ctl` may be null (no cancellation/deadline/error plumbing).
+  /// `ctl` and `tel` may be null (no cancellation/deadline/error plumbing,
+  /// no live telemetry).
   Run(const SequenceDatabase& db, const MineOptions& options,
-      const DynamicDiscAll::Config& config, RunControl* ctl)
-      : db_(db), options_(options), config_(config), ctl_(ctl) {}
+      const DynamicDiscAll::Config& config, RunControl* ctl,
+      obs::RunTelemetry* tel)
+      : db_(db), options_(options), config_(config), ctl_(ctl), tel_(tel) {}
 
   bool ShouldStop() { return ctl_ != nullptr && ctl_->ShouldStop(); }
 
@@ -96,6 +99,9 @@ class Run {
       out->Add(Extend(prefix, x, type), sup);
       child_support_sum += sup;
     }
+    if (k == 0 && tel_ != nullptr) {
+      tel_->AddPatterns(freq.size());  // the frequent 1-sequences
+    }
     if (freq.empty()) return;
     if (options_.max_length != 0 && k + 1 >= options_.max_length) return;
 
@@ -133,26 +139,41 @@ class Run {
                                             nullptr, member.index);
         if (key.has_value()) children[ext_index(*key)].push_back(member);
       }
+      // Progress plan (root level only): one unit per root child. The
+      // serial reassign-forward loop grows children as it goes, so there
+      // is no static per-child weight — progress is count-based (weight 1
+      // each; the parallel root, whose children are static, weights them).
+      const bool root_tel = k == 0 && tel_ != nullptr;
+      if (root_tel) tel_->BeginPartitions(freq.size(), freq.size());
       for (std::size_t j = 0; j < freq.size(); ++j) {
         // Cancellation checkpoint (root children only — one root child is
         // the unit of partial-result bookkeeping, like a ⟨λ⟩-partition in
-        // DISC-all). Deeper levels run their child to completion.
+        // DISC-all). Deeper levels run their child to completion. The same
+        // boundary ticks the run telemetry.
         if (k == 0 && ShouldStop()) {
           root_truncated_ = true;
           root_cutoff_ = freq[j].first;
           break;
         }
+        if (root_tel) tel_->PartitionStarted(freq[j].first);
+        const std::size_t patterns_before = out->size();
         Members child = std::move(children[j]);
-        if (child.empty()) continue;
-        if (child.size() >= delta) {
-          Recurse(Extend(prefix, freq[j].first, freq[j].second), child, out);
-        }
-        for (const PartitionMember& member : child) {
-          const auto next = ScanMinFrequentExt(member.seq, prefix, filter,
-                                               &freq[j], member.index);
-          if (next.has_value()) {
-            children[ext_index(*next)].push_back(member);
+        if (!child.empty()) {
+          if (child.size() >= delta) {
+            Recurse(Extend(prefix, freq[j].first, freq[j].second), child,
+                    out);
           }
+          for (const PartitionMember& member : child) {
+            const auto next = ScanMinFrequentExt(member.seq, prefix, filter,
+                                                 &freq[j], member.index);
+            if (next.has_value()) {
+              children[ext_index(*next)].push_back(member);
+            }
+          }
+        }
+        if (root_tel) {
+          tel_->PartitionDone(freq[j].first, 1,
+                              out->size() - patterns_before);
         }
       }
     } else {
@@ -166,15 +187,25 @@ class Run {
         root_cutoff_ = freq[0].first;
         return;
       }
+      // A root partition that goes straight to DISC is one progress unit.
+      const bool root_tel = k == 0 && tel_ != nullptr;
+      if (root_tel) {
+        tel_->BeginPartitions(1, 1);
+        tel_->PartitionStarted(0);
+      }
       DISC_OBS_INC(g_partitions_to_disc);
       std::vector<Sequence> sorted_list;
       sorted_list.reserve(freq.size());
       for (const auto& [x, type] : freq) {
         sorted_list.push_back(Extend(prefix, x, type));
       }
+      const std::size_t patterns_before = out->size();
       RunDiscLoop(members, std::move(sorted_list), k + 2, delta,
                   config_.bilevel, db_.max_item(), options_.max_length,
                   out, nullptr, /*use_avl=*/true, config_.encoded_order);
+      if (root_tel) {
+        tel_->PartitionDone(0, 1, out->size() - patterns_before);
+      }
     }
   }
 
@@ -205,6 +236,9 @@ class Run {
       out_.Add(Extend(empty_prefix, x, type), sup);
       child_support_sum += sup;
     }
+    if (tel_ != nullptr) {
+      tel_->AddPatterns(freq.size());  // the frequent 1-sequences
+    }
     if (freq.empty()) return;
     if (options_.max_length == 1) return;
 
@@ -227,15 +261,24 @@ class Run {
         root_cutoff_ = freq[0].first;
         return;
       }
+      // One indivisible progress unit, as on the serial path.
+      if (tel_ != nullptr) {
+        tel_->BeginPartitions(1, 1);
+        tel_->PartitionStarted(0);
+      }
       DISC_OBS_INC(g_partitions_to_disc);
       std::vector<Sequence> sorted_list;
       sorted_list.reserve(freq.size());
       for (const auto& [x, type] : freq) {
         sorted_list.push_back(Extend(empty_prefix, x, type));
       }
+      const std::size_t patterns_before = out_.size();
       RunDiscLoop(members, std::move(sorted_list), 2, delta, config_.bilevel,
                   db_.max_item(), options_.max_length, &out_, nullptr,
                   /*use_avl=*/true, config_.encoded_order);
+      if (tel_ != nullptr) {
+        tel_->PartitionDone(0, 1, out_.size() - patterns_before);
+      }
       return;
     }
 
@@ -267,6 +310,14 @@ class Run {
     for (std::size_t j = 0; j < freq.size(); ++j) {
       if (children[j].size() >= delta) viable.push_back(j);
     }
+    if (tel_ != nullptr) {
+      // Progress plan: the root children are static here, so each viable
+      // child is one unit weighted by its member count (non-viable
+      // children hold no pattern of length >= 2 and cost nothing).
+      std::uint64_t total_weight = 0;
+      for (const std::size_t j : viable) total_weight += children[j].size();
+      tel_->BeginPartitions(viable.size(), total_weight);
+    }
     std::vector<PatternSet> results(viable.size());
     // One flag per viable child, each written by exactly one task; the
     // merge reads them only after pool.Wait().
@@ -285,13 +336,24 @@ class Run {
         pool.Submit([this, i, &viable, &freq, &children, &results, &completed,
                      &empty_prefix](std::size_t) {
           // Cancellation checkpoint: a stopped task leaves its child
-          // incomplete, and the merge below discards it.
+          // incomplete, and the merge below discards it. The same boundary
+          // ticks the run telemetry.
           if (ShouldStop()) return;
           DISC_OBS_SPAN("dynamic/partition");
           const std::size_t j = viable[i];
-          Recurse(Extend(empty_prefix, freq[j].first, freq[j].second),
-                  children[j], &results[i]);
+          if (tel_ != nullptr) tel_->PartitionStarted(freq[j].first);
+          try {
+            Recurse(Extend(empty_prefix, freq[j].first, freq[j].second),
+                    children[j], &results[i]);
+          } catch (...) {
+            if (tel_ != nullptr) tel_->PartitionAborted(freq[j].first);
+            throw;  // contained by the pool (TakeFirstError below)
+          }
           completed[i] = 1;
+          if (tel_ != nullptr) {
+            tel_->PartitionDone(freq[j].first, children[j].size(),
+                                results[i].size());
+          }
         });
       }
       pool.Wait();
@@ -337,6 +399,7 @@ class Run {
   const MineOptions& options_;
   const DynamicDiscAll::Config& config_;
   RunControl* ctl_;
+  obs::RunTelemetry* tel_;
   std::deque<SequenceIndex> indexes_;
   PatternSet out_;
   // Set when a stop (or contained failure) left root children unmined;
@@ -350,7 +413,7 @@ class Run {
 PatternSet DynamicDiscAll::DoMine(const SequenceDatabase& db,
                                   const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  Run run(db, options, config_, run_control());
+  Run run(db, options, config_, run_control(), telemetry());
   return run.Execute();
 }
 

@@ -45,10 +45,16 @@
 // Synthetic data.
 #include "disc/gen/quest.h"  // IWYU pragma: export
 
-// Observability: metrics registry, span tracer, per-run MineStats.
+// Observability: metrics registry, span tracer, per-run MineStats, and the
+// live-telemetry layer (run registry/progress, JSONL event log, Prometheus
+// exposition, background sampler).
 #include "disc/obs/metrics.h"     // IWYU pragma: export
 #include "disc/obs/mine_stats.h"  // IWYU pragma: export
 #include "disc/obs/trace.h"       // IWYU pragma: export
+#include "disc/obs/progress.h"    // IWYU pragma: export
+#include "disc/obs/event_log.h"   // IWYU pragma: export
+#include "disc/obs/expose.h"      // IWYU pragma: export
+#include "disc/obs/sampler.h"     // IWYU pragma: export
 
 // Bench reporting: banners, machine-readable reports, flag wiring.
 #include "disc/benchlib/report.h"  // IWYU pragma: export

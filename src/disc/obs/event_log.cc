@@ -1,0 +1,245 @@
+#include "disc/obs/event_log.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "disc/obs/json.h"
+
+namespace disc {
+namespace obs {
+
+EventLog& EventLog::Global() {
+  static EventLog* const log = new EventLog();
+  return *log;
+}
+
+Status EventLog::Open(const std::string& path) {
+  Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open event log: " + path);
+  }
+  seq_ = 0;
+  last_ts_us_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  records_.store(0, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.store(false, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void EventLog::Append(const std::string& event, std::uint64_t run_id,
+                      const std::string& extra_fields) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::uint64_t ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+          .count());
+  // The steady clock is monotone, but guard anyway so the validator's
+  // non-decreasing invariant holds unconditionally.
+  ts_us = std::max(ts_us, last_ts_us_);
+  last_ts_us_ = ts_us;
+  ++seq_;
+
+  std::string line;
+  line.reserve(96 + extra_fields.size());
+  line += "{\"seq\":";
+  line += std::to_string(seq_);
+  line += ",\"ts_us\":";
+  line += std::to_string(ts_us);
+  line += ",\"event\":\"";
+  line += event;  // event names are fixed literals, no escaping needed
+  line += "\",\"run_id\":";
+  line += std::to_string(run_id);
+  line += extra_fields;
+  line += "}\n";
+  // One fwrite of the whole line + flush: tailing readers never observe a
+  // buffered partial record (see file comment in the header).
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  records_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::RunStart(std::uint64_t run_id, const std::string& miner,
+                        std::size_t db_sequences) {
+  if (!active()) return;
+  std::string extra = ",\"miner\":\"";
+  JsonEscape(miner, &extra);
+  extra += "\",\"db_sequences\":";
+  extra += std::to_string(db_sequences);
+  Append("run_start", run_id, extra);
+}
+
+void EventLog::PartitionStart(std::uint64_t run_id, std::uint64_t partition) {
+  if (!active()) return;
+  Append("partition_start", run_id,
+         ",\"partition\":" + std::to_string(partition));
+}
+
+void EventLog::PartitionDone(std::uint64_t run_id, std::uint64_t partition,
+                             std::uint64_t weight, std::uint64_t patterns,
+                             std::uint64_t completed, std::uint64_t total) {
+  if (!active()) return;
+  std::string extra = ",\"partition\":" + std::to_string(partition);
+  extra += ",\"weight\":" + std::to_string(weight);
+  extra += ",\"patterns\":" + std::to_string(patterns);
+  extra += ",\"completed\":" + std::to_string(completed);
+  extra += ",\"total\":" + std::to_string(total);
+  Append("partition_done", run_id, extra);
+}
+
+void EventLog::Cancel(std::uint64_t run_id) { Append("cancel", run_id, ""); }
+
+void EventLog::Deadline(std::uint64_t run_id) {
+  Append("deadline", run_id, "");
+}
+
+void EventLog::RunDone(std::uint64_t run_id, std::uint64_t patterns,
+                       double wall_seconds, bool cancelled,
+                       bool deadline_exceeded) {
+  if (!active()) return;
+  JsonWriter w;  // reuse the writer for the double formatting only
+  w.Double(wall_seconds);
+  std::string extra = ",\"patterns\":" + std::to_string(patterns);
+  extra += ",\"wall_seconds\":" + w.TakeString();
+  extra += cancelled ? ",\"cancelled\":true" : ",\"cancelled\":false";
+  extra += deadline_exceeded ? ",\"deadline_exceeded\":true"
+                             : ",\"deadline_exceeded\":false";
+  Append("run_done", run_id, extra);
+}
+
+bool ValidateEventLogJsonl(const std::string& text, std::string* error) {
+  auto fail = [error](std::size_t line_no, const std::string& msg) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + msg;
+    }
+    return false;
+  };
+  static const std::set<std::string> kKnownEvents = {
+      "run_start", "partition_start", "partition_done",
+      "cancel",    "deadline",        "run_done"};
+
+  struct RunState {
+    bool started = false;
+    bool done = false;
+    std::uint64_t last_completed = 0;
+  };
+  std::map<std::uint64_t, RunState> runs;
+  std::uint64_t last_seq = 0;
+  std::uint64_t last_ts = 0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    JsonValue rec;
+    std::string parse_error;
+    if (!JsonParse(line, &rec, &parse_error)) {
+      return fail(line_no, "not valid JSON: " + parse_error);
+    }
+    if (!rec.is_object()) return fail(line_no, "record is not an object");
+    for (const char* key : {"seq", "ts_us", "run_id"}) {
+      const JsonValue* v = rec.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return fail(line_no, std::string("missing numeric field '") + key +
+                                 "'");
+      }
+    }
+    const JsonValue* event = rec.Find("event");
+    if (event == nullptr || !event->is_string()) {
+      return fail(line_no, "missing string field 'event'");
+    }
+    const std::string& name = event->string_value();
+    if (kKnownEvents.count(name) == 0) {
+      return fail(line_no, "unknown event '" + name + "'");
+    }
+
+    const std::uint64_t seq =
+        static_cast<std::uint64_t>(rec.Find("seq")->number_value());
+    const std::uint64_t ts =
+        static_cast<std::uint64_t>(rec.Find("ts_us")->number_value());
+    if (seq <= last_seq) {
+      return fail(line_no, "seq not strictly increasing");
+    }
+    if (ts < last_ts) return fail(line_no, "ts_us decreased");
+    last_seq = seq;
+    last_ts = ts;
+
+    const std::uint64_t run_id =
+        static_cast<std::uint64_t>(rec.Find("run_id")->number_value());
+    RunState& run = runs[run_id];
+    if (run.done) {
+      return fail(line_no, "event after run_done for run " +
+                               std::to_string(run_id));
+    }
+    if (name == "run_start") {
+      if (run.started) {
+        return fail(line_no,
+                    "duplicate run_start for run " + std::to_string(run_id));
+      }
+      run.started = true;
+      if (rec.Find("miner") == nullptr || !rec.Find("miner")->is_string()) {
+        return fail(line_no, "run_start lacks string field 'miner'");
+      }
+      continue;
+    }
+    if (!run.started) {
+      return fail(line_no, "event before run_start for run " +
+                               std::to_string(run_id));
+    }
+    if (name == "partition_done") {
+      for (const char* key :
+           {"partition", "weight", "patterns", "completed", "total"}) {
+        const JsonValue* v = rec.Find(key);
+        if (v == nullptr || !v->is_number()) {
+          return fail(line_no, std::string("partition_done lacks numeric "
+                                           "field '") +
+                                   key + "'");
+        }
+      }
+      const std::uint64_t completed = static_cast<std::uint64_t>(
+          rec.Find("completed")->number_value());
+      if (completed < run.last_completed) {
+        return fail(line_no, "partition_done 'completed' decreased");
+      }
+      run.last_completed = completed;
+    } else if (name == "run_done") {
+      for (const char* key : {"patterns", "wall_seconds"}) {
+        const JsonValue* v = rec.Find(key);
+        if (v == nullptr || !v->is_number()) {
+          return fail(line_no, std::string("run_done lacks numeric field '") +
+                                   key + "'");
+        }
+      }
+      run.done = true;
+    }
+  }
+  for (const auto& [run_id, run] : runs) {
+    (void)run_id;
+    if (!run.started) {
+      return fail(line_no, "run without run_start");
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace disc

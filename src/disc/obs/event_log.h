@@ -1,0 +1,99 @@
+// Structured JSONL event log: the machine-readable sibling of the chrome
+// trace. One JSON object per line, one line per lifecycle event:
+//
+//   {"seq":1,"ts_us":0,"event":"run_start","run_id":1,"miner":"disc-all",
+//    "db_sequences":100}
+//   {"seq":2,"ts_us":312,"event":"partition_start","run_id":1,"partition":7}
+//   {"seq":3,"ts_us":918,"event":"partition_done","run_id":1,"partition":7,
+//    "weight":42,"patterns":13,"completed":1,"total":58}
+//   {"seq":4,"ts_us":...,"event":"cancel","run_id":1}          (if stopped)
+//   {"seq":5,"ts_us":...,"event":"deadline","run_id":1}        (if expired)
+//   {"seq":6,"ts_us":...,"event":"run_done","run_id":1,"patterns":104,
+//    "wall_seconds":0.31,"cancelled":false,"deadline_exceeded":false}
+//
+// Timestamps are microseconds on the steady clock since Open(), taken under
+// the append mutex, so file order == seq order and ts_us is non-decreasing
+// even with pool workers appending concurrently.
+//
+// Append discipline: each record is rendered fully, then written with one
+// fwrite of the complete line followed by fflush — a reader tailing the
+// file (or a validator after a crash) sees only whole records, never an
+// interleaved or buffered-partial line; at worst the final line of a
+// crashed process is torn, which ValidateEventLogJsonl reports precisely.
+// This is the append-shaped analogue of WriteFileAtomic's whole-file
+// discipline (a live log cannot be temp+renamed per record).
+//
+// Cost: with no sink open every Append is one relaxed atomic load.
+#ifndef DISC_OBS_EVENT_LOG_H_
+#define DISC_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "disc/common/status.h"
+
+namespace disc {
+namespace obs {
+
+/// Process-global JSONL event sink. See file comment.
+class EventLog {
+ public:
+  static EventLog& Global();
+
+  /// Opens (truncating) `path` as the sink and starts the clock. Closes any
+  /// previous sink first.
+  Status Open(const std::string& path);
+  /// Flushes and closes the sink; later Appends are no-ops again.
+  void Close();
+  /// True while a sink is open (one relaxed load; the Append fast path).
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+  /// Records appended to the current sink.
+  std::uint64_t records_written() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+
+  // Lifecycle emitters (no-ops while inactive).
+  void RunStart(std::uint64_t run_id, const std::string& miner,
+                std::size_t db_sequences);
+  void PartitionStart(std::uint64_t run_id, std::uint64_t partition);
+  void PartitionDone(std::uint64_t run_id, std::uint64_t partition,
+                     std::uint64_t weight, std::uint64_t patterns,
+                     std::uint64_t completed, std::uint64_t total);
+  void Cancel(std::uint64_t run_id);
+  void Deadline(std::uint64_t run_id);
+  void RunDone(std::uint64_t run_id, std::uint64_t patterns,
+               double wall_seconds, bool cancelled, bool deadline_exceeded);
+
+ private:
+  EventLog() = default;
+
+  /// Stamps seq/ts_us onto `body` (a JSON object fragment without the
+  /// opening brace's bookkeeping fields) and writes the line.
+  void Append(const std::string& event, std::uint64_t run_id,
+              const std::string& extra_fields);
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> records_{0};
+  std::mutex mu_;  // guards file_, seq_, epoch_, last_ts_
+  std::FILE* file_ = nullptr;
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::uint64_t last_ts_us_ = 0;
+};
+
+/// Validates a JSONL event stream: every line is a well-formed JSON object
+/// carrying seq / ts_us / event / run_id, seq is strictly increasing,
+/// ts_us is non-decreasing, event names are from the known set, each run's
+/// first event is run_start and its run_done (when present) is its last,
+/// and per-run partition_done "completed" counts are monotone. Returns
+/// false with a line-numbered diagnostic in `*error`.
+bool ValidateEventLogJsonl(const std::string& text, std::string* error);
+
+}  // namespace obs
+}  // namespace disc
+
+#endif  // DISC_OBS_EVENT_LOG_H_

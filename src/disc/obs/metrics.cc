@@ -72,6 +72,23 @@ void MetricsRegistry::SnapshotLocked(MetricsSnapshot* snap) const {
   snap->gauge_tick = gauge_tick();
 }
 
+MetricsExport MetricsRegistry::ExportAll() const {
+  MetricsExport out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    if (g->last_set_tick() > 0) out.gauges[name] = g->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsExport::HistogramStats& s = out.histograms[name];
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+  }
+  return out;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);

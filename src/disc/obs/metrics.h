@@ -129,6 +129,22 @@ struct MetricsSnapshot {
   std::uint64_t gauge_tick = 0;
 };
 
+/// A richer point-in-time copy carrying every metric family separately —
+/// counters, gauge values (only gauges ever Set), and histogram aggregates
+/// — as needed by the Prometheus exposition writer (obs/expose.h), which
+/// must know each metric's kind to emit the right `# TYPE` line.
+struct MetricsExport {
+  struct HistogramStats {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+};
+
 /// Process-global registry. Metric objects are created on first lookup and
 /// live forever; handles returned by counter()/gauge()/histogram() stay
 /// valid, so hot paths resolve a name once (see DISC_OBS_COUNTER) and then
@@ -149,6 +165,10 @@ class MetricsRegistry {
   /// Snapshot of all counter values (histograms contribute "<name>.count"
   /// and "<name>.sum" entries) and the current gauge tick.
   MetricsSnapshot Snapshot() const;
+
+  /// Kind-separated snapshot of every metric, for exposition. Gauges that
+  /// were never Set are omitted (their zero is meaningless).
+  MetricsExport ExportAll() const;
 
   /// Appends to `counters` every counter whose value grew since `before`
   /// (as name -> delta) and to `gauges` every gauge Set() since `before`.

@@ -27,9 +27,13 @@ struct MineStats {
   std::size_t num_patterns = 0;  ///< frequent sequences found
   std::uint32_t max_length = 0;  ///< longest frequent sequence
   std::size_t db_sequences = 0;  ///< |DB| mined
-  /// Process peak RSS (bytes) observed after the run. The high-water mark
-  /// is monotone per process: in a multi-run binary this reflects the
-  /// largest run so far, not this run alone.
+  /// Peak RSS (bytes) of the run. When the TelemetrySampler ran during the
+  /// mine (e.g. under --progress), this is the run's own high-water mark —
+  /// the largest VmRSS sampled between Begin and Finish, so back-to-back
+  /// runs in one process don't contaminate each other. Without sampling it
+  /// falls back to the process-lifetime VmHWM, which is monotone per
+  /// process: in a multi-run binary the fallback reflects the largest run
+  /// so far, not this run alone.
   std::uint64_t peak_rss_bytes = 0;
   /// The run stopped early via its CancelToken; the patterns are the
   /// documented partial result (docs/ROBUSTNESS.md).

@@ -2,7 +2,8 @@
 # Runs every sanitizer smoke check in sequence: ASan+UBSan (memory/lifetime
 # bugs in the arena/view pipeline), TSan (data races in the parallel
 # partition scheduler), the fail-point CLI smoke (exit-code convention
-# under injected faults), then the benchmark regression gate for the
+# under injected faults), the live-telemetry CLI smoke (progress ticker,
+# event log, exposition), then the benchmark regression gate for the
 # encoded-order kernels. Each check uses its own build directory, so
 # repeat runs are incremental.
 #
@@ -14,6 +15,7 @@ cd "$(dirname "$0")"
 ./check_asan.sh
 ./check_tsan.sh
 ./check_failpoints.sh ../build-asan/examples/seqmine
+./check_obs.sh ../build-asan/examples/seqmine
 ./check_perf.sh
 
 echo "all checks passed"

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Live-telemetry CLI smoke check: drives seqmine over a golden-corpus
+# dataset with all three telemetry sinks on (--progress, --metrics-out,
+# --events-out) and asserts the documented end-to-end contract
+# (docs/OBSERVABILITY.md):
+#
+#   * the stderr ticker's progress percentages are monotone and end at 100%;
+#   * the JSONL event log starts with run_start, ends with run_done, and
+#     the run_done pattern count equals the written PatternSet size;
+#   * the Prometheus exposition carries the per-run and process families;
+#   * the mined PatternSet is byte-identical at --threads=1 and 4 with
+#     telemetry enabled.
+#
+# The CLI itself re-validates both sinks through ValidateEventLogJsonl /
+# ValidatePrometheusText before exiting 0, so a zero exit already certifies
+# well-formedness; the checks here pin the *content*.
+#
+#   $ tools/check_obs.sh [path/to/seqmine]   # default: build/examples/seqmine
+set -euo pipefail
+
+SEQMINE="${1:-}"
+cd "$(dirname "$0")/.."
+
+if [[ -z "$SEQMINE" ]]; then
+  SEQMINE=build/examples/seqmine
+  if [[ ! -x "$SEQMINE" ]]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target seqmine >/dev/null
+  fi
+fi
+if [[ ! -x "$SEQMINE" ]]; then
+  echo "check_obs.sh: no seqmine binary at $SEQMINE" >&2
+  exit 2
+fi
+
+DATA=tests/data/quest_mid.spmf
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/disc_obs.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+fail() {
+  echo "check_obs.sh: FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+"$SEQMINE" "$DATA" --algo=disc-all --minsup=0.1 --threads=4 \
+  --progress --progress-period-ms=25 \
+  --metrics-out="$WORK/metrics.prom" --events-out="$WORK/events.jsonl" \
+  --out="$WORK/patterns_t4.spmf" >"$WORK/stdout.txt" 2>"$WORK/ticker.txt" \
+  || fail "telemetry run exited $? (expected 0)"
+
+# --- progress ticker: at least one line, monotone pct, ends at 100% ------
+grep -o 'pct=[0-9.]*%' "$WORK/ticker.txt" | tr -d 'pct=%' > "$WORK/pcts.txt"
+if [[ ! -s "$WORK/pcts.txt" ]]; then
+  fail "--progress emitted no ticker lines"
+else
+  awk 'NR > 1 && $1 < prev { exit 1 } { prev = $1 }
+       END { if (prev != 100.0) exit 1 }' "$WORK/pcts.txt" \
+    || fail "ticker percentages not monotone to 100% ($(tr '\n' ' ' \
+         < "$WORK/pcts.txt"))"
+fi
+
+# --- event log: run_start first, run_done last, patterns == |PatternSet| -
+head -n 1 "$WORK/events.jsonl" | grep -q '"event":"run_start"' \
+  || fail "event log does not start with run_start"
+tail -n 1 "$WORK/events.jsonl" | grep -q '"event":"run_done"' \
+  || fail "event log does not end with run_done"
+grep -q '"event":"partition_done"' "$WORK/events.jsonl" \
+  || fail "event log has no partition_done events"
+DONE_PATTERNS="$(tail -n 1 "$WORK/events.jsonl" \
+  | sed -n 's/.*"patterns":\([0-9]*\).*/\1/p')"
+SET_PATTERNS="$(wc -l < "$WORK/patterns_t4.spmf")"
+if [[ "$DONE_PATTERNS" != "$SET_PATTERNS" ]]; then
+  fail "run_done patterns ($DONE_PATTERNS) != PatternSet size ($SET_PATTERNS)"
+fi
+
+# --- exposition: per-run + process families present ----------------------
+for needle in \
+  '# TYPE disc_run_patterns gauge' \
+  'disc_run_partitions_completed{run_id="1",miner="disc-all"}' \
+  'disc_process_rss_bytes ' \
+  '# TYPE pool_tasks counter'; do
+  grep -qF "$needle" "$WORK/metrics.prom" \
+    || fail "exposition lacks '$needle'"
+done
+grep -qF "disc_run_patterns{run_id=\"1\",miner=\"disc-all\"} $SET_PATTERNS" \
+  "$WORK/metrics.prom" \
+  || fail "exposition disc_run_patterns != $SET_PATTERNS"
+
+# --- determinism: threads=1 with telemetry on, byte-identical patterns ---
+"$SEQMINE" "$DATA" --algo=disc-all --minsup=0.1 --threads=1 \
+  --progress --progress-period-ms=25 \
+  --metrics-out="$WORK/metrics_t1.prom" --events-out="$WORK/events_t1.jsonl" \
+  --out="$WORK/patterns_t1.spmf" >/dev/null 2>/dev/null \
+  || fail "threads=1 telemetry run exited $? (expected 0)"
+cmp -s "$WORK/patterns_t1.spmf" "$WORK/patterns_t4.spmf" \
+  || fail "PatternSet differs between --threads=1 and --threads=4"
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "check_obs.sh: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "obs cli smoke: ok ($SET_PATTERNS patterns, \
+$(wc -l < "$WORK/events.jsonl") events)"

@@ -17,6 +17,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Both the smoke and full paths extract speedups with jq; bail out with an
+# actionable message before building anything or touching the baseline.
+if ! command -v jq >/dev/null 2>&1; then
+  echo "check_perf.sh: jq is required to extract kernel speedups from the" \
+       "bench JSON; install it (e.g. 'apt install jq' / 'brew install jq')" \
+       "and re-run" >&2
+  exit 2
+fi
+
 BUILD_DIR=build
 BASELINE=BENCH_kernels.json
 SMOKE=0

@@ -13,13 +13,14 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DDISC_SANITIZE=thread >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  thread_pool_test parallel_determinism_test obs_test failpoint_test \
-  bench_parallel
+  thread_pool_test parallel_determinism_test obs_test obs_live_test \
+  failpoint_test bench_parallel
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/thread_pool_test"
 "$BUILD_DIR/tests/parallel_determinism_test"
 "$BUILD_DIR/tests/obs_test"
+"$BUILD_DIR/tests/obs_live_test"
 "$BUILD_DIR/tests/failpoint_test"
 # A tiny end-to-end parallel mine through the bench driver.
 "$BUILD_DIR/bench/bench_parallel" --ncust=200 --minsup=0.05 \
