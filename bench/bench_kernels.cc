@@ -1,30 +1,63 @@
 // Comparative-order kernel benchmarks: the encoded order (order/encoded.h)
-// against the legacy itemset-by-itemset scans, on the paper's Table 11
-// workload (Fig8Params: slen 10, tlen 2.5, nitems 1K, seq.patlen 4).
+// and its SIMD mismatch-scan kernels (order/simd.h) against the legacy
+// scalar paths. Two Quest workloads feed the kernels:
 //
-// Three paired kernels, each reported as <name>.legacy / <name>.encoded
-// runs in BENCH_kernels.json (tools/check_perf.sh gates the speedups
-// against the committed baseline):
+//   * the paper's Table 11 shape (Fig8Params: slen 10, tlen 2.5, nitems
+//     1K, seq.patlen 4) for kernel.compare and kernel.kms — sparse data,
+//     short patterns, the regime the existing baselines were built on;
+//   * the paper's Figure 9 shape (Fig9Params: slen = tlen = seq.patlen
+//     = 8, nitems 1K) for kernel.lcp, kernel.mine and kernel.bound —
+//     dense transactions and long patterns, where the mismatch scans are
+//     long and the k >= 4 DISC machinery (what the encoded order, SIMD
+//     kernels, and candidate-bound pruning accelerate) carries real
+//     weight.
+//
+// Paired kernels, each reported as <name>.legacy / <name>.encoded runs in
+// BENCH_kernels.json (tools/check_perf.sh gates the speedups against the
+// committed baseline; the suffixes always mean "baseline side" / "optimized
+// side", even where the axis is not the encoding itself):
 //
 //   * kernel.compare — pairwise sequence comparisons over the workload's
-//     mined pattern pool: CompareSequences vs EncodedCompare on
-//     pre-encoded words. Pairs are drawn near each other in the pool's
-//     comparative order, mirroring where the comparator actually runs
-//     (AVL fences, k-sorted walks compare keys that share long prefixes).
-//     Sign agreement is asserted over the whole pair set.
-//   * kernel.kms     — the pure DISC loop (DynamicDiscAll fixed_levels=0:
-//     no partitioning, every length mined by compare + Apriori-CKMS over
-//     the k-sorted database) with encoded_order on vs off.
-//   * kernel.mine    — end-to-end disc-all (two-level partitioning + DISC
-//     from k = 4) with encoded_order on vs off.
+//     mined pattern pool: CompareSequences vs the scalar EncodedCompare on
+//     pre-encoded words (the encoding gain alone — no SIMD). Pairs are
+//     drawn near each other in the pool's comparative order, mirroring
+//     where the comparator actually runs. Sign agreement is asserted.
+//   * kernel.lcp     — first-mismatch + LCP scans: the scalar
+//     EncodedCompareFrom loop vs the dispatched SIMD kernel
+//     (SimdCompareFrom at the active tier — DISC_SIMD / --simd select
+//     it). Streams are concatenated encoded dense-workload customer
+//     sequences (~256 words) from a small L1-resident pool, and each
+//     pair's mismatch position is uniform over the stream — this measures
+//     the scan primitive's asymptotic advantage (the words/sec curve);
+//     the short-scan call-bound regime is what kernel.compare and
+//     kernel.kms capture. Sign and LCP agreement are asserted over the
+//     whole pair set.
+//   * kernel.kms     — the pure DISC loop (DynamicDiscAll fixed_levels=0)
+//     with encoded_order on vs off (bound pruning on for both sides; it
+//     cannot fire on the undivided root partition).
+//   * kernel.mine    — end-to-end disc-all on the dense workload: the
+//     full legacy path (encoded_order off, bound_pruning off) vs the full
+//     optimized path (encoded order + SIMD + candidate-bound pruning).
+//   * kernel.bound   — bound-pruning ablation: disc-all with the encoded
+//     order on both sides, bound_pruning off (.legacy) vs on (.encoded) —
+//     isolates the candidate-bound contribution inside kernel.mine.
 //
-// Every encoded mining run is checked byte-for-byte against its legacy
-// twin; any mismatch fails the binary. --min-speedup=X additionally fails
-// the run when the compare or kms kernel speedup drops below X.
+// Every run's JSON entry carries a "bench.words_per_sec" gauge: encoded
+// words actually scanned per wall second for compare/lcp, database item
+// words processed per wall second for the mining kernels.
 //
-//   $ ./bench_kernels [--ncust=2000] [--minsup=0.008] [--pairs=2000000]
+// Every paired mining run is checked byte-for-byte against its twin; any
+// mismatch fails the binary. --min-speedup=X fails the run when the
+// compare or kms speedup drops below X; --min-lcp-speedup / --min-mine-
+// speedup gate kernel.lcp and kernel.mine the same way.
+//
+//   $ ./bench_kernels [--ncust=2000] [--minsup=0.008] [--ncust-dense=1000]
+//                     [--minsup-dense=0.02] [--pairs=2000000]
 //                     [--reps=3] [--seed=42] [--min-speedup=0]
-//                     [--kernel=all|compare|kms|mine] [--only=legacy|encoded]
+//                     [--min-lcp-speedup=0] [--min-mine-speedup=0]
+//                     [--simd=off|sse2|avx2|auto]
+//                     [--kernel=all|compare|lcp|kms|mine|bound]
+//                     [--only=legacy|encoded]
 //
 // --kernel narrows the run to one kernel; --only skips a mining kernel's
 // twin (for profiling one side), which also skips the byte-identity check.
@@ -43,6 +76,7 @@
 #include "disc/core/dynamic_disc_all.h"
 #include "disc/order/compare.h"
 #include "disc/order/encoded.h"
+#include "disc/order/simd.h"
 
 using namespace disc;
 
@@ -77,6 +111,14 @@ obs::MineStats KernelStats(const std::string& name, double seconds) {
   return stats;
 }
 
+// Attaches the per-kernel throughput gauge (see file comment).
+void AddWordsPerSec(obs::MineStats* stats, double words) {
+  if (stats->wall_seconds > 0.0) {
+    stats->gauges.emplace_back("bench.words_per_sec",
+                               words / stats->wall_seconds);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,12 +126,27 @@ int main(int argc, char** argv) {
   const std::uint32_t ncust =
       static_cast<std::uint32_t>(flags.GetInt("ncust", 2000));
   const double minsup = flags.GetDouble("minsup", 0.008);
+  const std::uint32_t ncust_dense =
+      static_cast<std::uint32_t>(flags.GetInt("ncust-dense", 1000));
+  const double minsup_dense = flags.GetDouble("minsup-dense", 0.02);
   const std::uint64_t npairs =
       static_cast<std::uint64_t>(flags.GetInt("pairs", 2000000));
   const int reps = static_cast<int>(flags.GetInt("reps", 3));
   const double min_speedup = flags.GetDouble("min-speedup", 0.0);
+  const double min_lcp_speedup = flags.GetDouble("min-lcp-speedup", 0.0);
+  const double min_mine_speedup = flags.GetDouble("min-mine-speedup", 0.0);
   const std::string kernel_filter = flags.GetString("kernel", "all");
   const std::string only = flags.GetString("only", "");
+
+  if (flags.Has("simd") &&
+      !ConfigureSimd(flags.GetString("simd", "auto"))) {
+    std::fprintf(stderr,
+                 "bench_kernels: --simd=%s is invalid or unsupported here "
+                 "(best tier: %s)\n",
+                 flags.GetString("simd", "").c_str(),
+                 SimdTierName(BestSimdTier()));
+    return 2;
+  }
 
   QuestParams params = Fig8Params(ncust);
   params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
@@ -99,23 +156,37 @@ int main(int argc, char** argv) {
   options.min_support_count = MineOptions::CountForFraction(db.size(), minsup);
   options.threads = 1;
 
+  // The dense Figure 9 shape behind kernel.lcp/mine/bound (file comment).
+  QuestParams dense_params = Fig9Params(ncust_dense);
+  dense_params.seed = params.seed;
+  const SequenceDatabase dense_db = GenerateQuestDatabase(dense_params);
+
+  MineOptions dense_options;
+  dense_options.min_support_count =
+      MineOptions::CountForFraction(dense_db.size(), minsup_dense);
+  dense_options.threads = 1;
+
   PrintBanner(
-      "Comparative-order kernels: encoded (order/encoded.h) vs legacy "
-      "(minsup = " + std::to_string(minsup) + ")",
-      "Quest slen=10 tlen=2.5 nitems=1K seq.patlen=4 (Table 11), ncust=" +
-          std::to_string(ncust),
+      "Comparative-order kernels: encoded+SIMD (order/simd.h) vs legacy "
+      "(minsup = " + std::to_string(minsup) + " sparse, " +
+          std::to_string(minsup_dense) + " dense)",
+      "Quest fig8 slen=10 tlen=2.5 patlen=4 ncust=" + std::to_string(ncust) +
+          " (compare/kms); fig9 slen=8 tlen=8 patlen=8 ncust=" +
+          std::to_string(ncust_dense) +
+          " (lcp/mine/bound); simd=" + SimdTierName(ActiveSimdTier()),
       false);
 
   ObsSession obs("kernels", flags);
-  WorkloadInfo workload = MakeWorkloadInfo(db, "quest:fig8");
+  WorkloadInfo workload = MakeWorkloadInfo(db, "quest:fig8+fig9");
   workload.min_support_count = options.min_support_count;
   obs.SetWorkload(workload);
   BenchReport report("kernels", workload);
 
   TablePrinter table({"kernel", "legacy (s)", "encoded (s)", "speedup"});
   bool ok = true;
-  bool ran_compare = false, ran_kms = false;
-  double compare_speedup = 0.0, kms_speedup = 0.0;
+  bool ran_compare = false, ran_lcp = false, ran_kms = false, ran_mine = false;
+  double compare_speedup = 0.0, lcp_speedup = 0.0, kms_speedup = 0.0,
+         mine_speedup = 0.0;
 
   // --- kernel.compare: pairwise comparisons over the mined pattern pool ---
   if (kernel_filter == "all" || kernel_filter == "compare") {
@@ -181,9 +252,20 @@ int main(int argc, char** argv) {
                    static_cast<long long>(sum_encoded));
       ok = false;
     }
+    // Words the scalar word-scan actually touches per pass (untimed).
+    std::uint64_t scanned = 0;
+    for (std::uint64_t i = 0; i < npairs; ++i) {
+      const auto& a = epool[lhs[i]];
+      const auto& b = epool[rhs[i]];
+      std::uint32_t lcp = 0;
+      EncodedCompareFrom(a.data(), a.size(), b.data(), b.size(), 0, &lcp);
+      scanned += std::min<std::uint64_t>(lcp + 1, std::min(a.size(), b.size()));
+    }
     compare_speedup = t_encoded > 0.0 ? t_legacy / t_encoded : 0.0;
-    const obs::MineStats cl = KernelStats("kernel.compare.legacy", t_legacy);
-    const obs::MineStats ce = KernelStats("kernel.compare.encoded", t_encoded);
+    obs::MineStats cl = KernelStats("kernel.compare.legacy", t_legacy);
+    obs::MineStats ce = KernelStats("kernel.compare.encoded", t_encoded);
+    AddWordsPerSec(&cl, static_cast<double>(scanned));
+    AddWordsPerSec(&ce, static_cast<double>(scanned));
     report.AddRun(cl);
     report.AddRun(ce);
     obs.Record(cl);
@@ -194,28 +276,143 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(compare_speedup)});
   }
 
-  // --- kernel.kms / kernel.mine: paired mining runs, byte-checked ---
+  // --- kernel.lcp: scalar vs SIMD first-mismatch/LCP scans ---
+  if (kernel_filter == "all" || kernel_filter == "lcp") {
+    ran_lcp = true;
+    // Streams are concatenations of 4 encoded dense-workload customer
+    // sequences (~256 words) drawn from a 48-stream pool: long enough for
+    // the vector loop to dominate call overhead, and small enough that the
+    // whole pool is cache-resident, so the scan itself is what gets timed.
+    // Pairs share a uniformly random prefix: copy a stream, flip one word
+    // at position p, so the scan length is exactly p+1.
+    ItemEncoder encoder;
+    for (std::size_t c = 0; c < dense_db.size(); ++c) {
+      encoder.NoteItems(dense_db[c]);
+    }
+    encoder.Finalize();
+    constexpr std::size_t kLcpPool = 48;
+    constexpr std::size_t kLcpConcat = 4;
+    std::vector<std::vector<EncodedWord>> pa(kLcpPool), pb(kLcpPool);
+    std::uint64_t rng = params.seed | 1;
+    std::vector<EncodedWord> scratch;
+    for (std::size_t i = 0; i < kLcpPool; ++i) {
+      for (std::size_t k = 0; k < kLcpConcat; ++k) {
+        const std::size_t c = XorShift(&rng) % dense_db.size();
+        EncodeSequence(dense_db[c], encoder, &scratch);
+        pa[i].insert(pa[i].end(), scratch.begin(), scratch.end());
+      }
+      pb[i] = pa[i];
+      if (!pb[i].empty()) {
+        const std::size_t p = XorShift(&rng) % pb[i].size();
+        pb[i][p] ^= 1u << 1;  // shift the item code; boundary bit intact
+      }
+    }
+    const std::uint64_t lcp_pairs = npairs / 8;  // long scans; fewer pairs
+    std::vector<std::uint32_t> idx(lcp_pairs);
+    // Words one pass over the pair set scans (untimed; feeds the gauge).
+    std::uint64_t scanned = 0;
+    for (std::uint64_t i = 0; i < lcp_pairs; ++i) {
+      idx[i] = static_cast<std::uint32_t>(XorShift(&rng) % kLcpPool);
+      const auto& a = pa[idx[i]];
+      const auto& b = pb[idx[i]];
+      std::uint32_t lcp = 0;
+      EncodedCompareFrom(a.data(), a.size(), b.data(), b.size(), 0, &lcp);
+      scanned += std::min<std::uint64_t>(lcp + 1, std::min(a.size(), b.size()));
+    }
+    std::int64_t sum_scalar = 0, sum_simd = 0;
+    std::uint64_t lcp_scalar = 0, lcp_simd = 0;
+    double t_scalar = -1.0, t_simd = -1.0;
+    for (int r = 0; r < reps; ++r) {
+      t_scalar = MinTime(t_scalar, [&] {
+        sum_scalar = 0;
+        lcp_scalar = 0;
+        for (std::uint64_t i = 0; i < lcp_pairs; ++i) {
+          const auto& a = pa[idx[i]];
+          const auto& b = pb[idx[i]];
+          std::uint32_t lcp = 0;
+          sum_scalar += Sign(EncodedCompareFrom(a.data(), a.size(), b.data(),
+                                                b.size(), 0, &lcp));
+          lcp_scalar += lcp;
+        }
+      });
+      t_simd = MinTime(t_simd, [&] {
+        sum_simd = 0;
+        lcp_simd = 0;
+        for (std::uint64_t i = 0; i < lcp_pairs; ++i) {
+          const auto& a = pa[idx[i]];
+          const auto& b = pb[idx[i]];
+          std::uint32_t lcp = 0;
+          sum_simd += Sign(SimdCompareFrom(a.data(), a.size(), b.data(),
+                                           b.size(), 0, &lcp));
+          lcp_simd += lcp;
+        }
+      });
+    }
+    if (sum_scalar != sum_simd || lcp_scalar != lcp_simd) {
+      std::fprintf(stderr,
+                   "bench_kernels: ** LCP MISMATCH ** scalar (%lld, %llu) vs "
+                   "simd (%lld, %llu)\n",
+                   static_cast<long long>(sum_scalar),
+                   static_cast<unsigned long long>(lcp_scalar),
+                   static_cast<long long>(sum_simd),
+                   static_cast<unsigned long long>(lcp_simd));
+      ok = false;
+    }
+    lcp_speedup = t_simd > 0.0 ? t_scalar / t_simd : 0.0;
+    obs::MineStats ll = KernelStats("kernel.lcp.legacy", t_scalar);
+    obs::MineStats le = KernelStats("kernel.lcp.encoded", t_simd);
+    AddWordsPerSec(&ll, static_cast<double>(scanned));
+    AddWordsPerSec(&le, static_cast<double>(scanned));
+    report.AddRun(ll);
+    report.AddRun(le);
+    obs.Record(ll);
+    obs.Record(le);
+    table.AddRow({"lcp (" + std::to_string(lcp_pairs) + " pairs, " +
+                      SimdTierName(ActiveSimdTier()) + std::string(")"),
+                  TablePrinter::Num(t_scalar), TablePrinter::Num(t_simd),
+                  TablePrinter::Num(lcp_speedup)});
+  }
+
+  // --- kernel.kms / kernel.mine / kernel.bound: paired mining runs ---
+  enum KernelKind { kKms, kMine, kBound };
   struct MiningKernel {
     const char* name;
-    bool pure_disc;  // DynamicDiscAll fixed_levels=0 vs DiscAll
+    const char* filter;
+    KernelKind kind;
   };
   for (const MiningKernel kernel :
-       {MiningKernel{"kernel.kms", true}, MiningKernel{"kernel.mine", false}}) {
-    if (kernel_filter != "all" &&
-        kernel_filter != (kernel.pure_disc ? "kms" : "mine")) {
-      continue;
-    }
-    if (kernel.pure_disc && only.empty()) ran_kms = true;
-    auto make_miner = [&](bool encoded) -> std::unique_ptr<Miner> {
-      if (kernel.pure_disc) {
-        DynamicDiscAll::Config cfg;
-        cfg.fixed_levels = 0;
-        cfg.encoded_order = encoded;
-        return std::make_unique<DynamicDiscAll>(cfg);
+       {MiningKernel{"kernel.kms", "kms", kKms},
+        MiningKernel{"kernel.mine", "mine", kMine},
+        MiningKernel{"kernel.bound", "bound", kBound}}) {
+    if (kernel_filter != "all" && kernel_filter != kernel.filter) continue;
+    if (kernel.kind == kKms && only.empty()) ran_kms = true;
+    if (kernel.kind == kMine && only.empty()) ran_mine = true;
+    // kms stays on the sparse Table 11 workload its baseline was built on;
+    // mine and bound run the dense shape where the k >= 4 machinery (and
+    // hence the optimized path's advantage) actually dominates.
+    const SequenceDatabase& kdb = kernel.kind == kKms ? db : dense_db;
+    const MineOptions& kopts = kernel.kind == kKms ? options : dense_options;
+    auto make_miner = [&](bool optimized) -> std::unique_ptr<Miner> {
+      switch (kernel.kind) {
+        case kKms: {
+          DynamicDiscAll::Config cfg;
+          cfg.fixed_levels = 0;
+          cfg.encoded_order = optimized;
+          return std::make_unique<DynamicDiscAll>(cfg);
+        }
+        case kMine: {
+          DiscAll::Config cfg;
+          cfg.encoded_order = optimized;
+          cfg.bound_pruning = optimized;
+          return std::make_unique<DiscAll>(cfg);
+        }
+        case kBound:
+        default: {
+          DiscAll::Config cfg;  // encoded order on both sides
+          cfg.bound_pruning = optimized;
+          return std::make_unique<DiscAll>(cfg);
+        }
       }
-      DiscAll::Config cfg;
-      cfg.encoded_order = encoded;
-      return std::make_unique<DiscAll>(cfg);
     };
     std::unique_ptr<Miner> legacy =
         only == "encoded" ? nullptr : make_miner(false);
@@ -227,27 +424,30 @@ int main(int argc, char** argv) {
     for (int r = 0; r < reps; ++r) {
       if (legacy != nullptr) {
         t_legacy = MinTime(t_legacy, [&] {
-          out_legacy = legacy->Mine(db, options).ToString();
+          out_legacy = legacy->Mine(kdb, kopts).ToString();
         });
       }
       if (encoded != nullptr) {
         t_encoded = MinTime(t_encoded, [&] {
-          out_encoded = encoded->Mine(db, options).ToString();
+          out_encoded = encoded->Mine(kdb, kopts).ToString();
         });
       }
     }
     if (t_legacy < 0.0) t_legacy = 0.0;
     if (t_encoded < 0.0) t_encoded = 0.0;
     obs::MineStats stats_legacy, stats_encoded;
+    const double db_words = static_cast<double>(kdb.TotalItems());
     if (legacy != nullptr) {
       stats_legacy = legacy->last_stats();
       stats_legacy.miner = std::string(kernel.name) + ".legacy";
       stats_legacy.wall_seconds = t_legacy;
+      AddWordsPerSec(&stats_legacy, db_words);
     }
     if (encoded != nullptr) {
       stats_encoded = encoded->last_stats();
       stats_encoded.miner = std::string(kernel.name) + ".encoded";
       stats_encoded.wall_seconds = t_encoded;
+      AddWordsPerSec(&stats_encoded, db_words);
     }
     if (only.empty() && out_legacy != out_encoded) {
       std::fprintf(stderr, "bench_kernels: ** PATTERN MISMATCH ** in %s\n",
@@ -256,7 +456,8 @@ int main(int argc, char** argv) {
     }
     const double speedup =
         only.empty() && t_encoded > 0.0 ? t_legacy / t_encoded : 0.0;
-    if (kernel.pure_disc && only.empty()) kms_speedup = speedup;
+    if (kernel.kind == kKms && only.empty()) kms_speedup = speedup;
+    if (kernel.kind == kMine && only.empty()) mine_speedup = speedup;
     if (only != "encoded") {
       report.AddRun(stats_legacy);
       obs.Record(stats_legacy);
@@ -276,6 +477,20 @@ int main(int argc, char** argv) {
                  "bench_kernels: speedup below --min-speedup=%.2f "
                  "(compare %.2f, kms %.2f)\n",
                  min_speedup, compare_speedup, kms_speedup);
+    ok = false;
+  }
+  if (min_lcp_speedup > 0.0 && ran_lcp && lcp_speedup < min_lcp_speedup) {
+    std::fprintf(stderr,
+                 "bench_kernels: kernel.lcp speedup %.2f below "
+                 "--min-lcp-speedup=%.2f\n",
+                 lcp_speedup, min_lcp_speedup);
+    ok = false;
+  }
+  if (min_mine_speedup > 0.0 && ran_mine && mine_speedup < min_mine_speedup) {
+    std::fprintf(stderr,
+                 "bench_kernels: kernel.mine speedup %.2f below "
+                 "--min-mine-speedup=%.2f\n",
+                 mine_speedup, min_mine_speedup);
     ok = false;
   }
 

@@ -9,6 +9,7 @@
 //               [--trace-out=trace.json] [--json-out=report.json]
 //               [--progress] [--progress-period-ms=N]
 //               [--metrics-out=m.prom] [--events-out=e.jsonl]
+//               [--simd=off|sse2|avx2|auto]
 //
 // --stats prints the per-run work counters, --trace-out writes a
 // chrome://tracing span file, --json-out a machine-readable report.
@@ -19,7 +20,10 @@
 // records instead of failing; --deadline-ms stops the run cooperatively,
 // keeping the exact partial result; --failpoints arms fault-injection
 // sites (same syntax as the DISC_FAILPOINTS environment variable; see
-// docs/ROBUSTNESS.md).
+// docs/ROBUSTNESS.md). --simd pins the mismatch-scan kernel tier for the
+// encoded comparative order (same values as the DISC_SIMD environment
+// variable; the flag wins — see docs/BENCHMARKS.md); the mined patterns
+// are byte-identical at every tier.
 //
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 2 usage error, 3 data or
 // internal error, 4 stopped by deadline/cancellation (partial result
@@ -50,6 +54,7 @@ int Usage() {
       "               [--stats] [--trace-out=FILE] [--json-out=FILE]\n"
       "               [--progress] [--progress-period-ms=N]\n"
       "               [--metrics-out=FILE] [--events-out=FILE]\n"
+      "               [--simd=off|sse2|avx2|auto]\n"
       "algorithms:");
   for (const std::string& name : disc::AllMinerNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -63,6 +68,16 @@ int Usage() {
 int main(int argc, char** argv) {
   const disc::Flags flags = disc::Flags::Parse(argc, argv);
   if (flags.positional().empty()) return Usage();
+
+  if (flags.Has("simd") &&
+      !disc::ConfigureSimd(flags.GetString("simd", "auto"))) {
+    std::fprintf(stderr,
+                 "seqmine: --simd=%s is invalid or unsupported on this "
+                 "machine (best tier: %s)\n",
+                 flags.GetString("simd", "").c_str(),
+                 disc::SimdTierName(disc::BestSimdTier()));
+    return kExitUsage;
+  }
 
   if (flags.Has("failpoints")) {
     const disc::Status status =

@@ -1,0 +1,19 @@
+#include "disc/core/candidate_bound.h"
+
+namespace disc {
+
+CandidateBound CandidateBound::FromExtensions(
+    const std::vector<std::pair<Item, ExtType>>& freq) {
+  CandidateBound b;
+  for (const auto& [x, type] : freq) {
+    (void)x;
+    if (type == ExtType::kItemset) {
+      ++b.itemset_exts;
+    } else {
+      ++b.sequence_exts;
+    }
+  }
+  return b;
+}
+
+}  // namespace disc

@@ -1,0 +1,75 @@
+// Candidate upper bound in the style of Geerts/Goethals/Van den Bussche
+// ("A Tight Upper Bound on the Number of Candidate Patterns"), specialized
+// to DISC's partition shape: every pattern mined inside a partition extends
+// one fixed prefix, and the partition's frequent (k+1)-set is *complete*
+// for that prefix (the reassign-forward invariant guarantees every
+// supporter is present when the partition is processed). A (k+2)-candidate
+// is the prefix plus two one-item extensions e1, e2; dropping either
+// extension item leaves a (k+1)-sequence with the same prefix, which must
+// itself be frequent. Counting the pairs that survive this check, by
+// extension type (ni itemset-form, ns sequence-form frequent extensions):
+//
+//   <p ⊕ (x,I) ⊕ (y,I)>  x < y, both itemset:     C(ni, 2)
+//   <p ⊕ (x,I) ⊕ (y,S)>  itemset then sequence:    ni · ns
+//   <p ⊕ (x,S) ⊕ (y,I)>  one new txn {x, y}, x<y:  C(ns, 2)
+//   <p ⊕ (x,S) ⊕ (y,S)>  two new txns (y = x ok):  ns²
+//
+// Bound = C(ni,2) + ni·ns + C(ns,2) + ns² — an upper bound on the number
+// of frequent (k+2)-sequences with this prefix. Zero iff ns == 0 and
+// ni <= 1, and by anti-monotonicity a zero bound kills every deeper level
+// too: the partition cannot yield ANY new frequent sequence, so the miners
+// skip its reduce/second-level/DISC machinery entirely (counted by
+// "disc.bound.skips"; byte-identical output is pinned by
+// tests/candidate_bound_test.cc, which also brute-forces the pair
+// enumeration above). "disc.bound.presizes" counts the companion
+// optimization: counting structures pre-sized from partition-local
+// frequent-set knowledge instead of the database-wide worst case.
+#ifndef DISC_CORE_CANDIDATE_BOUND_H_
+#define DISC_CORE_CANDIDATE_BOUND_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "disc/order/compare.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// Upper bound on the next level's candidate (hence frequent) pattern
+/// count for one partition, from its frequent extension-type tallies.
+struct CandidateBound {
+  std::uint64_t itemset_exts = 0;   ///< ni: frequent itemset-form extensions
+  std::uint64_t sequence_exts = 0;  ///< ns: frequent sequence-form extensions
+
+  /// Tallies a FrequentExtensions() result (any prefix length).
+  static CandidateBound FromExtensions(
+      const std::vector<std::pair<Item, ExtType>>& freq);
+
+  /// C(ni,2) + ni·ns + C(ns,2) + ns² — see file comment.
+  std::uint64_t NextLevelCandidates() const {
+    const std::uint64_t ni = itemset_exts;
+    const std::uint64_t ns = sequence_exts;
+    return ni * (ni - 1) / 2 + ni * ns + ns * (ns - 1) / 2 + ns * ns;
+  }
+
+  /// False iff no deeper frequent sequence can exist in this partition
+  /// (zero bound + anti-monotonicity), i.e. its remaining machinery can be
+  /// skipped without changing the mined PatternSet.
+  bool CanYieldNextLevel() const { return NextLevelCandidates() > 0; }
+
+  /// The hot-path form of FromExtensions(freq).CanYieldNextLevel(), O(1)
+  /// instead of a full tally (the miners call it once per partition): the
+  /// bound is zero iff ns == 0 and ni <= 1, and any two entries — whatever
+  /// their forms — already force it nonzero (two itemset entries, or at
+  /// least one sequence entry), so only the singleton case needs a look.
+  static bool CanYieldNextLevel(
+      const std::vector<std::pair<Item, ExtType>>& freq) {
+    if (freq.size() != 1) return freq.size() >= 2;
+    return freq.front().second == ExtType::kSequence;
+  }
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_CANDIDATE_BOUND_H_

@@ -2,32 +2,24 @@
 
 #include <algorithm>
 
-#include "disc/common/check.h"
-
 namespace disc {
 
 CountingArray::CountingArray(Item max_item)
     : i_entries_(static_cast<std::size_t>(max_item) + 1),
       s_entries_(static_cast<std::size_t>(max_item) + 1) {}
 
-void CountingArray::Add(Item x, ExtType type, Cid cid) {
-  DISC_DCHECK(static_cast<std::size_t>(x) < i_entries_.size());
+CountingArray::~CountingArray() { FlushObs(); }
+
+void CountingArray::FlushObs() {
+#if DISC_OBS_ENABLED
   DISC_OBS_COUNTER(g_probes, "counting_array.probes");
   DISC_OBS_COUNTER(g_increments, "counting_array.increments");
   DISC_OBS_COUNTER(g_support_increments, "support.increments");
-  DISC_OBS_INC(g_probes);
-  Entry& e =
-      type == ExtType::kItemset ? i_entries_[x] : s_entries_[x];
-  if (e.last_cid_plus1 == cid + 1) return;
-  if (i_entries_[x].count == 0 && s_entries_[x].count == 0) {
-    touched_.push_back(x);
-  }
-  e.last_cid_plus1 = cid + 1;
-  ++e.count;
-  DISC_OBS_INC(g_increments);
-  DISC_OBS_INC(g_support_increments);
-#if DISC_OBS_ENABLED
-  ++increments_since_reset_;
+  DISC_OBS_ADD(g_probes, probes_pending_);
+  DISC_OBS_ADD(g_increments, increments_pending_);
+  DISC_OBS_ADD(g_support_increments, increments_pending_);
+  probes_pending_ = 0;
+  increments_pending_ = 0;
 #endif
 }
 
@@ -50,6 +42,7 @@ std::vector<std::pair<Item, ExtType>> CountingArray::FrequentExtensions(
 }
 
 void CountingArray::Reset() {
+  FlushObs();
   for (const Item x : touched_) {
     i_entries_[x] = Entry{};
     s_entries_[x] = Entry{};

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "disc/common/check.h"
 #include "disc/obs/metrics.h"
 #include "disc/order/compare.h"
 #include "disc/seq/types.h"
@@ -22,10 +23,35 @@ class CountingArray {
  public:
   /// Items 1..max_item are countable.
   explicit CountingArray(Item max_item);
+  ~CountingArray();
+
+  CountingArray(const CountingArray&) = delete;
+  CountingArray& operator=(const CountingArray&) = delete;
 
   /// Records that customer `cid` supports the extension (x, type). Repeated
   /// calls with the same cid are idempotent (the last-CID mechanism).
-  void Add(Item x, ExtType type, Cid cid);
+  ///
+  /// Inline, and the probe/increment counters are batched into plain
+  /// members flushed to the registry at Reset()/destruction: this is the
+  /// innermost loop of every bi-level harvest, and three shared atomic
+  /// bumps per probe cost more than the probe itself.
+  void Add(Item x, ExtType type, Cid cid) {
+    DISC_DCHECK(static_cast<std::size_t>(x) < i_entries_.size());
+#if DISC_OBS_ENABLED
+    ++probes_pending_;
+#endif
+    Entry& e = type == ExtType::kItemset ? i_entries_[x] : s_entries_[x];
+    if (e.last_cid_plus1 == cid + 1) return;
+    if (i_entries_[x].count == 0 && s_entries_[x].count == 0) {
+      touched_.push_back(x);
+    }
+    e.last_cid_plus1 = cid + 1;
+    ++e.count;
+#if DISC_OBS_ENABLED
+    ++increments_pending_;
+    ++increments_since_reset_;
+#endif
+  }
 
   /// Support count of extension (x, type).
   std::uint32_t Count(Item x, ExtType type) const;
@@ -50,6 +76,11 @@ class CountingArray {
 #endif
 
  private:
+  // Publishes the batched probe/increment tallies to the registry counters
+  // "counting_array.probes", "counting_array.increments", and
+  // "support.increments". No-op when observability is compiled out.
+  void FlushObs();
+
   struct Entry {
     std::uint32_t count = 0;
     std::uint32_t last_cid_plus1 = 0;  // 0 = never seen
@@ -59,6 +90,8 @@ class CountingArray {
   std::vector<Item> touched_;  // items with any nonzero entry
 #if DISC_OBS_ENABLED
   std::uint64_t increments_since_reset_ = 0;
+  std::uint64_t probes_pending_ = 0;
+  std::uint64_t increments_pending_ = 0;
 #endif
 };
 

@@ -10,6 +10,7 @@
 #include "disc/common/check.h"
 #include "disc/common/failpoint.h"
 #include "disc/common/thread_pool.h"
+#include "disc/core/candidate_bound.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
 #include "disc/obs/metrics.h"
@@ -22,6 +23,8 @@ namespace {
 
 DISC_OBS_COUNTER(g_first_level_partitions, "disc.partitions.first_level");
 DISC_OBS_COUNTER(g_second_level_partitions, "disc.partitions.second_level");
+DISC_OBS_COUNTER(g_bound_skips, "disc.bound.skips");
+DISC_OBS_COUNTER(g_bound_filtered, "disc.bound.filtered_probes");
 DISC_OBS_COUNTER(g_scratch_reuses, "disc.scratch.reuses");
 DISC_OBS_COUNTER(g_arena_reuses, "disc.arena.reuses");
 DISC_OBS_GAUGE(g_arena_bytes, "disc.arena.bytes");
@@ -129,6 +132,16 @@ class PartitionMiner {
       result_.patterns.Add(Extend(pat1, x, type), counts.Count(x, type));
     }
     if (freq2.empty() || options_.max_length == 2) return;
+
+    // Candidate-bound prune: when no PAIR of frequent 2-extensions can
+    // form a valid 3-sequence, this partition provably holds no frequent
+    // sequence of length >= 3 (anti-monotone), so the reduce loop, the
+    // second-level partitioning, and every DISC pass below are dead work.
+    if (config_.bound_pruning &&
+        !CandidateBound::CanYieldNextLevel(freq2)) {
+      DISC_OBS_INC(g_bound_skips);
+      return;
+    }
 
     ExtFilter filter;
     filter.Build(freq2, max_item_);
@@ -244,7 +257,8 @@ class PartitionMiner {
         DISC_OBS_INC(g_second_level_partitions);
         DISC_OBS_RECORD(g_second_level_size, slots.size());
         ProcessSecondLevel(Extend(pat1, freq2[j].first, freq2[j].second),
-                           reduced, indexes, slots, delta);
+                           freq2[j].second, filter, reduced, indexes, slots,
+                           delta);
       }
       for (const std::uint32_t slot : slots) {
         const auto next = ScanMinFrequentExt(reduced[slot], pat1, filter,
@@ -254,23 +268,45 @@ class PartitionMiner {
     }
   }
 
-  void ProcessSecondLevel(const Sequence& pat2,
+  void ProcessSecondLevel(const Sequence& pat2, ExtType e1_type,
+                          const ExtFilter& filter2,
                           const std::vector<SequenceView>& reduced,
                           const std::deque<SequenceIndex>& indexes,
                           const std::vector<std::uint32_t>& slots,
                           std::uint32_t delta) {
     // Frequent 3-sequences with prefix pat2, again in one counting-array
     // scan (step 2.1.3.1).
+    //
+    // Apriori pre-filter (part of the candidate-bound pruning family, so
+    // gated with it): pat2 = <(λ)> ⊕ e1, and a 3-sequence pat2 ⊕ (y, t)
+    // contains the 2-subsequence <(λ)> ⊕ e' obtained by dropping e1's
+    // item, where e' = (y, t) when e1 is itemset-form (y stays in, or
+    // after, λ's transaction) and e' = (y, kSequence) when e1 is
+    // sequence-form (y lands in a transaction strictly after λ's). The
+    // partition is complete for prefix λ, so freq2 holds EVERY frequent
+    // 2-sequence <(λ)> ⊕ e'; when e' is not in it, the 3-sequence's
+    // support is provably below delta and the probe can be skipped before
+    // it touches the counting array.
     CountingArray& counts = scratch_.counts;
     counts.Reset();
+    const bool apriori = config_.bound_pruning;
+    const bool e1_itemset = e1_type == ExtType::kItemset;
+    std::uint64_t filtered = 0;
     for (const std::uint32_t slot : slots) {
       ForEachExtension(
           reduced[slot], pat2,
-          [&counts, slot](Item x, ExtType type) {
+          [&](Item x, ExtType type) {
+            if (apriori &&
+                !filter2.IsFrequent(
+                    x, e1_itemset ? type : ExtType::kSequence)) {
+              ++filtered;
+              return;
+            }
             counts.Add(x, type, slot);
           },
           &indexes[slot]);
     }
+    DISC_OBS_ADD(g_bound_filtered, filtered);
     const auto freq3 = counts.FrequentExtensions(delta);
     std::vector<Sequence> sorted_list;
     sorted_list.reserve(freq3.size());
@@ -280,6 +316,16 @@ class PartitionMiner {
       sorted_list.push_back(std::move(p));
     }
     if (options_.max_length != 0 && options_.max_length <= 3) return;
+
+    // Same prune one level down: a zero bound over freq3 means no
+    // 4-sequence candidate with prefix pat2 exists, so skip building the
+    // k-sorted database (whose Apriori-KMS initial scans dominate small
+    // second-level partitions) and the DISC loop.
+    if (config_.bound_pruning &&
+        !CandidateBound::CanYieldNextLevel(freq3)) {
+      DISC_OBS_INC(g_bound_skips);
+      return;
+    }
 
     // DISC for k >= 4 (step 2.1.3.2).
     PartitionMembers& pairs = scratch_.pairs;

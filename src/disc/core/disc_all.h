@@ -51,6 +51,14 @@ class DiscAll : public Miner {
     /// measures the gap; output is byte-identical either way, enforced by
     /// parallel_determinism_test).
     bool encoded_order = true;
+    /// Skip a partition's remaining machinery (reduce, second-level
+    /// partitioning, DISC loop) when the Geerts-style candidate upper
+    /// bound over its frequent extensions proves no deeper frequent
+    /// sequence can exist (core/candidate_bound.h). Counted by
+    /// "disc.bound.skips"; output is byte-identical either way
+    /// (tests/candidate_bound_test.cc). False keeps the unpruned path as
+    /// an ablation (bench_kernels' kernel.bound pair measures the gap).
+    bool bound_pruning = true;
   };
 
   DiscAll() : DiscAll(Config{}) {}
@@ -60,6 +68,7 @@ class DiscAll : public Miner {
     std::string n = config_.bilevel ? "disc-all" : "disc-all-nobilevel";
     if (!config_.arena_scratch) n += "-ownedscratch";
     if (!config_.encoded_order) n += "-legacyorder";
+    if (!config_.bound_pruning) n += "-nobound";
     return n;
   }
 

@@ -18,6 +18,7 @@ DISC_OBS_COUNTER(g_iterations, "disc.iterations");
 DISC_OBS_COUNTER(g_frequent_buckets, "disc.frequent_buckets");
 DISC_OBS_COUNTER(g_infrequent_skips, "disc.infrequent_skips");
 DISC_OBS_COUNTER(g_virtual_partitions, "disc.virtual_partitions");
+DISC_OBS_COUNTER(g_bound_presizes, "disc.bound.presizes");
 DISC_OBS_HISTOGRAM(g_bucket_size, "disc.bucket_size");
 
 // Attributes the increments of a just-finished counting-array pass to the
@@ -147,7 +148,7 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
   // the partition's item universe. Keys generated by (C)KMS draw their
   // prefixes from the sorted list and their extension items from the member
   // sequences, so noting both covers every sequence the pass compares.
-  ItemEncoder encoder;
+  ItemEncoder encoder(options.max_item);
   EncodedList encoded_list;
   EncodedOrder encoded;
   const EncodedOrder* encoded_ptr = nullptr;
@@ -162,7 +163,20 @@ DiscoveryResult DiscoverFrequentK(const PartitionMembers& members,
   }
 
   KSortedDatabase sd(members, &sorted_list, options.k, encoded_ptr);
-  CountingArray counts(options.bilevel ? options.max_item : 0);
+  // The bi-level harvest only ever counts extension items drawn from the
+  // member sequences, all of which the encoder has noted — so when the
+  // encoded order is on, size the counting array to the partition's local
+  // alphabet instead of the database-wide max_item (the pass-construction
+  // cost is the zero-init of 2·(max_item+1) entries).
+  Item counts_max = 0;
+  if (options.bilevel) {
+    counts_max = options.max_item;
+    if (options.encoded_order && encoder.max_noted() < counts_max) {
+      counts_max = encoder.max_noted();
+      DISC_OBS_INC(g_bound_presizes);
+    }
+  }
+  CountingArray counts(counts_max);
   std::vector<std::uint32_t> handles;
 
   while (sd.size() >= options.delta) {

@@ -9,6 +9,7 @@
 #include "disc/common/cancel.h"
 #include "disc/common/check.h"
 #include "disc/common/thread_pool.h"
+#include "disc/core/candidate_bound.h"
 #include "disc/core/counting_array.h"
 #include "disc/core/partition.h"
 #include "disc/obs/metrics.h"
@@ -21,6 +22,7 @@ namespace {
 
 DISC_OBS_COUNTER(g_partitions_split, "dynamic.partitions_split");
 DISC_OBS_COUNTER(g_partitions_to_disc, "dynamic.partitions_to_disc");
+DISC_OBS_COUNTER(g_bound_skips, "disc.bound.skips");
 DISC_OBS_GAUGE(g_mine_threads, "mine.threads");
 DISC_OBS_HISTOGRAM(g_partition_nrr, "dynamic.partition_nrr_x1000");
 
@@ -104,6 +106,16 @@ class Run {
     }
     if (freq.empty()) return;
     if (options_.max_length != 0 && k + 1 >= options_.max_length) return;
+
+    // Candidate-bound prune: a zero bound over the frequent (k+1)-set
+    // means no (k+2)-candidate with this prefix exists, and by
+    // anti-monotonicity nothing deeper either — neither splitting further
+    // nor switching to DISC can emit another pattern, so both are skipped.
+    if (config_.bound_pruning &&
+        !CandidateBound::CanYieldNextLevel(freq)) {
+      DISC_OBS_INC(g_bound_skips);
+      return;
+    }
 
     // Step 2: the non-reduction rate of this partition (or a fixed depth
     // policy when configured).

@@ -46,6 +46,11 @@ class DynamicDiscAll : public Miner {
     /// (order/encoded.h); false keeps the legacy scans as an ablation.
     /// Output is byte-identical either way.
     bool encoded_order = true;
+    /// Stop recursing into a partition when the Geerts-style candidate
+    /// upper bound over its frequent extensions is zero — no deeper
+    /// frequent sequence can exist (core/candidate_bound.h). Counted by
+    /// "disc.bound.skips"; output is byte-identical either way.
+    bool bound_pruning = true;
   };
 
   DynamicDiscAll() : DynamicDiscAll(Config{}) {}

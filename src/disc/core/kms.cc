@@ -2,6 +2,7 @@
 
 #include "disc/common/check.h"
 #include "disc/obs/metrics.h"
+#include "disc/order/simd.h"
 #include "disc/seq/extension.h"
 
 namespace disc {
@@ -113,8 +114,8 @@ KmsResult AprioriCkms(SequenceView s,
     std::uint32_t walk_skips = 0;
     if (idx < elist->size()) {
       ++walk_compares;
-      cmp = EncodedCompareFrom(elist->WordsBegin(idx), elist->NumWords(idx),
-                               bp, bn, 0, &lcp);
+      cmp = SimdCompareFrom(elist->WordsBegin(idx), elist->NumWords(idx), bp,
+                            bn, 0, &lcp);
     }
     while (idx < elist->size() && cmp < 0) {
       ++idx;
@@ -136,8 +137,8 @@ KmsResult AprioriCkms(SequenceView s,
         continue;  // loop condition exits
       }
       ++walk_compares;
-      cmp = EncodedCompareFrom(elist->WordsBegin(idx), elist->NumWords(idx),
-                               bp, bn, lcp, &lcp);
+      cmp = SimdCompareFrom(elist->WordsBegin(idx), elist->NumWords(idx), bp,
+                            bn, lcp, &lcp);
     }
     DISC_OBS_ADD(g_walk_compares, walk_compares);
     if (walk_skips != 0) DISC_OBS_ADD(g_walk_skips, walk_skips);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "disc/common/check.h"
+#include "disc/order/simd.h"
 
 namespace disc {
 namespace {
@@ -27,7 +28,7 @@ void EncodeKmin(const EncodedOrder& encoded, const Sequence& kmin,
   DISC_DCHECK([&] {  // the shortcut must equal a full re-encode
     std::vector<EncodedWord> full;
     EncodeSequence(kmin, *encoded.encoder, &full);
-    return full == *out;
+    return SimdCompare(full, *out) == 0;
   }());
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "disc/common/check.h"
+#include "disc/order/simd.h"
 
 namespace disc {
 
@@ -117,9 +118,8 @@ LocativeAvlTree::Node* LocativeAvlTree::InsertEncodedAt(
   }
   DISC_DCHECK(n->key.Empty() || !n->ekey.empty());  // no mixed-mode trees
   std::uint32_t lcp = 0;
-  const int cmp =
-      EncodedCompareFrom(ekey->data(), ekey->size(), n->ekey.data(),
-                         n->ekey.size(), std::min(llcp, hlcp), &lcp);
+  const int cmp = SimdCompareFrom(ekey->data(), ekey->size(), n->ekey.data(),
+                                  n->ekey.size(), std::min(llcp, hlcp), &lcp);
   if (cmp == 0) {
     n->bucket.push_back(handle);
     ++n->count;
@@ -227,7 +227,7 @@ void LocativeAvlTree::PopAllLess(const Sequence& bound,
   }
   while (root_ != nullptr) {
     const Node* min = MinNode(root_);
-    if (EncodedCompare(min->ekey, *ebound) >= 0) break;
+    if (SimdCompare(min->ekey, *ebound) >= 0) break;
     PopMinBucket(out);
   }
 }

@@ -25,8 +25,9 @@
 #include "disc/seq/extension.h"    // IWYU pragma: export
 #include "disc/seq/index.h"        // IWYU pragma: export
 
-// The comparative order.
+// The comparative order (and the SIMD tier knobs for its scan kernels).
 #include "disc/order/compare.h"  // IWYU pragma: export
+#include "disc/order/simd.h"     // IWYU pragma: export
 
 // Mining algorithms and results.
 #include "disc/algo/miner.h"        // IWYU pragma: export

@@ -4,6 +4,7 @@
 
 #include "disc/common/check.h"
 #include "disc/obs/metrics.h"
+#include "disc/order/simd.h"
 
 namespace disc {
 namespace {
@@ -21,6 +22,7 @@ void ItemEncoder::NoteItem(Item x) {
   DISC_DCHECK(!finalized_);
   if (x >= codes_.size()) codes_.resize(x + 1, 0);
   codes_[x] = 1;  // presence mark; Finalize turns marks into dense codes
+  if (x > max_noted_) max_noted_ = x;
 }
 
 void ItemEncoder::Finalize() {
@@ -70,13 +72,16 @@ void EncodedList::Build(const std::vector<Sequence>& list,
     }
     std::uint32_t lcp = 0;
     const int cmp =
-        EncodedCompareFrom(WordsBegin(i - 1), NumWords(i - 1), WordsBegin(i),
-                           NumWords(i), 0, &lcp);
+        SimdCompareFrom(WordsBegin(i - 1), NumWords(i - 1), WordsBegin(i),
+                        NumWords(i), 0, &lcp);
     DISC_DCHECK(cmp < 0);  // the list must be strictly ascending
     (void)cmp;
     lcp_with_prev_.push_back(lcp);
   }
   DISC_OBS_ADD(g_encoded_words, words_.size());
+  // Real zero words (not capacity slack): a full-vector load at any
+  // in-range offset stays inside the allocation. See kEncodedPadWords.
+  words_.insert(words_.end(), kEncodedPadWords, 0);
 }
 
 }  // namespace disc

@@ -51,12 +51,25 @@ namespace disc {
 /// One encoded flattened position: (dense item code << 1) | boundary bit.
 using EncodedWord = std::uint32_t;
 
+/// Zero words appended after the last entry of every EncodedList flat
+/// buffer: one full AVX2 block, so a whole-vector load issued at any
+/// in-range word offset ends inside the allocation. The SIMD kernels
+/// (order/simd.h) are tail-safe and never rely on it, but the pad keeps
+/// full-block loads legal if a kernel ever drops its scalar tail.
+inline constexpr std::size_t kEncodedPadWords = 8;
+
 /// Monotone dense item remap for one partition / discovery pass. Mark the
 /// item universe with NoteItem/NoteItems, then Finalize() to assign codes
 /// 1..m in ascending item order. Encoding a sequence containing an unnoted
 /// item is a programming error (DCHECKed).
 class ItemEncoder {
  public:
+  ItemEncoder() = default;
+  /// Pre-sizes the item->code table for items up to `max_item` (the
+  /// database aggregate), so NoteItem never regrows it. Items beyond the
+  /// hint still work — NoteItem falls back to resizing.
+  explicit ItemEncoder(Item max_item) { codes_.resize(max_item + 1, 0); }
+
   /// Marks every item of `s` as present.
   void NoteItems(SequenceView s);
   void NoteItem(Item x);
@@ -73,11 +86,16 @@ class ItemEncoder {
 
   /// Number of distinct items encoded.
   std::uint32_t num_codes() const { return num_codes_; }
+  /// Largest item ever noted (0 when nothing was noted) — the partition's
+  /// local alphabet bound, used to pre-size per-pass counting structures
+  /// below the database-wide worst case.
+  Item max_noted() const { return max_noted_; }
   bool finalized() const { return finalized_; }
 
  private:
   std::vector<std::uint32_t> codes_;  // item -> 1-based dense code; 0 absent
   std::uint32_t num_codes_ = 0;
+  Item max_noted_ = 0;
   bool finalized_ = false;
 };
 

@@ -1,0 +1,192 @@
+#include "disc/order/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DISC_SIMD_X86 1
+#else
+#define DISC_SIMD_X86 0
+#endif
+
+namespace disc {
+namespace simd_internal {
+namespace {
+
+std::uint32_t MismatchResolve(const EncodedWord* a, const EncodedWord* b,
+                              std::uint32_t n, std::uint32_t from);
+
+}  // namespace
+
+std::uint32_t MismatchScalar(const EncodedWord* a, const EncodedWord* b,
+                             std::uint32_t n, std::uint32_t from) {
+  std::uint32_t i = from;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+// The trampoline makes "selected once at startup" robust against static
+// initialization order: the first caller — whoever it is — resolves the
+// tier and installs the real kernel; later calls are one relaxed load.
+std::atomic<MismatchFn> g_mismatch{&MismatchResolve};
+
+namespace {
+
+#if DISC_SIMD_X86
+
+// 4 words per 128-bit block. _mm_cmpeq_epi32 yields all-ones lanes for
+// equal words; movemask packs one bit per BYTE, so a fully-equal block is
+// 0xFFFF and the first differing word is ctz(~mask) / 4.
+__attribute__((target("sse2"))) std::uint32_t MismatchSse2(
+    const EncodedWord* a, const EncodedWord* b, std::uint32_t n,
+    std::uint32_t from) {
+  std::uint32_t i = from;
+  while (i + 4 <= n) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi32(va, vb));
+    if (mask != 0xFFFF) {
+      return i + (static_cast<std::uint32_t>(
+                      __builtin_ctz(static_cast<unsigned>(~mask))) >>
+                  2);
+    }
+    i += 4;
+  }
+  while (i < n && a[i] == b[i]) ++i;  // tail: never read past n
+  return i;
+}
+
+// 8 words per 256-bit block. Compiled with a per-function target attribute
+// so the translation unit itself stays buildable without -mavx2; the
+// dispatcher only installs this kernel when the CPU reports AVX2.
+__attribute__((target("avx2"))) std::uint32_t MismatchAvx2(
+    const EncodedWord* a, const EncodedWord* b, std::uint32_t n,
+    std::uint32_t from) {
+  std::uint32_t i = from;
+  while (i + 8 <= n) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const int mask = _mm256_movemask_epi8(_mm256_cmpeq_epi32(va, vb));
+    if (mask != -1) {
+      return i + (static_cast<std::uint32_t>(
+                      __builtin_ctz(static_cast<unsigned>(~mask))) >>
+                  2);
+    }
+    i += 8;
+  }
+  while (i + 4 <= n) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi32(va, vb));
+    if (mask != 0xFFFF) {
+      return i + (static_cast<std::uint32_t>(
+                      __builtin_ctz(static_cast<unsigned>(~mask))) >>
+                  2);
+    }
+    i += 4;
+  }
+  while (i < n && a[i] == b[i]) ++i;  // tail: never read past n
+  return i;
+}
+
+#endif  // DISC_SIMD_X86
+
+MismatchFn KernelFor(SimdTier tier) {
+  switch (tier) {
+#if DISC_SIMD_X86
+    case SimdTier::kSse2:
+      return &MismatchSse2;
+    case SimdTier::kAvx2:
+      return &MismatchAvx2;
+#endif
+    default:
+      return &MismatchScalar;
+  }
+}
+
+SimdTier g_active_tier = SimdTier::kScalar;
+
+// Probes DISC_SIMD and the CPU, installs the kernel, forwards the call.
+// Concurrent first calls race benignly: every thread resolves to the same
+// answer (the env and CPUID are stable) and installs the same pointer.
+std::uint32_t MismatchResolve(const EncodedWord* a, const EncodedWord* b,
+                              std::uint32_t n, std::uint32_t from) {
+  const char* env = std::getenv("DISC_SIMD");
+  const std::string spec = env != nullptr ? env : "auto";
+  if (!ConfigureSimd(spec)) {
+    std::fprintf(stderr,
+                 "disc: DISC_SIMD=%s is invalid or unsupported; using %s\n",
+                 spec.c_str(), SimdTierName(BestSimdTier()));
+    SetSimdTier(BestSimdTier());
+  }
+  return g_mismatch.load(std::memory_order_relaxed)(a, b, n, from);
+}
+
+}  // namespace
+}  // namespace simd_internal
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+SimdTier BestSimdTier() {
+#if DISC_SIMD_X86
+  static const SimdTier best = [] {
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return SimdTier::kSse2;
+    return SimdTier::kScalar;
+  }();
+  return best;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+SimdTier ActiveSimdTier() {
+  // Touch the dispatcher so a pre-resolution query reports the tier that
+  // will actually run (n == from == 0 is a no-op for every kernel).
+  EncodedMismatch(nullptr, nullptr, 0, 0);
+  return simd_internal::g_active_tier;
+}
+
+bool SetSimdTier(SimdTier tier) {
+  if (static_cast<int>(tier) > static_cast<int>(BestSimdTier())) return false;
+  simd_internal::g_active_tier = tier;
+  simd_internal::g_mismatch.store(simd_internal::KernelFor(tier),
+                                  std::memory_order_relaxed);
+  return true;
+}
+
+bool ParseSimdTier(const std::string& spec, SimdTier* out) {
+  if (spec == "off" || spec == "scalar") {
+    *out = SimdTier::kScalar;
+  } else if (spec == "sse2") {
+    *out = SimdTier::kSse2;
+  } else if (spec == "avx2") {
+    *out = SimdTier::kAvx2;
+  } else if (spec == "auto" || spec.empty()) {
+    *out = BestSimdTier();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ConfigureSimd(const std::string& spec) {
+  SimdTier tier = SimdTier::kScalar;
+  if (!ParseSimdTier(spec, &tier)) return false;
+  return SetSimdTier(tier);
+}
+
+}  // namespace disc

@@ -1,0 +1,118 @@
+// Vectorized mismatch-scan kernels for the encoded comparative order.
+//
+// The innermost loop of every encoded-order consumer (locative-AVL descent,
+// Apriori-CKMS walk, EncodedList construction) is "find the first word where
+// two EncodedWord streams differ". A word is 4 bytes, so SSE2 compares 4
+// words per 128-bit load and AVX2 compares 8 per 256-bit load:
+//
+//   load 4/8 words from each stream -> _mm*_cmpeq_epi32 -> movemask ->
+//   first zero bit (ctz of the complement) names the mismatching word.
+//
+// Dispatch is resolved ONCE, on the first call: a resolver trampoline probes
+// the CPU (__builtin_cpu_supports) and the DISC_SIMD environment variable
+// (off|scalar|sse2|avx2|auto), installs the chosen kernel into an atomic
+// function pointer, and forwards. Benchmarks and the CLI can override the
+// tier afterwards with SetSimdTier (the --simd flag) for ablation; every
+// tier must produce bit-identical results — tests/simd_test.cc fuzzes the
+// agreement and tools/check_simd.sh gates the end-to-end pattern output.
+//
+// Tail safety: the kernels only issue full-vector loads for complete 4/8
+// word blocks inside min(na, nb) and finish the remainder with the scalar
+// loop, so they NEVER read past either buffer — a hard requirement under
+// ASan with libstdc++ container annotations, where touching a vector's
+// size..capacity slack is an error. EncodedList additionally zero-pads its
+// flat word buffer by kEncodedPadWords (see encoded.h) so a full-vector
+// load at any in-range offset stays inside the allocation even if a future
+// kernel drops the tail loop.
+#ifndef DISC_ORDER_SIMD_H_
+#define DISC_ORDER_SIMD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disc/order/encoded.h"
+
+namespace disc {
+
+/// Dispatch tiers, widest last. kScalar is the portable fallback (identical
+/// to the inline EncodedCompareFrom loop) and the reference the SIMD tiers
+/// are fuzzed against.
+enum class SimdTier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Human-readable tier name ("scalar", "sse2", "avx2").
+const char* SimdTierName(SimdTier tier);
+
+/// Widest tier this CPU supports (probed once, cached).
+SimdTier BestSimdTier();
+
+/// Tier the next EncodedMismatch call will use. Forces resolution if the
+/// dispatcher has not run yet.
+SimdTier ActiveSimdTier();
+
+/// Forces the dispatch tier (ablation/benchmark hook; also how the --simd
+/// flag is applied). Returns false — and leaves the dispatch unchanged —
+/// when the CPU does not support `tier`.
+bool SetSimdTier(SimdTier tier);
+
+/// Parses a tier spec: "off"/"scalar" -> kScalar, "sse2", "avx2", and
+/// "auto"/"" -> BestSimdTier(). Returns false on anything else.
+bool ParseSimdTier(const std::string& spec, SimdTier* out);
+
+/// Applies the DISC_SIMD environment variable / --simd flag value. Invalid
+/// specs and unsupported tiers return false without changing the dispatch.
+bool ConfigureSimd(const std::string& spec);
+
+namespace simd_internal {
+
+/// Index of the first i in [from, n) with a[i] != b[i], or n when the
+/// ranges agree. Pointer arguments may be null when n == from.
+using MismatchFn = std::uint32_t (*)(const EncodedWord* a,
+                                     const EncodedWord* b, std::uint32_t n,
+                                     std::uint32_t from);
+
+extern std::atomic<MismatchFn> g_mismatch;
+
+std::uint32_t MismatchScalar(const EncodedWord* a, const EncodedWord* b,
+                             std::uint32_t n, std::uint32_t from);
+
+}  // namespace simd_internal
+
+/// First mismatching word index in [from, min(na... )) — the dispatched
+/// kernel behind SimdCompareFrom. Exposed for the lcp microbenchmark.
+inline std::uint32_t EncodedMismatch(const EncodedWord* a,
+                                     const EncodedWord* b, std::uint32_t n,
+                                     std::uint32_t from) {
+  return simd_internal::g_mismatch.load(std::memory_order_relaxed)(a, b, n,
+                                                                   from);
+}
+
+/// Drop-in vectorized replacement for EncodedCompareFrom: same contract
+/// (three-way result, shorter-prefix-first tiebreak, *lcp_out gets the
+/// common-prefix length), same results on every tier.
+inline int SimdCompareFrom(const EncodedWord* a, std::size_t na,
+                           const EncodedWord* b, std::size_t nb,
+                           std::uint32_t from, std::uint32_t* lcp_out) {
+  const std::uint32_t n = static_cast<std::uint32_t>(na < nb ? na : nb);
+  const std::uint32_t i = EncodedMismatch(a, b, n, from);
+  if (lcp_out != nullptr) *lcp_out = i;
+  if (i < n) return a[i] < b[i] ? -1 : 1;
+  if (na == nb) return 0;
+  return na < nb ? -1 : 1;
+}
+
+/// Full comparison from word 0 (vector overload mirrors EncodedCompare).
+inline int SimdCompare(const EncodedWord* a, std::size_t na,
+                       const EncodedWord* b, std::size_t nb) {
+  return SimdCompareFrom(a, na, b, nb, 0, nullptr);
+}
+inline int SimdCompare(const std::vector<EncodedWord>& a,
+                       const std::vector<EncodedWord>& b) {
+  return SimdCompare(a.data(), a.size(), b.data(), b.size());
+}
+
+}  // namespace disc
+
+#endif  // DISC_ORDER_SIMD_H_

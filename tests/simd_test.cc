@@ -1,0 +1,164 @@
+// Fuzz tests pinning the SIMD mismatch-scan kernels (order/simd.h) to the
+// scalar reference: every supported tier must return the identical
+// three-way sign AND the identical LCP as EncodedCompareFrom for every
+// stream length 0..130 (crossing the 4-word SSE2 and 8-word AVX2 block
+// boundaries many times), every buffer alignment (the kernels take raw
+// pointers, so sub-word-block starting addresses exercise the unaligned
+// loads), and every `from` offset (the head-skip path). A mining test then
+// closes the loop end to end: DiscAll patterns must be byte-identical
+// across tier x thread count x bound-pruning, because the tier is a pure
+// speed knob.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "disc/common/rng.h"
+#include "disc/core/disc_all.h"
+#include "disc/gen/quest.h"
+#include "disc/order/encoded.h"
+#include "disc/order/simd.h"
+
+namespace disc {
+namespace {
+
+int Sign(int v) { return (v > 0) - (v < 0); }
+
+// Tiers this machine can actually run (scalar always; wider tiers only
+// when SetSimdTier accepts them).
+std::vector<SimdTier> SupportedTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  for (const SimdTier t : {SimdTier::kSse2, SimdTier::kAvx2}) {
+    if (SetSimdTier(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// Restores the default dispatch when a test body returns, so a failing
+// ASSERT cannot leak a forced tier into later tests.
+struct TierGuard {
+  ~TierGuard() { SetSimdTier(BestSimdTier()); }
+};
+
+TEST(SimdKernel, MatchesScalarForAllLengthsAlignmentsAndOffsets) {
+  TierGuard guard;
+  Rng rng(0x51D0F00Dull);
+  constexpr std::uint32_t kMaxLen = 130;  // crosses many 4/8-word blocks
+  constexpr std::uint32_t kAlignSlots = 8;
+  // One backing allocation per side with every alignment's slack up front;
+  // the kernels see a[align..align+n), so each align value shifts the
+  // starting address by one word within a vector block.
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTier(tier)) << SimdTierName(tier);
+    ASSERT_EQ(ActiveSimdTier(), tier);
+    for (std::uint32_t n = 0; n <= kMaxLen; ++n) {
+      for (std::uint32_t align = 0; align < kAlignSlots; ++align) {
+        std::vector<EncodedWord> buf_a(align + n), buf_b(align + n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          // Word values with the realistic shape (code << 1) | boundary.
+          buf_a[align + i] = static_cast<EncodedWord>(
+              (rng.NextBounded(1000) + 1) << 1 | rng.NextBounded(2));
+          buf_b[align + i] = buf_a[align + i];
+        }
+        // Half the trials diverge at a random position; half stay equal so
+        // the "ranges agree" return (== n) is exercised at every length.
+        std::uint32_t mismatch_at = n;
+        if (n > 0 && rng.NextBounded(2) == 0) {
+          mismatch_at = static_cast<std::uint32_t>(rng.NextBounded(n));
+          buf_b[align + mismatch_at] ^= 2u;  // flip a code bit
+        }
+        const EncodedWord* a = buf_a.data() + align;
+        const EncodedWord* b = buf_b.data() + align;
+        // Different logical lengths hit the shorter-prefix-first tiebreak.
+        const std::uint32_t na = n;
+        const std::uint32_t nb =
+            n > 0 && rng.NextBounded(4) == 0
+                ? static_cast<std::uint32_t>(rng.NextBounded(n))
+                : n;
+        for (std::uint32_t from = 0; from <= std::min(na, nb); ++from) {
+          // The caller contract says words before `from` are equal; only
+          // valid offsets are fed.
+          if (from > mismatch_at && mismatch_at < std::min(na, nb)) break;
+          std::uint32_t lcp_scalar = 0, lcp_simd = 0;
+          const int ref = EncodedCompareFrom(a, na, b, nb, from, &lcp_scalar);
+          const int got = SimdCompareFrom(a, na, b, nb, from, &lcp_simd);
+          ASSERT_EQ(Sign(ref), Sign(got))
+              << SimdTierName(tier) << " n=" << n << " align=" << align
+              << " from=" << from << " nb=" << nb;
+          ASSERT_EQ(lcp_scalar, lcp_simd)
+              << SimdTierName(tier) << " n=" << n << " align=" << align
+              << " from=" << from << " nb=" << nb;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, MismatchNeverScansPastTheShorterRange) {
+  TierGuard guard;
+  // Directed boundary cases around every vector block edge: equal ranges
+  // must report exactly n, and a mismatch planted at the last word must be
+  // found, for n on both sides of the 4- and 8-word block sizes.
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTier(tier)) << SimdTierName(tier);
+    for (const std::uint32_t n :
+         {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u}) {
+      std::vector<EncodedWord> a(n, 42u << 1), b(a);
+      EXPECT_EQ(EncodedMismatch(a.data(), b.data(), n, 0), n)
+          << SimdTierName(tier) << " n=" << n;
+      if (n == 0) continue;
+      b[n - 1] ^= 2u;
+      EXPECT_EQ(EncodedMismatch(a.data(), b.data(), n, 0), n - 1)
+          << SimdTierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernel, ParseAndConfigureSpecs) {
+  TierGuard guard;
+  SimdTier tier;
+  EXPECT_TRUE(ParseSimdTier("off", &tier));
+  EXPECT_EQ(tier, SimdTier::kScalar);
+  EXPECT_TRUE(ParseSimdTier("scalar", &tier));
+  EXPECT_EQ(tier, SimdTier::kScalar);
+  EXPECT_TRUE(ParseSimdTier("auto", &tier));
+  EXPECT_EQ(tier, BestSimdTier());
+  EXPECT_TRUE(ParseSimdTier("", &tier));
+  EXPECT_EQ(tier, BestSimdTier());
+  EXPECT_FALSE(ParseSimdTier("avx512", &tier));
+  EXPECT_FALSE(ConfigureSimd("bogus"));
+  EXPECT_TRUE(ConfigureSimd("off"));
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+}
+
+TEST(SimdMining, PatternsIdenticalAcrossTierThreadsAndBound) {
+  TierGuard guard;
+  QuestParams params;
+  params.ncust = 150;
+  params.seed = 7;
+  const SequenceDatabase db = GenerateQuestDatabase(params);
+  MineOptions options;
+  options.min_support_count = MineOptions::CountForFraction(db.size(), 0.03);
+
+  std::string reference;
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTier(tier)) << SimdTierName(tier);
+    for (const int threads : {1, 4}) {
+      for (const bool bound : {false, true}) {
+        DiscAll::Config cfg;
+        cfg.bound_pruning = bound;
+        options.threads = threads;
+        const std::string got = DiscAll(cfg).Mine(db, options).ToString();
+        if (reference.empty()) reference = got;
+        ASSERT_EQ(got, reference)
+            << SimdTierName(tier) << " threads=" << threads
+            << " bound=" << bound;
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+}  // namespace
+}  // namespace disc

@@ -18,6 +18,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   view_arena_test parse_io_test sequence_test index_test \
   disc_all_test parallel_determinism_test status_test failpoint_test \
   encoded_order_test order_property_test ksorted_test \
+  simd_test candidate_bound_test \
   bench_parallel seqmine
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -33,6 +34,11 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 "$BUILD_DIR/tests/encoded_order_test"
 "$BUILD_DIR/tests/order_property_test"
 "$BUILD_DIR/tests/ksorted_test"
+# The SIMD fuzz test's every-alignment sub-slices are exactly where an
+# over-reading vector load would trip ASan's container annotations; the
+# bound test pins skip-path byte-identity under sanitizers too.
+"$BUILD_DIR/tests/simd_test"
+"$BUILD_DIR/tests/candidate_bound_test"
 # A tiny end-to-end parallel mine through the bench driver (exercises the
 # per-worker scratch arenas under real partition scheduling).
 "$BUILD_DIR/bench/bench_parallel" --ncust=200 --minsup=0.05 \

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# SIMD determinism gate: the mismatch-scan kernel tier (order/simd.h) is a
+# pure speed knob, so the mined PatternSet must be byte-identical with SIMD
+# forced off and at the best tier this machine supports — per algorithm
+# (disc-all and dynamic-disc-all both sit on the encoded order) and per
+# thread count (1 and 4; the parallel scheduler reuses the same kernels
+# from worker scratch state). Runs over the committed golden-corpus
+# datasets at their golden support thresholds, driving seqmine's --simd
+# flag (same values as DISC_SIMD; docs/BENCHMARKS.md).
+#
+#   $ tools/check_simd.sh [path/to/seqmine]   # default: build/examples/seqmine
+set -euo pipefail
+
+SEQMINE="${1:-}"
+cd "$(dirname "$0")/.."
+
+if [[ -z "$SEQMINE" ]]; then
+  SEQMINE=build/examples/seqmine
+  if [[ ! -x "$SEQMINE" ]]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target seqmine >/dev/null
+  fi
+fi
+if [[ ! -x "$SEQMINE" ]]; then
+  echo "check_simd.sh: no seqmine binary at $SEQMINE" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/disc_simd.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# dataset:delta pairs match the golden files' thresholds
+# (tests/data/quest_*.delta*.golden.spmf).
+CASES=(quest_tiny:4 quest_mid:6 quest_dense:8)
+
+failures=0
+for case in "${CASES[@]}"; do
+  data="tests/data/${case%%:*}.spmf"
+  delta="${case##*:}"
+  for algo in disc-all dynamic-disc-all; do
+    for threads in 1 4; do
+      off="$WORK/${case%%:*}.$algo.t$threads.off"
+      best="$WORK/${case%%:*}.$algo.t$threads.best"
+      "$SEQMINE" "$data" --algo="$algo" --delta="$delta" \
+        --threads="$threads" --simd=off --quiet >"$off"
+      "$SEQMINE" "$data" --algo="$algo" --delta="$delta" \
+        --threads="$threads" --simd=auto --quiet >"$best"
+      if ! cmp -s "$off" "$best"; then
+        echo "check_simd.sh: PATTERN MISMATCH off vs auto:" \
+             "$data $algo threads=$threads" >&2
+        failures=$((failures + 1))
+      fi
+    done
+  done
+done
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "check_simd.sh: $failures mismatching run(s)" >&2
+  exit 1
+fi
+echo "simd gate: ok (off == auto for ${#CASES[@]} datasets x 2 algorithms x 2 thread counts)"
