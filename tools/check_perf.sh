@@ -11,9 +11,11 @@
 #   mine         : 1.15x (DISC_PERF_FLOOR_MINE)  encoded+SIMD+bound vs legacy
 #
 # Override the env knobs for noisy machines. A failing full run is retried
-# once before the gate reports failure: end-to-end mining ratios wobble a
-# few percent across processes (ASLR / code-layout effects), and a retry
-# only masks flakes — a real regression fails both runs.
+# up to twice before the gate reports failure: end-to-end mining ratios
+# wobble a few percent across processes (ASLR / code-layout effects, bursty
+# co-tenant load), and retries only mask flakes — a real regression fails
+# every attempt. DISC_PERF_REPS (default 7) sets the interleaved
+# best-of-N reps per side; raise it on very noisy machines.
 #
 #   $ tools/check_perf.sh                    # full run, gate vs baseline
 #   $ tools/check_perf.sh --smoke            # tiny workload, no gating
@@ -80,13 +82,14 @@ if [[ "$SMOKE" == 1 ]]; then
   exit 0
 fi
 
-# Full workloads, 5 interleaved reps per side for a stable best-of ratio.
+# Full workloads, interleaved best-of-N reps per side for a stable ratio.
 # The --min-*-speedup flags are the absolute floors: the binary itself
 # exits non-zero when a gated kernel drops below its floor (or when an
 # optimized mining run stops being byte-identical to its baseline twin).
 FLOOR="${DISC_PERF_FLOOR:-1.3}"
 FLOOR_LCP="${DISC_PERF_FLOOR_LCP:-1.5}"
 FLOOR_MINE="${DISC_PERF_FLOOR_MINE:-1.15}"
+REPS="${DISC_PERF_REPS:-7}"
 
 if [[ "$UPDATE" == 1 ]]; then
   # The baseline file commits alongside the code it measures; refreshing it
@@ -100,21 +103,29 @@ if [[ "$UPDATE" == 1 ]]; then
   fi
   # A refresh skips the floors so a noisy run cannot block it — eyeball the
   # refreshed speedups instead (docs/BENCHMARKS.md).
-  "$BIN" --reps=5 --json-out="$OUT"
+  "$BIN" --reps="$REPS" --json-out="$OUT"
   cp "$OUT" "$BASELINE"
   echo "check_perf.sh: baseline refreshed: $BASELINE"
   exit 0
 fi
 
 full_run() {
-  "$BIN" --reps=5 --min-speedup="$FLOOR" --min-lcp-speedup="$FLOOR_LCP" \
-    --min-mine-speedup="$FLOOR_MINE" --json-out="$OUT"
+  "$BIN" --reps="$REPS" --min-speedup="$FLOOR" \
+    --min-lcp-speedup="$FLOOR_LCP" --min-mine-speedup="$FLOOR_MINE" \
+    --json-out="$OUT"
 }
-if ! full_run; then
-  echo "check_perf.sh: full run failed once; retrying (cross-process" \
-       "layout noise — a real regression fails twice)" >&2
-  full_run
-fi
+attempt=1
+until full_run; do
+  if [[ "$attempt" -ge 3 ]]; then
+    echo "check_perf.sh: full run failed $attempt times — treating as a" \
+         "real regression, not noise" >&2
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+  echo "check_perf.sh: full run failed (attempt $((attempt - 1))); retrying" \
+       "(cross-process layout/load noise — a real regression fails every" \
+       "attempt)" >&2
+done
 
 if [[ ! -f "$BASELINE" ]]; then
   echo "check_perf.sh: no baseline at $BASELINE; run tools/check_perf.sh --update" >&2
