@@ -19,6 +19,10 @@ using namespace disc;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  if (PrintBenchUsage(flags, "bench_fig8_dbsize",
+                      "[--sizes=N,N,...] [--minsup=F] [--seed=N] [--full]")) {
+    return 0;
+  }
   const bool full = flags.GetBool("full", false);
   std::vector<std::uint32_t> sizes =
       full ? std::vector<std::uint32_t>{50000, 100000, 200000, 300000,

@@ -123,6 +123,10 @@ void AddWordsPerSec(obs::MineStats* stats, double words) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  if (PrintBenchUsage(flags, "bench_kernels",
+                      "[--kernel=NAME|all] [--only=legacy|encoded] [--pairs=N]\n                     [--reps=N] [--ncust=N] [--ncust-dense=N] [--minsup=F]\n                     [--minsup-dense=F] [--simd=off|sse2|avx2|auto]\n                     [--min-speedup=F] [--min-lcp-speedup=F]\n                     [--min-mine-speedup=F] [--seed=N]")) {
+    return 0;
+  }
   const std::uint32_t ncust =
       static_cast<std::uint32_t>(flags.GetInt("ncust", 2000));
   const double minsup = flags.GetDouble("minsup", 0.008);

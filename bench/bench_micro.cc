@@ -330,8 +330,16 @@ int RunAllocCompare(const Flags& flags) {
 }  // namespace disc
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  // --help before benchmark::Initialize, which would otherwise claim it
+  // and print google-benchmark's own usage.
   const disc::Flags flags = disc::Flags::Parse(argc, argv);
+  if (disc::PrintBenchUsage(flags, "bench_micro",
+                            "[--ncust=N] [--minsup=F] [--seed=N] "
+                            "[--alloc-compare]\n                   "
+                            "[--validate]")) {
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
   if (flags.GetBool("alloc-compare", false)) {
     return disc::RunAllocCompare(flags);
   }

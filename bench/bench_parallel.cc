@@ -41,6 +41,10 @@ std::vector<std::uint32_t> ParseThreadsList(const std::string& spec) {
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  if (PrintBenchUsage(flags, "bench_parallel",
+                      "[--ncust=N] [--minsup=F] [--threads-list=1,2,4] [--seed=N]")) {
+    return 0;
+  }
   const std::uint32_t ncust =
       static_cast<std::uint32_t>(flags.GetInt("ncust", 10000));
   const double minsup = flags.GetDouble("minsup", 0.01);

@@ -22,6 +22,10 @@ using namespace disc;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  if (PrintBenchUsage(flags, "bench_table12_nrr",
+                      "[--ncust=N] [--seed=N] [--full]")) {
+    return 0;
+  }
   const bool full = flags.GetBool("full", false);
   const std::uint32_t ncust = static_cast<std::uint32_t>(
       flags.GetInt("ncust", full ? 10000 : 1000));

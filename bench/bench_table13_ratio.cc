@@ -15,6 +15,10 @@ using namespace disc;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  if (PrintBenchUsage(flags, "bench_table13_ratio",
+                      "[--ncust=N] [--seed=N] [--full]")) {
+    return 0;
+  }
   const bool full = flags.GetBool("full", false);
   const std::uint32_t ncust = static_cast<std::uint32_t>(
       flags.GetInt("ncust", full ? 10000 : 1000));

@@ -1,6 +1,8 @@
 // seqmine — the command-line face of the library: mine an SPMF sequence
 // database with any of the seven algorithms, write SPMF-format patterns,
-// and report summary statistics.
+// and report summary statistics. A thin client of the engine layer
+// (engine/engine.h): load and mine go through an Engine, the same path
+// the seqmined server and the bench drivers drive.
 //
 //   $ ./seqmine input.spmf [--algo=disc-all] [--minsup=0.01 | --delta=25]
 //               [--max-length=N] [--threads=N] [--top-k=K] [--maximal]
@@ -10,6 +12,7 @@
 //               [--progress] [--progress-period-ms=N]
 //               [--metrics-out=m.prom] [--events-out=e.jsonl]
 //               [--simd=off|sse2|avx2|auto]
+//   $ ./seqmine --serve [input.spmf] [--permissive] [--serve-threads=N]
 //
 // --stats prints the per-run work counters, --trace-out writes a
 // chrome://tracing span file, --json-out a machine-readable report.
@@ -25,11 +28,17 @@
 // variable; the flag wins — see docs/BENCHMARKS.md); the mined patterns
 // are byte-identical at every tier.
 //
+// --serve enters the seqmined line protocol on stdin/stdout (docs/
+// SERVER.md) — identical to running the seqmined binary — optionally
+// preloading a database first; --serve-threads sizes the engine's session
+// pool (concurrent queries, not per-mine parallelism).
+//
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 2 usage error, 3 data or
 // internal error, 4 stopped by deadline/cancellation (partial result
 // written).
 //
 // Uses the umbrella header, exercising the full public API.
+#include <iostream>
 #include <cstdio>
 
 #include "disc/disc.h"
@@ -55,6 +64,8 @@ int Usage() {
       "               [--progress] [--progress-period-ms=N]\n"
       "               [--metrics-out=FILE] [--events-out=FILE]\n"
       "               [--simd=off|sse2|avx2|auto]\n"
+      "       seqmine --serve [input.spmf] [--permissive]\n"
+      "               [--serve-threads=N]\n"
       "algorithms:");
   for (const std::string& name : disc::AllMinerNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -63,11 +74,43 @@ int Usage() {
   return kExitUsage;
 }
 
+// The seqmined line protocol on stdin/stdout (--serve).
+int Serve(const disc::Flags& flags) {
+  if (flags.positional().size() > 1) return Usage();
+  const long long serve_threads = flags.GetInt("serve-threads", 2);
+  if (serve_threads < 0) {
+    std::fprintf(stderr, "seqmine: --serve-threads must be >= 0\n");
+    return kExitUsage;
+  }
+  disc::engine::Engine::Config config;
+  config.session_threads = static_cast<std::uint32_t>(serve_threads);
+  disc::engine::Engine engine(config);
+  if (!flags.positional().empty()) {
+    auto info = engine.LoadSpmf(flags.positional()[0],
+                                flags.GetBool("permissive", false)
+                                    ? disc::ParseOptions::Permissive()
+                                    : disc::ParseOptions::Strict());
+    if (!info.ok()) {
+      std::fprintf(stderr, "seqmine: %s\n", info.status().message().c_str());
+      return kExitDataError;
+    }
+    std::fprintf(stderr, "seqmine: preloaded %zu sequences from %s\n",
+                 info->sequences, flags.positional()[0].c_str());
+  }
+  disc::server::Server server(&engine, std::cin, std::cout);
+  return server.Run();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const disc::Flags flags = disc::Flags::Parse(argc, argv);
-  if (flags.positional().empty()) return Usage();
+  if (flags.GetBool("help", false)) {
+    Usage();
+    return kExitOk;  // asked-for usage is a success, not a usage error
+  }
+  const bool serve = flags.GetBool("serve", false);
+  if (flags.positional().empty() && !serve) return Usage();
 
   if (flags.Has("simd") &&
       !disc::ConfigureSimd(flags.GetString("simd", "auto"))) {
@@ -89,88 +132,97 @@ int main(int argc, char** argv) {
     }
   }
 
-  disc::MineOptions options;
+  if (serve) return Serve(flags);
+
+  disc::engine::MineRequest request;
   if (flags.Has("delta")) {
     const long long delta = flags.GetInt("delta", 2);
     if (delta < 1) {
       std::fprintf(stderr, "seqmine: --delta must be >= 1\n");
       return kExitUsage;
     }
-    options.min_support_count = static_cast<std::uint32_t>(delta);
-  }
-  const double minsup = flags.GetDouble("minsup", 0.01);
-  if (minsup <= 0.0 || minsup > 1.0) {
-    std::fprintf(stderr, "seqmine: --minsup must be in (0, 1]\n");
-    return kExitUsage;
+    request.options.min_support_count = static_cast<std::uint32_t>(delta);
+  } else {
+    request.min_support = flags.GetDouble("minsup", 0.01);
+    if (request.min_support <= 0.0 || request.min_support > 1.0) {
+      std::fprintf(stderr, "seqmine: --minsup must be in (0, 1]\n");
+      return kExitUsage;
+    }
   }
   const long long deadline_ms = flags.GetInt("deadline-ms", 0);
   if (deadline_ms < 0) {
     std::fprintf(stderr, "seqmine: --deadline-ms must be >= 0\n");
     return kExitUsage;
   }
-  options.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+  request.options.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
 
-  const std::string algo = flags.GetString("algo", "disc-all");
-  auto miner_or = disc::TryCreateMiner(algo);
-  if (!miner_or.ok()) {
-    std::fprintf(stderr, "seqmine: %s\n", miner_or.status().message().c_str());
+  request.algo = flags.GetString("algo", "disc-all");
+  if (auto check = disc::TryCreateMiner(request.algo); !check.ok()) {
+    std::fprintf(stderr, "seqmine: %s\n", check.status().message().c_str());
     return kExitUsage;
   }
-  const std::unique_ptr<disc::Miner> miner = std::move(*miner_or);
+
+  // One-shot client: a single query gains nothing from the first-level
+  // cache (it would pay the alphabet build to use it once), and mining
+  // happens on the calling session's worker.
+  disc::engine::Engine::Config config;
+  config.session_threads = 1;
+  config.enable_cache = false;
+  disc::engine::Engine engine(config);
 
   disc::ObsSession obs("seqmine", flags);
   disc::Timer total;
-  disc::ParseOptions parse_options = flags.GetBool("permissive", false)
-                                         ? disc::ParseOptions::Permissive()
-                                         : disc::ParseOptions::Strict();
-  disc::ParseReport parse_report;
-  auto db_or =
-      disc::TryLoadSpmf(flags.positional()[0], parse_options, &parse_report);
-  if (!db_or.ok()) {
-    std::fprintf(stderr, "seqmine: %s\n", db_or.status().message().c_str());
+  auto load = engine.LoadSpmf(flags.positional()[0],
+                              flags.GetBool("permissive", false)
+                                  ? disc::ParseOptions::Permissive()
+                                  : disc::ParseOptions::Strict());
+  if (!load.ok()) {
+    std::fprintf(stderr, "seqmine: %s\n", load.status().message().c_str());
     return kExitDataError;
   }
-  const disc::SequenceDatabase db = std::move(*db_or);
+  const std::shared_ptr<const disc::SequenceDatabase> db = engine.database();
   obs.SetWorkload(
-      disc::MakeWorkloadInfo(db, "spmf:" + flags.positional()[0]));
+      disc::MakeWorkloadInfo(*db, "spmf:" + flags.positional()[0]));
   const bool quiet = flags.GetBool("quiet", false);
-  if (parse_report.skipped > 0) {
+  if (load->skipped > 0) {
     std::fprintf(stderr,
                  "seqmine: skipped %zu malformed record%s (first: %s)\n",
-                 parse_report.skipped, parse_report.skipped == 1 ? "" : "s",
-                 parse_report.first_error.c_str());
+                 load->skipped, load->skipped == 1 ? "" : "s",
+                 load->first_error.c_str());
   }
   if (!quiet) {
     std::printf("loaded %zu sequences (%llu items, %u distinct) in %.2fs\n",
-                db.size(),
-                static_cast<unsigned long long>(db.TotalItems()),
-                db.max_item(), total.Seconds());
+                load->sequences,
+                static_cast<unsigned long long>(load->total_items),
+                load->max_item, total.Seconds());
   }
 
   disc::PatternSet patterns;
   disc::Status mine_status;
   disc::Timer mine_timer;
   if (flags.Has("top-k")) {
+    // Top-k probes thresholds itself and runs single-threaded; say so
+    // instead of silently ignoring flags the user passed.
+    for (const char* ignored : {"minsup", "delta", "threads", "deadline-ms"}) {
+      if (flags.Has(ignored)) {
+        std::fprintf(stderr, "seqmine: --top-k ignores --%s\n", ignored);
+      }
+    }
     disc::TopKOptions topk;
     topk.k = static_cast<std::size_t>(flags.GetInt("top-k", 10));
     topk.max_length =
         static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
-    topk.algorithm = algo;
-    patterns = disc::MineTopK(db, topk);
+    topk.algorithm = request.algo;
+    patterns = disc::MineTopK(*db, topk);
   } else {
-    if (!flags.Has("delta")) {
-      options.min_support_count =
-          disc::MineOptions::CountForFraction(db.size(), minsup);
-    }
-    options.max_length =
+    request.options.max_length =
         static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
-    options.threads = disc::ThreadsFromFlags(flags);
-    disc::MineResult result = miner->TryMine(db, options);
-    patterns = std::move(result.patterns);
-    mine_status = result.status;
-    obs.Record(miner->last_stats());
-    if (mine_status.code() == disc::StatusCode::kCancelled ||
-        mine_status.code() == disc::StatusCode::kDeadlineExceeded) {
+    request.options.threads = disc::ThreadsFromFlags(flags);
+    disc::engine::MineResponse response = engine.Mine(request);
+    patterns = std::move(response.patterns);
+    mine_status = response.status;
+    obs.Record(response.stats);
+    if (response.partial()) {
       std::fprintf(stderr, "seqmine: %s — writing partial result\n",
                    mine_status.ToString().c_str());
     } else if (!mine_status.ok()) {
@@ -190,7 +242,7 @@ int main(int argc, char** argv) {
     std::printf(
         "%s: %zu patterns (%zu maximal, %zu closed), max length %u, max "
         "support %u, %.3fs\n",
-        algo.c_str(), summary.total, summary.maximal, summary.closed,
+        request.algo.c_str(), summary.total, summary.maximal, summary.closed,
         summary.max_length, summary.max_support, mine_s);
   }
 

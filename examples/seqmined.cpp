@@ -1,0 +1,83 @@
+// seqmined — the resident mining server: the line protocol of
+// docs/SERVER.md on stdin/stdout over one engine (engine/engine.h), whose
+// query cache turns a minsup sweep into one first-level build plus N
+// cache hits. Pipe a script in, or drive it interactively:
+//
+//   $ ./seqmined [input.spmf] [--permissive] [--serve-threads=N]
+//   info seqmined ready
+//   load data.spmf
+//   ok load sequences=1000 items=8234 max_item=100 skipped=0
+//   mine --minsup 0.02
+//   ok mine id=1 algo=disc-all delta=20 status=complete reason=none ...
+//   1 -1 #SUP: 412
+//   ...
+//   end
+//   quit
+//   ok quit
+//
+// The optional positional argument preloads a database (same as a first
+// `load` command); --permissive applies to the preload AND sets nothing
+// else — per-command parse mode is `load ... --permissive`.
+// --serve-threads sizes the engine's session pool: how many queries can
+// run concurrently, independent of each query's own --threads.
+//
+// `seqmine --serve` is the same server inside the one-shot CLI binary.
+//
+// Exit codes (docs/ROBUSTNESS.md): 0 the session reached quit/EOF (command
+// failures are reported in-band as `error` responses), 2 usage error,
+// 3 preload failure.
+#include <iostream>
+#include <cstdio>
+
+#include "disc/disc.h"
+#include "disc/common/flags.h"
+
+namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitDataError = 3;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: seqmined [input.spmf] [--permissive] "
+               "[--serve-threads=N]\n"
+               "serves the seqmined line protocol on stdin/stdout "
+               "(docs/SERVER.md); `help` lists commands\n");
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const disc::Flags flags = disc::Flags::Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    Usage();
+    return 0;  // asked-for usage is a success, not a usage error
+  }
+  if (flags.positional().size() > 1) return Usage();
+  const long long serve_threads = flags.GetInt("serve-threads", 2);
+  if (serve_threads < 0) {
+    std::fprintf(stderr, "seqmined: --serve-threads must be >= 0\n");
+    return kExitUsage;
+  }
+
+  disc::engine::Engine::Config config;
+  config.session_threads = static_cast<std::uint32_t>(serve_threads);
+  disc::engine::Engine engine(config);
+
+  if (!flags.positional().empty()) {
+    auto info = engine.LoadSpmf(flags.positional()[0],
+                                flags.GetBool("permissive", false)
+                                    ? disc::ParseOptions::Permissive()
+                                    : disc::ParseOptions::Strict());
+    if (!info.ok()) {
+      std::fprintf(stderr, "seqmined: %s\n", info.status().message().c_str());
+      return kExitDataError;
+    }
+    std::fprintf(stderr, "seqmined: preloaded %zu sequences from %s\n",
+                 info->sequences, flags.positional()[0].c_str());
+  }
+
+  disc::server::Server server(&engine, std::cin, std::cout);
+  return server.Run();
+}

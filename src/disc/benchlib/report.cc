@@ -42,6 +42,19 @@ std::string DescribeDatabase(const SequenceDatabase& db) {
   return buf;
 }
 
+bool PrintBenchUsage(const Flags& flags, const std::string& name,
+                     const std::string& specific) {
+  if (!flags.GetBool("help", false)) return false;
+  std::printf("usage: %s %s\n", name.c_str(), specific.c_str());
+  std::printf(
+      "  common: [--threads=N] [--stats] [--json-out=FILE]\n"
+      "          [--trace-out=FILE] [--progress] [--progress-period-ms=N]\n"
+      "          [--metrics-out=FILE] [--events-out=FILE]\n"
+      "(docs/BENCHMARKS.md for the workloads, docs/OBSERVABILITY.md for the\n"
+      "telemetry flags; pass --full for paper-sized inputs)\n");
+  return true;
+}
+
 WorkloadInfo MakeWorkloadInfo(const SequenceDatabase& db,
                               const std::string& generator) {
   WorkloadInfo w;

@@ -35,6 +35,19 @@ void PrintBanner(const std::string& artifact, const std::string& setup,
 /// items"). O(1): the database maintains its aggregates.
 std::string DescribeDatabase(const SequenceDatabase& db);
 
+/// Uniform --help across the bench drivers: when --help was given, prints
+/// the usage line to stdout — the driver's own flags first, then the flags
+/// every driver shares (--threads plus the ObsSession telemetry flags) —
+/// and returns true; the caller returns 0 (--help is a success, not a
+/// usage error — docs/ROBUSTNESS.md exit-code convention).
+///
+///   if (PrintBenchUsage(flags, "bench_fig9_minsup",
+///                       "[--ncust=N] [--dense] [--seed=N] [--full]")) {
+///     return 0;
+///   }
+bool PrintBenchUsage(const Flags& flags, const std::string& name,
+                     const std::string& specific);
+
 /// Workload shape recorded into a bench report.
 struct WorkloadInfo {
   std::string generator;  ///< "quest", "spmf:<path>", ...

@@ -21,6 +21,7 @@
 namespace disc {
 namespace {
 
+DISC_OBS_COUNTER(g_first_level_reuses, "disc.first_level.reuses");
 DISC_OBS_COUNTER(g_first_level_partitions, "disc.partitions.first_level");
 DISC_OBS_COUNTER(g_second_level_partitions, "disc.partitions.second_level");
 DISC_OBS_COUNTER(g_bound_skips, "disc.bound.skips");
@@ -350,10 +351,17 @@ class PartitionMiner {
 class Run {
  public:
   /// `ctl` and `tel` may be null (no cancellation/deadline/error plumbing,
-  /// no live telemetry).
+  /// no live telemetry). `fl` may be null (steps 1-2 scan the database);
+  /// non-null, it must have been built from `db` (core/first_level.h).
   Run(const SequenceDatabase& db, const MineOptions& options,
-      const DiscAll::Config& config, RunControl* ctl, obs::RunTelemetry* tel)
-      : db_(db), options_(options), config_(config), ctl_(ctl), tel_(tel) {}
+      const DiscAll::Config& config, RunControl* ctl, obs::RunTelemetry* tel,
+      const FirstLevelState* fl)
+      : db_(db),
+        options_(options),
+        config_(config),
+        ctl_(ctl),
+        tel_(tel),
+        fl_(fl) {}
 
   bool ShouldStop() { return ctl_ != nullptr && ctl_->ShouldStop(); }
 
@@ -362,17 +370,27 @@ class Run {
     if (db_.empty() || delta > db_.size()) return std::move(out_);
     const Item max_item = db_.max_item();
 
-    // ---- Step 1: one scan — per-item supports and frequent 1-sequences.
-    std::vector<std::uint32_t> item_support(max_item + 1, 0);
-    std::vector<std::uint64_t> seen(max_item + 1, 0);
-    for (Cid cid = 0; cid < db_.size(); ++cid) {
-      for (const Item x : db_[cid].items()) {
-        if (seen[x] != cid + 1u) {
-          seen[x] = cid + 1u;
-          ++item_support[x];
+    // ---- Step 1: per-item supports and frequent 1-sequences — reused
+    // from the provided first-level state (threshold-independent, see
+    // core/first_level.h) or found in one scan.
+    std::vector<std::uint32_t> item_support_local;
+    std::vector<std::uint64_t> seen;
+    if (fl_ == nullptr) {
+      item_support_local.assign(max_item + 1, 0);
+      seen.assign(max_item + 1, 0);
+      for (Cid cid = 0; cid < db_.size(); ++cid) {
+        for (const Item x : db_[cid].items()) {
+          if (seen[x] != cid + 1u) {
+            seen[x] = cid + 1u;
+            ++item_support_local[x];
+          }
         }
       }
+    } else {
+      DISC_OBS_INC(g_first_level_reuses);
     }
+    const std::vector<std::uint32_t>& item_support =
+        fl_ != nullptr ? fl_->item_support : item_support_local;
     for (Item x = 1; x <= max_item; ++x) {
       if (item_support[x] >= delta) {
         Sequence p;
@@ -388,21 +406,30 @@ class Run {
     // all its items in ascending order, so membership never depends on
     // earlier partitions' results. Materializing the partitions up front
     // (second scan, stamps offset past the first scan's) makes them
-    // independently minable.
-    std::vector<std::vector<Cid>> members_of(max_item + 1);
-    for (Item x = 1; x <= max_item; ++x) {
-      if (item_support[x] >= delta) members_of[x].reserve(item_support[x]);
-    }
-    const std::uint64_t stamp_base = db_.size();
-    for (Cid cid = 0; cid < db_.size(); ++cid) {
-      for (const Item x : db_[cid].items()) {
-        if (item_support[x] < delta) continue;
-        if (seen[x] != stamp_base + cid + 1u) {
-          seen[x] = stamp_base + cid + 1u;
-          members_of[x].push_back(cid);
+    // independently minable — and, being threshold-independent, reusable
+    // verbatim from the cached state (which holds every item's partition;
+    // the lambdas loop below only walks the frequent ones).
+    std::vector<std::vector<Cid>> members_local;
+    if (fl_ == nullptr) {
+      members_local.resize(max_item + 1);
+      for (Item x = 1; x <= max_item; ++x) {
+        if (item_support[x] >= delta) {
+          members_local[x].reserve(item_support[x]);
+        }
+      }
+      const std::uint64_t stamp_base = db_.size();
+      for (Cid cid = 0; cid < db_.size(); ++cid) {
+        for (const Item x : db_[cid].items()) {
+          if (item_support[x] < delta) continue;
+          if (seen[x] != stamp_base + cid + 1u) {
+            seen[x] = stamp_base + cid + 1u;
+            members_local[x].push_back(cid);
+          }
         }
       }
     }
+    const std::vector<std::vector<Cid>>& members_of =
+        fl_ != nullptr ? fl_->members_of : members_local;
     std::vector<Item> lambdas;
     for (Item x = 1; x <= max_item; ++x) {
       if (item_support[x] >= delta) {
@@ -439,8 +466,8 @@ class Run {
           if (ShouldStop()) break;
           if (tel_ != nullptr) tel_->PartitionStarted(lambdas[i]);
           try {
-            PartitionMiner(db_, options_, config_, max_item, &scratch,
-                           &results[i])
+            PartitionMiner(db_, options_, config_, PartitionBound(lambdas[i]),
+                           &scratch, &results[i])
                 .Mine(lambdas[i], members_of[lambdas[i]]);
           } catch (const std::exception& e) {
             if (tel_ != nullptr) tel_->PartitionAborted(lambdas[i]);
@@ -469,7 +496,7 @@ class Run {
         }
         ThreadPool pool(nthreads);
         for (const std::size_t i : order) {
-          pool.Submit([this, max_item, i, &lambdas, &members_of, &scratches,
+          pool.Submit([this, i, &lambdas, &members_of, &scratches,
                        &results](std::size_t worker) {
             // Cancellation checkpoint: a stopped task leaves its result
             // incomplete, and the merge below discards it. The same
@@ -477,8 +504,9 @@ class Run {
             if (ShouldStop()) return;
             if (tel_ != nullptr) tel_->PartitionStarted(lambdas[i]);
             try {
-              PartitionMiner(db_, options_, config_, max_item,
-                             &scratches[worker], &results[i])
+              PartitionMiner(db_, options_, config_,
+                             PartitionBound(lambdas[i]), &scratches[worker],
+                             &results[i])
                   .Mine(lambdas[i], members_of[lambdas[i]]);
             } catch (...) {
               if (tel_ != nullptr) tel_->PartitionAborted(lambdas[i]);
@@ -567,11 +595,20 @@ class Run {
   }
 
  private:
+  /// Sizing bound for one ⟨λ⟩-partition's tables: the cached alphabet's
+  /// largest item when first-level state was provided, the global maximum
+  /// otherwise. Sizing only — the emitted patterns are identical either
+  /// way (core/first_level.h).
+  Item PartitionBound(Item lambda) const {
+    return fl_ != nullptr ? fl_->PartitionMaxItem(lambda) : db_.max_item();
+  }
+
   const SequenceDatabase& db_;
   const MineOptions& options_;
   const DiscAll::Config& config_;
   RunControl* ctl_;
   obs::RunTelemetry* tel_;
+  const FirstLevelState* fl_;
   PatternSet out_;
 };
 
@@ -580,7 +617,11 @@ class Run {
 PatternSet DiscAll::DoMine(const SequenceDatabase& db,
                            const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  Run run(db, options, config_, run_control(), telemetry());
+  // A provided first-level state must describe this database — a stale
+  // state would silently mine wrong partitions (core/first_level.h).
+  const FirstLevelState* fl = first_level_.get();
+  if (fl != nullptr) DISC_CHECK(fl->Matches(db));
+  Run run(db, options, config_, run_control(), telemetry(), fl);
   return run.Execute();
 }
 

@@ -22,12 +22,16 @@
 #ifndef DISC_CORE_DISC_ALL_H_
 #define DISC_CORE_DISC_ALL_H_
 
+#include <memory>
+#include <utility>
+
 #include "disc/algo/miner.h"
+#include "disc/core/first_level.h"
 
 namespace disc {
 
 /// DISC-all frequent-sequence miner. See file comment.
-class DiscAll : public Miner {
+class DiscAll : public Miner, public FirstLevelConsumer {
  public:
   struct Config {
     /// Use the bi-level technique (§3.2): harvest frequent k- and
@@ -72,6 +76,17 @@ class DiscAll : public Miner {
     return n;
   }
 
+  /// Accepts precomputed first-level state (core/first_level.h): steps 1
+  /// and 2 of the next DoMine() reuse the cached supports and partition
+  /// memberships instead of rescanning, and each ⟨λ⟩-partition sizes its
+  /// tables from the cached alphabet. The state must match the mined
+  /// database (DISC_CHECK). Output is byte-identical either way; counted
+  /// by "disc.first_level.reuses".
+  void ProvideFirstLevel(
+      std::shared_ptr<const FirstLevelState> state) override {
+    first_level_ = std::move(state);
+  }
+
  protected:
   // Work accounting lands in last_stats() via the obs registry: counters
   // "disc.iterations", "disc.partitions.first_level" /
@@ -84,6 +99,7 @@ class DiscAll : public Miner {
 
  private:
   Config config_;
+  std::shared_ptr<const FirstLevelState> first_level_;
 };
 
 }  // namespace disc

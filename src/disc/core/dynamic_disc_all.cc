@@ -20,6 +20,7 @@
 namespace disc {
 namespace {
 
+DISC_OBS_COUNTER(g_first_level_reuses, "disc.first_level.reuses");
 DISC_OBS_COUNTER(g_partitions_split, "dynamic.partitions_split");
 DISC_OBS_COUNTER(g_partitions_to_disc, "dynamic.partitions_to_disc");
 DISC_OBS_COUNTER(g_bound_skips, "disc.bound.skips");
@@ -31,11 +32,17 @@ using Members = PartitionMembers;
 class Run {
  public:
   /// `ctl` and `tel` may be null (no cancellation/deadline/error plumbing,
-  /// no live telemetry).
+  /// no live telemetry). `fl` may be null (the root level scans); non-null,
+  /// it must have been built from `db` (core/first_level.h).
   Run(const SequenceDatabase& db, const MineOptions& options,
       const DynamicDiscAll::Config& config, RunControl* ctl,
-      obs::RunTelemetry* tel)
-      : db_(db), options_(options), config_(config), ctl_(ctl), tel_(tel) {}
+      obs::RunTelemetry* tel, const FirstLevelState* fl)
+      : db_(db),
+        options_(options),
+        config_(config),
+        ctl_(ctl),
+        tel_(tel),
+        fl_(fl) {}
 
   bool ShouldStop() { return ctl_ != nullptr && ctl_->ShouldStop(); }
 
@@ -78,28 +85,51 @@ class Run {
     if (members.size() < delta) return;
     if (options_.max_length != 0 && k >= options_.max_length) return;
 
-    // Step 1: frequent (k+1)-sequences with this prefix, one scan.
-    CountingArray counts(db_.max_item());
-    for (const PartitionMember& m : members) {
-      ForEachExtension(
-          m.seq, prefix,
-          [&counts, &m](Item x, ExtType type) { counts.Add(x, type, m.cid); },
-          m.index);
-    }
-    const auto freq = counts.FrequentExtensions(delta);
+    // Step 1: frequent (k+1)-sequences with this prefix. The root level
+    // (empty prefix) reads them off provided first-level state when it has
+    // one — the extensions of the empty prefix are exactly the frequent
+    // items, sequence-form, with support equal to the item support, in the
+    // same ascending order FrequentExtensions produces. Deeper levels are
+    // prefix-dependent and always scan.
+    std::vector<std::pair<Item, ExtType>> freq;
+    std::vector<std::uint32_t> sups;
+    if (k == 0 && fl_ != nullptr) {
+      DISC_OBS_INC(g_first_level_reuses);
+      for (Item x = 1; x <= fl_->max_item; ++x) {
+        if (fl_->item_support[x] >= delta) {
+          freq.emplace_back(x, ExtType::kSequence);
+          sups.push_back(fl_->item_support[x]);
+        }
+      }
+    } else {
+      CountingArray counts(db_.max_item());
+      for (const PartitionMember& m : members) {
+        ForEachExtension(
+            m.seq, prefix,
+            [&counts, &m](Item x, ExtType type) {
+              counts.Add(x, type, m.cid);
+            },
+            m.index);
+      }
+      freq = counts.FrequentExtensions(delta);
 #if DISC_OBS_ENABLED
-    // Dynamic DISC-all does support-count patterns of any length while it
-    // keeps partitioning; attribute them like the bi-level harvests do.
-    if (k + 1 >= 4) {
-      DISC_OBS_COUNTER(g_k4plus, "support.increments.k4plus");
-      DISC_OBS_ADD(g_k4plus, counts.increments_since_reset());
-    }
+      // Dynamic DISC-all does support-count patterns of any length while
+      // it keeps partitioning; attribute them like the bi-level harvests
+      // do.
+      if (k + 1 >= 4) {
+        DISC_OBS_COUNTER(g_k4plus, "support.increments.k4plus");
+        DISC_OBS_ADD(g_k4plus, counts.increments_since_reset());
+      }
 #endif
+      sups.reserve(freq.size());
+      for (const auto& [x, type] : freq) {
+        sups.push_back(counts.Count(x, type));
+      }
+    }
     std::uint64_t child_support_sum = 0;
-    for (const auto& [x, type] : freq) {
-      const std::uint32_t sup = counts.Count(x, type);
-      out->Add(Extend(prefix, x, type), sup);
-      child_support_sum += sup;
+    for (std::size_t j = 0; j < freq.size(); ++j) {
+      out->Add(Extend(prefix, freq[j].first, freq[j].second), sups[j]);
+      child_support_sum += sups[j];
     }
     if (k == 0 && tel_ != nullptr) {
       tel_->AddPatterns(freq.size());  // the frequent 1-sequences
@@ -233,20 +263,38 @@ class Run {
     const Sequence empty_prefix;
 
     // Step 1: frequent 1-sequences (extensions of the empty prefix are the
-    // distinct items, sequence-form only), one scan.
-    CountingArray counts(db_.max_item());
-    for (const PartitionMember& m : members) {
-      ForEachExtension(
-          m.seq, empty_prefix,
-          [&counts, &m](Item x, ExtType type) { counts.Add(x, type, m.cid); },
-          m.index);
+    // distinct items, sequence-form only) — read off provided first-level
+    // state, or found in one scan.
+    std::vector<std::pair<Item, ExtType>> freq;
+    std::vector<std::uint32_t> sups;
+    if (fl_ != nullptr) {
+      DISC_OBS_INC(g_first_level_reuses);
+      for (Item x = 1; x <= fl_->max_item; ++x) {
+        if (fl_->item_support[x] >= delta) {
+          freq.emplace_back(x, ExtType::kSequence);
+          sups.push_back(fl_->item_support[x]);
+        }
+      }
+    } else {
+      CountingArray counts(db_.max_item());
+      for (const PartitionMember& m : members) {
+        ForEachExtension(
+            m.seq, empty_prefix,
+            [&counts, &m](Item x, ExtType type) {
+              counts.Add(x, type, m.cid);
+            },
+            m.index);
+      }
+      freq = counts.FrequentExtensions(delta);
+      sups.reserve(freq.size());
+      for (const auto& [x, type] : freq) {
+        sups.push_back(counts.Count(x, type));
+      }
     }
-    const auto freq = counts.FrequentExtensions(delta);
     std::uint64_t child_support_sum = 0;
-    for (const auto& [x, type] : freq) {
-      const std::uint32_t sup = counts.Count(x, type);
-      out_.Add(Extend(empty_prefix, x, type), sup);
-      child_support_sum += sup;
+    for (std::size_t j = 0; j < freq.size(); ++j) {
+      out_.Add(Extend(empty_prefix, freq[j].first, freq[j].second), sups[j]);
+      child_support_sum += sups[j];
     }
     if (tel_ != nullptr) {
       tel_->AddPatterns(freq.size());  // the frequent 1-sequences
@@ -295,24 +343,46 @@ class Run {
     }
 
     // Step 3: static children — member m joins the child of every frequent
-    // item it contains. All root extensions are sequence-form, so a plain
+    // item it contains. With first-level state the children come straight
+    // from the cached ⟨x⟩-partition memberships (ascending CIDs — the same
+    // order the stamp walk below produces); otherwise a plain
     // item -> child-index table replaces the binary search.
     DISC_OBS_INC(g_partitions_split);
-    std::vector<std::size_t> child_of(db_.max_item() + 1, freq.size());
-    for (std::size_t j = 0; j < freq.size(); ++j) {
-      DISC_CHECK(freq[j].second == ExtType::kSequence);
-      child_of[freq[j].first] = j;
-    }
     std::vector<Members> children(freq.size());
-    std::vector<std::uint64_t> seen(db_.max_item() + 1, 0);
-    std::uint64_t stamp = 0;
-    for (const PartitionMember& member : members) {
-      ++stamp;
-      for (const Item x : member.seq.items()) {
-        const std::size_t j = child_of[x];
-        if (j == freq.size() || seen[x] == stamp) continue;
-        seen[x] = stamp;
-        children[j].push_back(member);
+    if (fl_ != nullptr) {
+      // The cached partitions hold CIDs; map them back to this run's
+      // member records (position i of `members` is the i-th non-empty
+      // sequence, ascending cid).
+      constexpr std::uint32_t kNoMember = ~std::uint32_t{0};
+      std::vector<std::uint32_t> member_at(db_.size(), kNoMember);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        member_at[members[i].cid] = static_cast<std::uint32_t>(i);
+      }
+      for (std::size_t j = 0; j < freq.size(); ++j) {
+        DISC_CHECK(freq[j].second == ExtType::kSequence);
+        const std::vector<Cid>& cids = fl_->members_of[freq[j].first];
+        children[j].reserve(cids.size());
+        for (const Cid cid : cids) {
+          DISC_DCHECK(member_at[cid] != kNoMember);
+          children[j].push_back(members[member_at[cid]]);
+        }
+      }
+    } else {
+      std::vector<std::size_t> child_of(db_.max_item() + 1, freq.size());
+      for (std::size_t j = 0; j < freq.size(); ++j) {
+        DISC_CHECK(freq[j].second == ExtType::kSequence);
+        child_of[freq[j].first] = j;
+      }
+      std::vector<std::uint64_t> seen(db_.max_item() + 1, 0);
+      std::uint64_t stamp = 0;
+      for (const PartitionMember& member : members) {
+        ++stamp;
+        for (const Item x : member.seq.items()) {
+          const std::size_t j = child_of[x];
+          if (j == freq.size() || seen[x] == stamp) continue;
+          seen[x] = stamp;
+          children[j].push_back(member);
+        }
       }
     }
 
@@ -412,6 +482,7 @@ class Run {
   const DynamicDiscAll::Config& config_;
   RunControl* ctl_;
   obs::RunTelemetry* tel_;
+  const FirstLevelState* fl_;
   std::deque<SequenceIndex> indexes_;
   PatternSet out_;
   // Set when a stop (or contained failure) left root children unmined;
@@ -425,7 +496,11 @@ class Run {
 PatternSet DynamicDiscAll::DoMine(const SequenceDatabase& db,
                                   const MineOptions& options) {
   DISC_CHECK(options.min_support_count >= 1);
-  Run run(db, options, config_, run_control(), telemetry());
+  // A provided first-level state must describe this database — a stale
+  // state would silently mine wrong root children (core/first_level.h).
+  const FirstLevelState* fl = first_level_.get();
+  if (fl != nullptr) DISC_CHECK(fl->Matches(db));
+  Run run(db, options, config_, run_control(), telemetry(), fl);
   return run.Execute();
 }
 

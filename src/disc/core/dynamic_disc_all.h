@@ -21,12 +21,16 @@
 #ifndef DISC_CORE_DYNAMIC_DISC_ALL_H_
 #define DISC_CORE_DYNAMIC_DISC_ALL_H_
 
+#include <memory>
+#include <utility>
+
 #include "disc/algo/miner.h"
+#include "disc/core/first_level.h"
 
 namespace disc {
 
 /// Dynamic DISC-all miner. See file comment.
-class DynamicDiscAll : public Miner {
+class DynamicDiscAll : public Miner, public FirstLevelConsumer {
  public:
   struct Config {
     /// Maximum-NRR threshold γ: partitions with NRR below it are split
@@ -58,6 +62,19 @@ class DynamicDiscAll : public Miner {
 
   std::string name() const override { return "dynamic-disc-all"; }
 
+  /// Accepts precomputed first-level state (core/first_level.h): the root
+  /// level of the next DoMine() reuses the cached item supports (the
+  /// frequent 1-sequences and the root NRR arithmetic need nothing else)
+  /// and, on the parallel path, builds the static root children straight
+  /// from the cached partition memberships. Deeper levels are
+  /// prefix-dependent and always scan. The state must match the mined
+  /// database (DISC_CHECK). Output is byte-identical either way; counted
+  /// by "disc.first_level.reuses".
+  void ProvideFirstLevel(
+      std::shared_ptr<const FirstLevelState> state) override {
+    first_level_ = std::move(state);
+  }
+
  protected:
   // Work accounting lands in last_stats() via the obs registry: counters
   // "dynamic.partitions_split" (partitions that descended),
@@ -69,6 +86,7 @@ class DynamicDiscAll : public Miner {
 
  private:
   Config config_;
+  std::shared_ptr<const FirstLevelState> first_level_;
 };
 
 }  // namespace disc

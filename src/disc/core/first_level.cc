@@ -1,0 +1,89 @@
+#include "disc/core/first_level.h"
+
+#include <algorithm>
+
+#include "disc/obs/metrics.h"
+
+namespace disc {
+namespace {
+
+DISC_OBS_COUNTER(g_first_level_builds, "disc.first_level.builds");
+
+}  // namespace
+
+std::size_t FirstLevelState::SizeBytes() const {
+  std::size_t bytes = sizeof(FirstLevelState);
+  bytes += item_support.capacity() * sizeof(std::uint32_t);
+  bytes += members_of.capacity() * sizeof(std::vector<Cid>);
+  for (const std::vector<Cid>& m : members_of) {
+    bytes += m.capacity() * sizeof(Cid);
+  }
+  bytes += alphabet_of.capacity() * sizeof(std::vector<Item>);
+  for (const std::vector<Item>& a : alphabet_of) {
+    bytes += a.capacity() * sizeof(Item);
+  }
+  return bytes;
+}
+
+std::shared_ptr<const FirstLevelState> BuildFirstLevelState(
+    const SequenceDatabase& db) {
+  DISC_OBS_INC(g_first_level_builds);
+  auto state = std::make_shared<FirstLevelState>();
+  state->db_sequences = db.size();
+  state->db_total_items = db.TotalItems();
+  state->max_item = db.max_item();
+  const Item max_item = state->max_item;
+
+  // Scan 1: distinct-per-customer support of every item (same stamp trick
+  // as DiscAll step 1, but without a threshold).
+  state->item_support.assign(max_item + 1, 0);
+  std::vector<std::uint64_t> seen(max_item + 1, 0);
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    for (const Item x : db[cid].items()) {
+      if (seen[x] != cid + 1u) {
+        seen[x] = cid + 1u;
+        ++state->item_support[x];
+      }
+    }
+  }
+
+  // Scan 2: materialize every ⟨x⟩-partition (ascending CIDs by
+  // construction), stamps offset past scan 1's.
+  state->members_of.resize(max_item + 1);
+  for (Item x = 1; x <= max_item; ++x) {
+    state->members_of[x].reserve(state->item_support[x]);
+  }
+  const std::uint64_t stamp_base = db.size();
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    for (const Item x : db[cid].items()) {
+      if (seen[x] != stamp_base + cid + 1u) {
+        seen[x] = stamp_base + cid + 1u;
+        state->members_of[x].push_back(cid);
+      }
+    }
+  }
+
+  // Partition-major alphabet sweep: the ⟨x⟩-partition's alphabet is the
+  // distinct items over its members. One reused stamp vector, one stamp
+  // per partition.
+  state->alphabet_of.resize(max_item + 1);
+  std::fill(seen.begin(), seen.end(), 0);
+  std::uint64_t stamp = 0;
+  for (Item x = 1; x <= max_item; ++x) {
+    if (state->members_of[x].empty()) continue;
+    ++stamp;
+    std::vector<Item>& alphabet = state->alphabet_of[x];
+    for (const Cid cid : state->members_of[x]) {
+      for (const Item y : db[cid].items()) {
+        if (seen[y] != stamp) {
+          seen[y] = stamp;
+          alphabet.push_back(y);
+        }
+      }
+    }
+    std::sort(alphabet.begin(), alphabet.end());
+  }
+  return state;
+}
+
+}  // namespace disc

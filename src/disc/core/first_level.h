@@ -1,0 +1,105 @@
+// Threshold-independent first-level mining state, shared across queries.
+//
+// DISC's front matter — the per-item support counts, the first-level
+// ⟨λ⟩-partition memberships, and the per-partition item alphabets — does
+// not depend on the support threshold delta at all: the ⟨λ⟩-partition is
+// *exactly* the customer sequences containing λ (disc_all.h step 2), and a
+// query only decides which λ are frequent enough to mine. A resident
+// engine serving a minsup sweep therefore computes this state once per
+// loaded database and hands it to every subsequent run (engine/engine.h),
+// which skips straight to partition mining.
+//
+// Contract: a FirstLevelState is a pure function of the database it was
+// built from. Consumers size their per-partition machinery from the cached
+// alphabets (max item of the ⟨λ⟩-partition) instead of the global
+// db.max_item(); sizing never changes which patterns are emitted, so the
+// mined PatternSet is byte-identical with or without a provided state
+// (enforced by tests/engine_test.cc at threads 1 and 4).
+#ifndef DISC_CORE_FIRST_LEVEL_H_
+#define DISC_CORE_FIRST_LEVEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "disc/seq/database.h"
+#include "disc/seq/types.h"
+
+namespace disc {
+
+/// Precomputed step-1/step-2 artifacts of one database. Immutable after
+/// BuildFirstLevelState; safe to share read-only across pool workers and
+/// concurrent engine sessions.
+struct FirstLevelState {
+  /// Fingerprint of the source database (Matches below). Cheap shape
+  /// aggregates, not a content hash: the engine invalidates on every load,
+  /// so the fingerprint only guards against API misuse, not collisions.
+  std::size_t db_sequences = 0;
+  std::uint64_t db_total_items = 0;
+  Item max_item = 0;
+
+  /// Per-item support: item_support[x] = number of distinct customer
+  /// sequences containing x, for every x in [0, max_item] (no threshold
+  /// applied — that is the point).
+  std::vector<std::uint32_t> item_support;
+
+  /// First-level partition memberships: members_of[x] = the CIDs of the
+  /// sequences containing x, ascending. members_of[x].size() ==
+  /// item_support[x].
+  std::vector<std::vector<Cid>> members_of;
+
+  /// Per-partition alphabet: alphabet_of[x] = the distinct items occurring
+  /// anywhere in the ⟨x⟩-partition's member sequences, ascending — the
+  /// universe a partition-local ItemEncoder (order/encoded.h) assigns dense
+  /// codes to, and the bound for every counting/filter table the partition
+  /// needs.
+  std::vector<std::vector<Item>> alphabet_of;
+
+  /// True when this state was built from a database with the same
+  /// fingerprint. See the caveat above.
+  bool Matches(const SequenceDatabase& db) const {
+    return db_sequences == db.size() && db_total_items == db.TotalItems() &&
+           max_item == db.max_item();
+  }
+
+  /// Largest item occurring in the ⟨lambda⟩-partition (the back of its
+  /// alphabet); `max_item` when the partition is empty or lambda is out of
+  /// range, so callers can use it unconditionally as a sizing bound.
+  Item PartitionMaxItem(Item lambda) const {
+    if (lambda >= alphabet_of.size() || alphabet_of[lambda].empty()) {
+      return max_item;
+    }
+    return alphabet_of[lambda].back();
+  }
+
+  /// Approximate resident size (elements + vector headers), reported as the
+  /// "disc.cache.bytes" gauge by the engine's QueryCache.
+  std::size_t SizeBytes() const;
+};
+
+/// Builds the state in two database scans plus one partition-major alphabet
+/// sweep (cost: sum over items x of the total length of the ⟨x⟩-partition's
+/// sequences — the same order as one reduce pass of a full mine). Bumps the
+/// "disc.first_level.builds" counter.
+std::shared_ptr<const FirstLevelState> BuildFirstLevelState(
+    const SequenceDatabase& db);
+
+/// Seam grown by the miners that can start from precomputed first-level
+/// state (DiscAll, DynamicDiscAll). The engine probes for it with a
+/// dynamic_cast and injects the cached state before TryMine; a miner
+/// without the seam simply recomputes. Providing a state built from a
+/// *different* database is a programming error (DISC_CHECK at mine time).
+class FirstLevelConsumer {
+ public:
+  virtual ~FirstLevelConsumer() = default;
+
+  /// Hands the miner a prebuilt state for the database of its next
+  /// DoMine() call. Pass nullptr to clear. The state is retained until
+  /// replaced.
+  virtual void ProvideFirstLevel(
+      std::shared_ptr<const FirstLevelState> state) = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_FIRST_LEVEL_H_

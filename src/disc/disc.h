@@ -40,8 +40,16 @@
 #include "disc/core/disc_all.h"          // IWYU pragma: export
 #include "disc/core/dynamic_disc_all.h"  // IWYU pragma: export
 #include "disc/core/discovery.h"         // IWYU pragma: export
+#include "disc/core/first_level.h"       // IWYU pragma: export
 #include "disc/core/nrr.h"               // IWYU pragma: export
 #include "disc/core/weighted.h"          // IWYU pragma: export
+
+// The engine layer (resident database + query cache + sessions) and the
+// seqmined line protocol served over it.
+#include "disc/engine/query_cache.h"  // IWYU pragma: export
+#include "disc/engine/engine.h"       // IWYU pragma: export
+#include "disc/server/protocol.h"     // IWYU pragma: export
+#include "disc/server/server.h"       // IWYU pragma: export
 
 // Synthetic data.
 #include "disc/gen/quest.h"  // IWYU pragma: export

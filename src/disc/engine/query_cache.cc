@@ -1,0 +1,39 @@
+#include "disc/engine/query_cache.h"
+
+#include "disc/obs/metrics.h"
+
+namespace disc {
+namespace engine {
+
+DISC_OBS_COUNTER(g_cache_hits, "disc.cache.hits");
+DISC_OBS_COUNTER(g_cache_misses, "disc.cache.misses");
+DISC_OBS_GAUGE(g_cache_bytes, "disc.cache.bytes");
+
+std::shared_ptr<const FirstLevelState> QueryCache::GetOrBuild(
+    const SequenceDatabase& db, bool* hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != nullptr && state_->Matches(db)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    DISC_OBS_INC(g_cache_hits);
+    if (hit != nullptr) *hit = true;
+    return state_;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  DISC_OBS_INC(g_cache_misses);
+  if (hit != nullptr) *hit = false;
+  state_ = BuildFirstLevelState(db);
+  const std::uint64_t bytes = state_->SizeBytes();
+  bytes_.store(bytes, std::memory_order_relaxed);
+  DISC_OBS_SET(g_cache_bytes, static_cast<double>(bytes));
+  return state_;
+}
+
+void QueryCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_.reset();
+  bytes_.store(0, std::memory_order_relaxed);
+  DISC_OBS_SET(g_cache_bytes, 0.0);
+}
+
+}  // namespace engine
+}  // namespace disc

@@ -1,0 +1,67 @@
+// QueryCache: the engine's slot for threshold-independent mining
+// artifacts (core/first_level.h) of the currently loaded database.
+//
+// One slot suffices: the engine owns exactly one resident database at a
+// time, and a load replaces it. The cache is keyed by the database's
+// fingerprint (FirstLevelState::Matches), so a stale slot can never leak
+// into a mismatched run — it just misses and rebuilds.
+//
+// Thread safety: GetOrBuild is serialized by a mutex (a build runs under
+// it, so concurrent sessions asking for the same state block and then hit
+// — building twice would waste the exact work the cache exists to save).
+// The hit/miss/byte accessors are lock-free local atomics, live even when
+// the metrics registry is compiled out; the same events also land on the
+// "disc.cache.hits" / "disc.cache.misses" counters and the
+// "disc.cache.bytes" gauge for the exposition path (docs/OBSERVABILITY.md).
+#ifndef DISC_ENGINE_QUERY_CACHE_H_
+#define DISC_ENGINE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "disc/core/first_level.h"
+#include "disc/seq/database.h"
+
+namespace disc {
+namespace engine {
+
+/// Single-slot cache of one database's FirstLevelState. See file comment.
+class QueryCache {
+ public:
+  QueryCache() = default;
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Returns the cached state when it matches `db` (a hit), otherwise
+  /// builds, caches, and returns a fresh one (a miss). `hit` (optional)
+  /// reports which happened.
+  std::shared_ptr<const FirstLevelState> GetOrBuild(const SequenceDatabase& db,
+                                                    bool* hit = nullptr);
+
+  /// Drops the slot (a new database was loaded). Outstanding shared_ptrs
+  /// stay valid; the next GetOrBuild misses.
+  void Invalidate();
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Resident bytes of the cached slot (0 when empty).
+  std::uint64_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::shared_ptr<const FirstLevelState> state_;  // guarded by mu_
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace engine
+}  // namespace disc
+
+#endif  // DISC_ENGINE_QUERY_CACHE_H_

@@ -1,0 +1,288 @@
+#include "disc/server/server.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <iostream>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "disc/algo/pattern_io.h"
+#include "disc/obs/progress.h"
+
+namespace disc {
+namespace server {
+
+namespace {
+
+// How often the serving thread re-checks the in-flight session between
+// queue pops. Cold-path latency only; the mine itself never waits on it.
+constexpr std::uint64_t kPollMs = 20;
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+}  // namespace
+
+// Heap state co-owned by the reader thread, so a reader left detached on
+// an interactive stdin can never touch a destroyed Server.
+struct Server::LineQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> lines;  // guarded by mu
+  bool eof = false;               // guarded by mu
+  std::thread reader;
+
+  void Push(std::string line) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(std::move(line));
+    }
+    cv.notify_one();
+  }
+  void MarkEof() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      eof = true;
+    }
+    cv.notify_one();
+  }
+  /// Non-blocking pop; false when no line is queued.
+  bool TryPop(std::string* line) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (lines.empty()) return false;
+    *line = std::move(lines.front());
+    lines.pop_front();
+    return true;
+  }
+  /// Blocking pop; false on EOF with the queue drained.
+  bool Pop(std::string* line) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !lines.empty() || eof; });
+    if (lines.empty()) return false;
+    *line = std::move(lines.front());
+    lines.pop_front();
+    return true;
+  }
+  bool AtEof() {
+    std::lock_guard<std::mutex> lock(mu);
+    return eof && lines.empty();
+  }
+};
+
+Server::Server(engine::Engine* engine, std::istream& in, std::ostream& out)
+    : engine_(engine),
+      in_(in),
+      out_(out),
+      queue_(std::make_shared<LineQueue>()) {}
+
+Server::~Server() {
+  if (!queue_->reader.joinable()) return;
+  // A reader parked in getline on an interactive stdin may never return —
+  // detach it; std::cin outlives the process and the thread only touches
+  // the co-owned LineQueue. Every other stream is caller-owned and may be
+  // destroyed right after Run() returns (a quit command exits the serve
+  // loop before the reader observes EOF), so its reader MUST be joined;
+  // such streams (string buffers, files, closed pipes) always reach EOF.
+  bool eof;
+  {
+    std::lock_guard<std::mutex> lock(queue_->mu);
+    eof = queue_->eof;
+  }
+  if (&in_ == &std::cin && !eof) {
+    queue_->reader.detach();
+  } else {
+    queue_->reader.join();
+  }
+}
+
+int Server::Run() {
+  out_ << "info seqmined ready" << std::endl;
+
+  std::shared_ptr<LineQueue> q = queue_;
+  std::istream* in = &in_;
+  queue_->reader = std::thread([q, in] {
+    std::string line;
+    while (std::getline(*in, line)) q->Push(std::move(line));
+    q->MarkEof();
+  });
+
+  while (!quit_) {
+    if (inflight_ != nullptr) {
+      // Answer interruptive commands while the mine runs; park the rest.
+      std::string line;
+      if (queue_->TryPop(&line)) {
+        HandleLine(line);
+      } else if (inflight_->WaitFor(kPollMs)) {
+        EmitMineResponse();
+      }
+      continue;
+    }
+    if (!deferred_.empty()) {
+      Command cmd = std::move(deferred_.front());
+      deferred_.pop_front();
+      Execute(cmd);
+      continue;
+    }
+    std::string line;
+    if (!queue_->Pop(&line)) break;  // EOF = quit
+    HandleLine(line);
+  }
+
+  if (inflight_ != nullptr) {
+    inflight_->Wait();
+    EmitMineResponse();
+  }
+  out_ << "ok quit" << std::endl;
+  return 0;
+}
+
+void Server::HandleLine(const std::string& line) {
+  StatusOr<Command> parsed = ParseCommand(line);
+  if (!parsed.ok()) {
+    out_ << "error " << parsed.status().message() << std::endl;
+    return;
+  }
+  const Command& cmd = *parsed;
+  switch (cmd.kind) {
+    case Command::Kind::kNop:
+      return;
+    case Command::Kind::kStop:
+      DoStop();
+      return;
+    case Command::Kind::kStat:
+      DoStat();
+      return;
+    case Command::Kind::kHelp:
+      DoHelp();
+      return;
+    default:
+      break;
+  }
+  // load / mine / quit run strictly in arrival order.
+  if (inflight_ != nullptr) {
+    deferred_.push_back(cmd);
+    return;
+  }
+  Execute(cmd);
+}
+
+void Server::Execute(const Command& cmd) {
+  switch (cmd.kind) {
+    case Command::Kind::kLoad:
+      DoLoad(cmd);
+      return;
+    case Command::Kind::kMine:
+      DoMine(cmd);
+      return;
+    case Command::Kind::kQuit:
+      quit_ = true;
+      return;
+    default:
+      return;  // kNop / interruptive kinds never reach Execute
+  }
+}
+
+void Server::DoLoad(const Command& cmd) {
+  auto info = engine_->LoadSpmf(cmd.path, cmd.permissive
+                                              ? ParseOptions::Permissive()
+                                              : ParseOptions::Strict());
+  if (!info.ok()) {
+    out_ << "error load: " << info.status().ToString() << std::endl;
+    return;
+  }
+  out_ << "ok load sequences=" << info->sequences
+       << " items=" << info->total_items << " max_item=" << info->max_item
+       << " skipped=" << info->skipped << std::endl;
+}
+
+void Server::DoMine(const Command& cmd) {
+  engine::MineRequest request;
+  request.algo = cmd.mine.algo;
+  request.options.threads = cmd.mine.threads;
+  request.options.deadline_ms = cmd.mine.deadline_ms;
+  request.options.max_length = cmd.mine.max_length;
+  if (cmd.mine.delta >= 1) {
+    request.options.min_support_count =
+        static_cast<std::uint32_t>(cmd.mine.delta);
+  } else {
+    request.min_support = cmd.mine.minsup;
+  }
+  if (cmd.mine.cancel_after != kNoCancelAfter) {
+    request.cancel_after = cmd.mine.cancel_after;
+  }
+
+  auto session = engine_->Submit(request);
+  if (!session.ok()) {
+    out_ << "error mine: " << session.status().message() << std::endl;
+    return;
+  }
+  inflight_ = std::move(*session);
+}
+
+void Server::EmitMineResponse() {
+  const std::shared_ptr<engine::Session> session = std::move(inflight_);
+  inflight_.reset();
+  const engine::MineResponse& r = session->response();
+
+  if (!r.status.ok() && !r.partial()) {
+    out_ << "error mine: " << r.status.ToString() << std::endl;
+    return;
+  }
+
+  const char* reason = "none";
+  if (r.status.code() == StatusCode::kCancelled) reason = "cancelled";
+  if (r.status.code() == StatusCode::kDeadlineExceeded) reason = "deadline";
+  out_ << "ok mine id=" << session->id() << " algo=" << session->algo()
+       << " delta=" << r.delta
+       << " status=" << (r.partial() ? "partial" : "complete")
+       << " reason=" << reason << " patterns=" << r.patterns.size()
+       << " cache=" << engine::CacheOutcomeName(r.cache)
+       << " wall_ms=" << FormatMs(r.wall_ms) << "\n";
+  out_ << ToSpmfPatternString(r.patterns);
+  out_ << "end" << std::endl;
+}
+
+void Server::DoStop() {
+  if (inflight_ != nullptr) {
+    inflight_->Cancel();
+    out_ << "ok stop id=" << inflight_->id() << std::endl;
+    return;
+  }
+  // Benign when idle: a stop that raced a completed mine is not an error.
+  out_ << "ok stop id=none" << std::endl;
+}
+
+void Server::DoStat() {
+  out_ << "info engine queries=" << engine_->queries()
+       << " loads=" << engine_->loads() << " active=" << engine_->active()
+       << "\n";
+  out_ << "info cache hits=" << engine_->cache().hits()
+       << " misses=" << engine_->cache().misses()
+       << " bytes=" << engine_->cache().bytes() << "\n";
+  // Live runs come from the process-global registry (obs/progress.h);
+  // empty when the registry is disabled or compiled out.
+  for (const obs::ProgressSnapshot& run :
+       obs::RunRegistry::Global().SnapshotActive()) {
+    out_ << "info run " << run.ToString() << "\n";
+  }
+  out_ << "ok stat" << std::endl;
+}
+
+void Server::DoHelp() {
+  std::istringstream usage(ProtocolUsage());
+  std::string line;
+  while (std::getline(usage, line)) out_ << "info " << line << "\n";
+  out_ << "ok help" << std::endl;
+}
+
+}  // namespace server
+}  // namespace disc

@@ -1,0 +1,81 @@
+// seqmined's serving loop: the line protocol (server/protocol.h) bound to
+// an Engine over an istream/ostream pair — stdin/stdout in production
+// (examples/seqmined.cpp, `seqmine --serve`), string streams in tests.
+//
+// Concurrency shape: a reader thread feeds raw lines into a shared queue;
+// the serving thread executes commands strictly in arrival order, with one
+// carve-out — while a mine is in flight, `stop`, `stat`, and `help` (and
+// malformed-line errors) are answered immediately, because their whole
+// point is to act on or observe the running query. `load`, `mine`, and
+// `quit` queue behind it, so a scripted session (`load; mine; mine; quit`
+// piped in one burst) behaves exactly like an interactive one.
+//
+// Stop semantics: `stop` cancels cooperatively; the interrupted mine still
+// emits its `ok mine ... status=partial` response, whose pattern block is
+// an exact byte-prefix of what the completed run would have printed
+// (docs/ROBUSTNESS.md). `quit` (or EOF) finishes in-flight and queued work
+// first, then exits — a prompt exit mid-mine is `stop` then `quit`.
+//
+// Framing (every response flushed): see docs/SERVER.md. Responses are
+// single `ok ...` / `error ...` lines, except `mine` which follows its
+// `ok` line with the SPMF pattern block and a bare `end` line, and
+// `stat`/`help` which precede their `ok` with `info ` lines.
+#ifndef DISC_SERVER_SERVER_H_
+#define DISC_SERVER_SERVER_H_
+
+#include <deque>
+#include <iosfwd>
+#include <memory>
+
+#include "disc/engine/engine.h"
+#include "disc/server/protocol.h"
+
+namespace disc {
+namespace server {
+
+/// One protocol session over a stream pair. See file comment.
+class Server {
+ public:
+  /// `engine` must outlive Run(); the streams must outlive the Server.
+  /// The destructor joins the reader thread — except for a std::cin reader
+  /// left parked by a `quit` on an interactive terminal, which is detached
+  /// (std::cin outlives the process). Any other input stream must reach
+  /// EOF eventually (string buffers, files, and closed pipes all do), or
+  /// the destructor would block.
+  Server(engine::Engine* engine, std::istream& in, std::ostream& out);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until `quit` or EOF. Returns the process exit code (0 — a
+  /// protocol session that reached quit/EOF is a success; command
+  /// failures were reported in-band as `error` responses).
+  int Run();
+
+ private:
+  struct LineQueue;  // shared with the reader thread
+
+  void HandleLine(const std::string& line);
+  void Execute(const Command& cmd);
+  void DoLoad(const Command& cmd);
+  void DoMine(const Command& cmd);
+  void DoStop();
+  void DoStat();
+  void DoHelp();
+  void EmitMineResponse();
+
+  engine::Engine* const engine_;
+  std::istream& in_;
+  std::ostream& out_;
+  std::shared_ptr<LineQueue> queue_;
+
+  std::shared_ptr<engine::Session> inflight_;
+  std::deque<Command> deferred_;  // load/mine/quit parked behind inflight_
+  bool quit_ = false;
+};
+
+}  // namespace server
+}  // namespace disc
+
+#endif  // DISC_SERVER_SERVER_H_

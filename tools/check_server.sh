@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# seqmined line-protocol smoke check: drives scripted sessions over the
+# golden-corpus dataset and asserts the documented server contract
+# (docs/SERVER.md):
+#
+#   * mining the same --minsup twice in one session yields byte-identical
+#     pattern blocks, with cache=miss on the first response, cache=hit on
+#     the second, and `stat` reporting disc.cache hits >= 1;
+#   * a --cancel-after run reports status=partial reason=cancelled and its
+#     pattern block is an exact byte-prefix of the full run's block;
+#   * a live `stop` sent mid-mine (mining slowed via the pool.task delay
+#     fail point) cancels the in-flight session: `ok stop id=...`, a
+#     partial response, and again the exact byte-prefix guarantee.
+#
+#   $ tools/check_server.sh [path/to/seqmined]  # default: build/examples/seqmined
+set -euo pipefail
+
+SEQMINED="${1:-}"
+cd "$(dirname "$0")/.."
+
+if [[ -z "$SEQMINED" ]]; then
+  SEQMINED=build/examples/seqmined
+  if [[ ! -x "$SEQMINED" ]]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target seqmined >/dev/null
+  fi
+fi
+if [[ ! -x "$SEQMINED" ]]; then
+  echo "check_server.sh: no seqmined binary at $SEQMINED" >&2
+  exit 2
+fi
+
+DATA=tests/data/quest_mid.spmf
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/disc_server.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+fail() {
+  echo "check_server.sh: FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# The pattern lines of the i-th `ok mine` response (between its header and
+# the matching `end`), and the i-th header itself.
+mine_block() {
+  awk -v want="$2" '
+    /^ok mine /  { n++; if (n == want) { inblk = 1; next } }
+    /^end$/      { if (inblk) exit }
+    inblk        { print }
+  ' "$1"
+}
+mine_header() {
+  awk -v want="$2" '/^ok mine / { if (++n == want) { print; exit } }' "$1"
+}
+
+# --- session 1: same query twice => cache hit, byte-identical blocks -----
+# stat is interruptive (it jumps the FIFO to report on an in-flight mine),
+# so the script sleeps until both mines are done before asking for it.
+{ printf 'load %s\nmine --minsup 0.1\nmine --minsup 0.1\n' "$DATA"
+  sleep 1
+  printf 'stat\nquit\n'
+} | "$SEQMINED" > "$WORK/conv1.txt" \
+  || fail "cached-sweep session exited $? (expected 0)"
+
+grep -q '^info seqmined ready$' "$WORK/conv1.txt" \
+  || fail "missing ready banner"
+grep -q '^ok load sequences=' "$WORK/conv1.txt" \
+  || fail "missing ok load response"
+tail -n 1 "$WORK/conv1.txt" | grep -q '^ok quit$' \
+  || fail "session does not end with ok quit"
+
+mine_header "$WORK/conv1.txt" 1 | grep -q ' cache=miss ' \
+  || fail "first mine response is not cache=miss"
+mine_header "$WORK/conv1.txt" 2 | grep -q ' cache=hit ' \
+  || fail "second mine response is not cache=hit"
+
+mine_block "$WORK/conv1.txt" 1 > "$WORK/block1.txt"
+mine_block "$WORK/conv1.txt" 2 > "$WORK/block2.txt"
+[[ -s "$WORK/block1.txt" ]] || fail "first mine block is empty"
+cmp -s "$WORK/block1.txt" "$WORK/block2.txt" \
+  || fail "repeated query is not byte-identical across the cache hit"
+
+grep -E '^info cache hits=[1-9]' "$WORK/conv1.txt" >/dev/null \
+  || fail "stat does not report cache hits >= 1"
+
+# --- session 2: deterministic partial via --cancel-after -----------------
+printf 'load %s\nmine --minsup 0.05\nquit\n' "$DATA" \
+  | "$SEQMINED" > "$WORK/full.txt" \
+  || fail "full-run session exited $? (expected 0)"
+printf 'load %s\nmine --minsup 0.05 --cancel-after 5\nquit\n' "$DATA" \
+  | "$SEQMINED" > "$WORK/partial.txt" \
+  || fail "cancel-after session exited $? (expected 0)"
+
+mine_header "$WORK/partial.txt" 1 \
+  | grep -q ' status=partial reason=cancelled ' \
+  || fail "--cancel-after response is not status=partial reason=cancelled"
+
+mine_block "$WORK/full.txt" 1 > "$WORK/full_block.txt"
+mine_block "$WORK/partial.txt" 1 > "$WORK/partial_block.txt"
+[[ -s "$WORK/full_block.txt" ]] || fail "full mine block is empty"
+head -c "$(wc -c < "$WORK/partial_block.txt")" "$WORK/full_block.txt" \
+  | cmp -s - "$WORK/partial_block.txt" \
+  || fail "--cancel-after block is not a byte-prefix of the full block"
+if [[ "$(wc -l < "$WORK/partial_block.txt")" -ge \
+      "$(wc -l < "$WORK/full_block.txt")" ]]; then
+  fail "--cancel-after block is not strictly shorter than the full block"
+fi
+
+# --- session 3: live stop mid-mine => partial + byte-prefix --------------
+# pool.task=delay:100 stalls every pool task (the session dispatch and each
+# partition task) long enough that the stop sent after one second lands
+# while the mine is still running.
+{ printf 'load %s\nmine --minsup 0.05 --threads 4\n' "$DATA"
+  sleep 1
+  printf 'stop\nquit\n'
+} | DISC_FAILPOINTS=pool.task=delay:100 "$SEQMINED" > "$WORK/conv3.txt" \
+  || fail "live-stop session exited $? (expected 0)"
+
+grep -q '^ok stop id=' "$WORK/conv3.txt" \
+  || fail "stop did not find an in-flight mine"
+mine_header "$WORK/conv3.txt" 1 \
+  | grep -q ' status=partial reason=cancelled ' \
+  || fail "stopped mine is not status=partial reason=cancelled"
+mine_block "$WORK/conv3.txt" 1 > "$WORK/stopped_block.txt"
+head -c "$(wc -c < "$WORK/stopped_block.txt")" "$WORK/full_block.txt" \
+  | cmp -s - "$WORK/stopped_block.txt" \
+  || fail "stopped block is not a byte-prefix of the full block"
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "check_server.sh: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "server cli smoke: ok ($(wc -l < "$WORK/block1.txt") cached patterns, \
+$(wc -l < "$WORK/partial_block.txt")/$(wc -l < "$WORK/full_block.txt") partial)"
