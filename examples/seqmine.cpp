@@ -13,6 +13,7 @@
 //               [--metrics-out=m.prom] [--events-out=e.jsonl]
 //               [--simd=off|sse2|avx2|auto]
 //   $ ./seqmine --serve [input.spmf] [--permissive] [--serve-threads=N]
+//   $ ./seqmine --connect=ADDR [input.spmf] [--minsup=F | --delta=N] ...
 //
 // --stats prints the per-run work counters, --trace-out writes a
 // chrome://tracing span file, --json-out a machine-readable report.
@@ -33,13 +34,26 @@
 // preloading a database first; --serve-threads sizes the engine's session
 // pool (concurrent queries, not per-mine parallelism).
 //
+// --connect=ADDR ("unix:<path>" or "<host>:<port>") runs one query
+// against a socket-mode seqmined (docs/SERVER.md, "Transport &
+// admission"): connect (retrying with capped exponential backoff,
+// --retries/--retry-base-ms/--retry-max-ms), optionally `load` the
+// positional file server-side, send one `mine`, and print the pattern
+// block to stdout. An `err busy retry-after-ms=<hint>` shed response is
+// retried after max(hint, backoff) — the polite-client half of the
+// server's load-shedding contract.
+//
 // Exit codes (docs/ROBUSTNESS.md): 0 success, 2 usage error, 3 data or
 // internal error, 4 stopped by deadline/cancellation (partial result
 // written).
 //
 // Uses the umbrella header, exercising the full public API.
-#include <iostream>
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
 
 #include "disc/disc.h"
 #include "disc/benchlib/workload.h"
@@ -66,6 +80,10 @@ int Usage() {
       "               [--simd=off|sse2|avx2|auto]\n"
       "       seqmine --serve [input.spmf] [--permissive]\n"
       "               [--serve-threads=N]\n"
+      "       seqmine --connect=ADDR [input.spmf] [--permissive]\n"
+      "               [mine options] [--retries=N] [--retry-base-ms=MS]\n"
+      "               [--retry-max-ms=MS]  (ADDR: unix:<path> | "
+      "<host>:<port>)\n"
       "algorithms:");
   for (const std::string& name : disc::AllMinerNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -101,6 +119,140 @@ int Serve(const disc::Flags& flags) {
   return server.Run();
 }
 
+// One query against a socket-mode seqmined (--connect). Exit codes follow
+// the one-shot CLI: 0 complete, 4 partial, 3 connection/protocol failure
+// or retries exhausted.
+int Connect(const disc::Flags& flags) {
+  const std::string address = flags.GetString("connect", "");
+  if (address.empty() || flags.positional().size() > 1) return Usage();
+  const long long retries = flags.GetInt("retries", 5);
+  const long long retry_base = flags.GetInt("retry-base-ms", 100);
+  const long long retry_max = flags.GetInt("retry-max-ms", 2000);
+  if (retries < 0 || retry_base < 1 || retry_max < retry_base) {
+    std::fprintf(stderr,
+                 "seqmine: need --retries >= 0 and "
+                 "1 <= --retry-base-ms <= --retry-max-ms\n");
+    return kExitUsage;
+  }
+  const bool quiet = flags.GetBool("quiet", false);
+
+  const auto backoff_ms = [&](long long attempt) -> std::uint64_t {
+    const long long shift = std::min<long long>(attempt, 16);
+    return static_cast<std::uint64_t>(
+        std::min<long long>(retry_base << shift, retry_max));
+  };
+
+  // Connect, retrying with capped exponential backoff: a server mid-start
+  // (or mid-drain-and-restart) is a transient, not a failure.
+  int fd = -1;
+  for (long long attempt = 0;; ++attempt) {
+    disc::StatusOr<int> dial = disc::server::DialAddress(address);
+    if (dial.ok()) {
+      fd = *dial;
+      break;
+    }
+    if (attempt >= retries) {
+      std::fprintf(stderr, "seqmine: %s (after %lld attempts)\n",
+                   dial.status().ToString().c_str(), attempt + 1);
+      return kExitDataError;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms(attempt)));
+  }
+  disc::server::FdStream stream(fd);
+
+  std::string line;
+  if (!std::getline(stream, line)) {
+    std::fprintf(stderr, "seqmine: no greeting from %s\n", address.c_str());
+    return kExitDataError;
+  }
+
+  if (!flags.positional().empty()) {
+    stream << "load " << flags.positional()[0]
+           << (flags.GetBool("permissive", false) ? " --permissive" : "")
+           << "\n"
+           << std::flush;
+    if (!std::getline(stream, line) || line.rfind("ok load", 0) != 0) {
+      std::fprintf(stderr, "seqmine: load failed: %s\n", line.c_str());
+      return kExitDataError;
+    }
+    if (!quiet) std::fprintf(stderr, "seqmine: %s\n", line.c_str());
+  }
+
+  std::string mine = "mine";
+  if (flags.Has("delta")) {
+    mine += " --delta " + std::to_string(flags.GetInt("delta", 2));
+  } else if (flags.Has("minsup")) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " --minsup %g",
+                  flags.GetDouble("minsup", 0.01));
+    mine += buf;
+  }
+  if (flags.Has("algo")) mine += " --algo " + flags.GetString("algo", "");
+  if (flags.Has("threads")) {
+    mine += " --threads " + std::to_string(flags.GetInt("threads", 1));
+  }
+  if (flags.Has("max-length")) {
+    mine += " --max-length " + std::to_string(flags.GetInt("max-length", 0));
+  }
+  if (flags.Has("deadline-ms")) {
+    mine += " --deadline-ms " + std::to_string(flags.GetInt("deadline-ms", 0));
+  }
+  if (flags.Has("cancel-after")) {
+    mine +=
+        " --cancel-after " + std::to_string(flags.GetInt("cancel-after", 0));
+  }
+
+  // Send the query; an `err busy` shed response carries the server's
+  // retry-after hint, which a polite client honors (taking the larger of
+  // the hint and its own exponential backoff).
+  for (long long attempt = 0;; ++attempt) {
+    stream << mine << "\n" << std::flush;
+    if (!std::getline(stream, line)) {
+      std::fprintf(stderr, "seqmine: connection to %s lost\n",
+                   address.c_str());
+      return kExitDataError;
+    }
+    if (line.rfind("err busy", 0) != 0) break;
+    if (attempt >= retries) {
+      std::fprintf(stderr, "seqmine: server busy, retries exhausted (%s)\n",
+                   line.c_str());
+      return kExitDataError;
+    }
+    std::uint64_t hint = 0;
+    const std::size_t pos = line.find("retry-after-ms=");
+    if (pos != std::string::npos) {
+      hint = std::strtoull(line.c_str() + pos + 15, nullptr, 10);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max(hint, backoff_ms(attempt))));
+  }
+  if (line.rfind("ok mine", 0) != 0) {
+    std::fprintf(stderr, "seqmine: %s\n", line.c_str());
+    return kExitDataError;
+  }
+  if (!quiet) std::fprintf(stderr, "seqmine: %s\n", line.c_str());
+  const bool partial = line.find(" status=partial") != std::string::npos;
+
+  // The pattern block, verbatim, up to the bare `end` frame.
+  bool saw_end = false;
+  while (std::getline(stream, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  if (!saw_end) {
+    std::fprintf(stderr, "seqmine: response truncated (no end frame)\n");
+    return kExitDataError;
+  }
+  stream << "quit\n" << std::flush;
+  while (std::getline(stream, line)) {
+  }  // drain through `ok quit` so the server sees a clean close
+  return partial ? kExitStopped : kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,7 +262,8 @@ int main(int argc, char** argv) {
     return kExitOk;  // asked-for usage is a success, not a usage error
   }
   const bool serve = flags.GetBool("serve", false);
-  if (flags.positional().empty() && !serve) return Usage();
+  const bool connect = flags.Has("connect");
+  if (flags.positional().empty() && !serve && !connect) return Usage();
 
   if (flags.Has("simd") &&
       !disc::ConfigureSimd(flags.GetString("simd", "auto"))) {
@@ -133,6 +286,7 @@ int main(int argc, char** argv) {
   }
 
   if (serve) return Serve(flags);
+  if (connect) return Connect(flags);
 
   disc::engine::MineRequest request;
   if (flags.Has("delta")) {

@@ -11,6 +11,27 @@ DISC_OBS_COUNTER(g_first_level_builds, "disc.first_level.builds");
 
 }  // namespace
 
+std::uint64_t FirstLevelState::ContentHash(const SequenceDatabase& db) {
+  // FNV-1a over every sequence's items and transaction offsets. The
+  // offsets fold in itemset boundaries, so <(1 2)> and <(1)(2)> hash
+  // differently even though their flattened items agree.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    const SequenceView seq = db[cid];
+    for (std::uint32_t t = 0; t < seq.NumTransactions(); ++t) {
+      mix(seq.TxnSize(t));
+      for (const Item* it = seq.TxnBegin(t); it != seq.TxnEnd(t); ++it) {
+        mix(*it);
+      }
+    }
+  }
+  return h;
+}
+
 std::size_t FirstLevelState::SizeBytes() const {
   std::size_t bytes = sizeof(FirstLevelState);
   bytes += item_support.capacity() * sizeof(std::uint32_t);
@@ -32,6 +53,7 @@ std::shared_ptr<const FirstLevelState> BuildFirstLevelState(
   state->db_sequences = db.size();
   state->db_total_items = db.TotalItems();
   state->max_item = db.max_item();
+  state->db_content_hash = FirstLevelState::ContentHash(db);
   const Item max_item = state->max_item;
 
   // Scan 1: distinct-per-customer support of every item (same stamp trick

@@ -31,12 +31,15 @@ namespace disc {
 /// BuildFirstLevelState; safe to share read-only across pool workers and
 /// concurrent engine sessions.
 struct FirstLevelState {
-  /// Fingerprint of the source database (Matches below). Cheap shape
-  /// aggregates, not a content hash: the engine invalidates on every load,
-  /// so the fingerprint only guards against API misuse, not collisions.
+  /// Fingerprint of the source database (Matches below): cheap shape
+  /// aggregates plus a content hash (ContentHash). The hash matters since
+  /// the engine's QueryCache became a multi-database LRU that loads do NOT
+  /// invalidate — two databases with identical shape aggregates must not
+  /// serve each other's state.
   std::size_t db_sequences = 0;
   std::uint64_t db_total_items = 0;
   Item max_item = 0;
+  std::uint64_t db_content_hash = 0;
 
   /// Per-item support: item_support[x] = number of distinct customer
   /// sequences containing x, for every x in [0, max_item] (no threshold
@@ -55,11 +58,21 @@ struct FirstLevelState {
   /// needs.
   std::vector<std::vector<Item>> alphabet_of;
 
+  /// FNV-1a over the database's itemset boundaries and items — one O(n)
+  /// pass. Callers probing several cached states against one database
+  /// (engine/query_cache.cc) should compute it once and use the
+  /// three-argument Matches overload.
+  static std::uint64_t ContentHash(const SequenceDatabase& db);
+
   /// True when this state was built from a database with the same
-  /// fingerprint. See the caveat above.
+  /// fingerprint (shape aggregates + content hash).
   bool Matches(const SequenceDatabase& db) const {
+    return Matches(db, ContentHash(db));
+  }
+  /// Matches with the content hash precomputed (`hash = ContentHash(db)`).
+  bool Matches(const SequenceDatabase& db, std::uint64_t hash) const {
     return db_sequences == db.size() && db_total_items == db.TotalItems() &&
-           max_item == db.max_item();
+           max_item == db.max_item() && db_content_hash == hash;
   }
 
   /// Largest item occurring in the ⟨lambda⟩-partition (the back of its

@@ -44,12 +44,15 @@
 #include "disc/core/nrr.h"               // IWYU pragma: export
 #include "disc/core/weighted.h"          // IWYU pragma: export
 
-// The engine layer (resident database + query cache + sessions) and the
-// seqmined line protocol served over it.
+// The engine layer (resident database + query cache + sessions), the
+// seqmined line protocol served over it, and the socket transport with
+// admission control that puts it on the network.
 #include "disc/engine/query_cache.h"  // IWYU pragma: export
 #include "disc/engine/engine.h"       // IWYU pragma: export
 #include "disc/server/protocol.h"     // IWYU pragma: export
+#include "disc/server/admission.h"    // IWYU pragma: export
 #include "disc/server/server.h"       // IWYU pragma: export
+#include "disc/server/transport.h"    // IWYU pragma: export
 
 // Synthetic data.
 #include "disc/gen/quest.h"  // IWYU pragma: export

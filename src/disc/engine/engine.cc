@@ -57,6 +57,7 @@ void Session::Finish(MineResponse response) {
 
 Engine::Engine(const Config& config)
     : config_(config),
+      cache_(config.cache_slots),
       pool_(ResolveThreadCount(config.session_threads)) {}
 
 Engine::~Engine() {
@@ -90,8 +91,10 @@ LoadInfo Engine::Install(SequenceDatabase db, std::size_t skipped) {
     db_ = std::move(shared);
   }
   // In-flight sessions keep their snapshot; only future queries see the
-  // new database, and the stale first-level slot can never match it.
-  cache_.Invalidate();
+  // new database. The cache is NOT invalidated: its slots are keyed by
+  // database fingerprint, so the replaced database's state can never
+  // match a query against the new one — and stays warm in case the old
+  // database is loaded again (query_cache.h).
   loads_.fetch_add(1, std::memory_order_relaxed);
   DISC_OBS_INC(g_engine_loads);
   return info;

@@ -17,8 +17,10 @@
 // Concurrency model: LoadSpmf/LoadDatabase swap the database under a
 // mutex; a session snapshots the shared_ptr at submit time, so an
 // in-flight mine keeps its database alive and consistent even while a new
-// one loads. The QueryCache is invalidated on load and re-keyed by the
-// database fingerprint, so a session racing a load simply misses.
+// one loads. The QueryCache is an LRU keyed by database fingerprint, so a
+// session racing a load simply misses — loads never invalidate it, and
+// alternating between a few resident databases keeps each one's
+// first-level state warm.
 #ifndef DISC_ENGINE_ENGINE_H_
 #define DISC_ENGINE_ENGINE_H_
 
@@ -154,6 +156,9 @@ class Engine {
     /// CLI path, where building alphabets for a single query is pure
     /// overhead. Output is byte-identical either way.
     bool enable_cache = true;
+    /// QueryCache LRU capacity: how many databases keep warm first-level
+    /// state at once (>= 1; see query_cache.h).
+    std::uint32_t cache_slots = 4;
   };
 
   Engine() : Engine(Config{}) {}
@@ -163,8 +168,10 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Loads an SPMF file as the resident database, invalidating the cache.
-  /// kIoError / kDataLoss on failure (the previous database stays).
+  /// Loads an SPMF file as the resident database. kIoError / kDataLoss on
+  /// failure (the previous database stays). The QueryCache is untouched:
+  /// slots are fingerprint-keyed, so the old database's state can never
+  /// serve the new one, and re-loading a cached database hits warm state.
   StatusOr<LoadInfo> LoadSpmf(const std::string& path,
                               const ParseOptions& options = {});
 

@@ -1,0 +1,110 @@
+#include "disc/server/admission.h"
+
+#include <algorithm>
+
+#include "disc/common/check.h"
+#include "disc/common/failpoint.h"
+#include "disc/obs/metrics.h"
+
+namespace disc {
+namespace server {
+
+DISC_OBS_COUNTER(g_admit_admitted, "admit.admitted");
+DISC_OBS_COUNTER(g_admit_rejected, "admit.rejected");
+DISC_OBS_GAUGE(g_admit_active, "admit.active");
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {
+  DISC_CHECK_MSG(config_.max_inflight >= 1, "max_inflight must be >= 1");
+  DISC_CHECK_MSG(config_.per_client >= 1, "per_client must be >= 1");
+}
+
+std::uint64_t AdmissionController::RetryAfterHint(
+    std::uint32_t reject_streak) const {
+  // base << streak, saturating at the ceiling. The shift is clamped so a
+  // pathological streak can't wrap the multiplication.
+  const std::uint32_t shift = std::min<std::uint32_t>(reject_streak, 16);
+  const std::uint64_t hint = config_.retry_after_base_ms << shift;
+  return std::min(hint, config_.retry_after_max_ms);
+}
+
+AdmissionDecision AdmissionController::Reject(ClientState* client,
+                                              const char* reason) {
+  AdmissionDecision decision;
+  decision.retry_after_ms = RetryAfterHint(reject_streak_);
+  decision.reason = reason;
+  ++reject_streak_;
+  ++rejected_total_;
+  if (client != nullptr) ++client->rejected;
+  DISC_OBS_INC(g_admit_rejected);
+  return decision;
+}
+
+AdmissionDecision AdmissionController::TryAdmit(const std::string& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClientState& state = clients_[client];
+  if (DISC_FAILPOINT("admit.reject") == failpoint::Action::kError) {
+    return Reject(&state, "injected");
+  }
+  if (state.active >= config_.per_client) {
+    return Reject(&state, "client");
+  }
+  const std::uint32_t window = config_.max_inflight + config_.max_pending;
+  if (total_active_ >= window) {
+    return Reject(&state, "global");
+  }
+  AdmissionDecision decision;
+  decision.admitted = true;
+  decision.queued = total_active_ >= config_.max_inflight;
+  ++total_active_;
+  ++state.active;
+  ++state.admitted;
+  ++admitted_total_;
+  reject_streak_ = 0;
+  DISC_OBS_INC(g_admit_admitted);
+  DISC_OBS_SET(g_admit_active, static_cast<double>(total_active_));
+  return decision;
+}
+
+void AdmissionController::Release(const std::string& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DISC_CHECK_MSG(total_active_ > 0, "Release without a matching TryAdmit");
+  --total_active_;
+  // A freed slot means progress: the next rejection starts from the base
+  // hint again instead of a stale deep-overload estimate.
+  reject_streak_ = 0;
+  auto it = clients_.find(client);
+  DISC_CHECK_MSG(it != clients_.end() && it->second.active > 0,
+                 "Release for a client with no admitted slot");
+  --it->second.active;
+  DISC_OBS_SET(g_admit_active, static_cast<double>(total_active_));
+}
+
+void AdmissionController::ForgetClient(const std::string& client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client);
+  if (it != clients_.end() && it->second.active == 0) clients_.erase(it);
+}
+
+void AdmissionController::ApplyDefaults(engine::MineRequest* request) const {
+  if (config_.default_deadline_ms > 0 && request->options.deadline_ms == 0) {
+    request->options.deadline_ms = config_.default_deadline_ms;
+  }
+}
+
+AdmissionController::Stats AdmissionController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.active = std::min(total_active_, config_.max_inflight);
+  stats.queued = total_active_ - stats.active;
+  stats.admitted = admitted_total_;
+  stats.rejected = rejected_total_;
+  for (const auto& [id, state] : clients_) {
+    stats.clients.push_back(
+        {id, state.active, state.admitted, state.rejected});
+  }
+  return stats;
+}
+
+}  // namespace server
+}  // namespace disc

@@ -1,0 +1,140 @@
+// Admission control for the networked serving layer: explicit resource
+// budgets instead of unbounded queues.
+//
+// The moment many untrusted clients share one resident engine
+// (server/transport.h), the binding constraint is robustness: a burst of
+// `mine` commands must not pile unboundedly into the engine's session
+// pool, one greedy client must not starve the rest, and a request that
+// cannot be served soon should be told so *immediately* — load shedding —
+// rather than parked on a queue whose wait time nobody bounded. The
+// AdmissionController enforces three budgets:
+//
+//   * a global in-flight cap (`max_inflight`): mines running concurrently;
+//   * a bounded pending window (`max_pending`): mines admitted beyond the
+//     cap — they queue inside the engine's session pool, but only this
+//     many deep;
+//   * a per-client concurrency limit (`per_client`): concurrent sessions
+//     per client identity (peer uid for unix sockets, peer IP for TCP),
+//     so one client opening many connections cannot monopolize the
+//     window.
+//
+// Over-limit requests are rejected with a retry-after hint the protocol
+// frames as `err busy retry-after-ms=<n> ...` (docs/SERVER.md); the hint
+// doubles with every consecutive rejection (capped), so a polite client
+// backing off exponentially and an impolite client hammering the socket
+// converge on the same bounded server load. Admission also stamps the
+// configured default deadline onto requests that carry none, so no query
+// can hold a slot forever.
+//
+// The `admit.reject` fail point (docs/ROBUSTNESS.md) forces rejection, so
+// the shedding path is chaos-testable without generating real overload.
+#ifndef DISC_SERVER_ADMISSION_H_
+#define DISC_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "disc/engine/engine.h"
+
+namespace disc {
+namespace server {
+
+/// Budgets for one serving process. Defaults suit a small shared box.
+struct AdmissionConfig {
+  /// Mines running concurrently across all clients (>= 1).
+  std::uint32_t max_inflight = 4;
+  /// Admitted-but-not-yet-running window beyond the cap; 0 = run-or-shed.
+  std::uint32_t max_pending = 8;
+  /// Concurrent sessions per client identity (>= 1).
+  std::uint32_t per_client = 2;
+  /// Stamped onto any admitted MineRequest that has no deadline (0 = off):
+  /// a slot can then never be held longer than this plus scheduling slack.
+  std::uint64_t default_deadline_ms = 0;
+  /// First retry-after hint; doubles per consecutive rejection.
+  std::uint64_t retry_after_base_ms = 100;
+  /// Hint ceiling.
+  std::uint64_t retry_after_max_ms = 5000;
+};
+
+/// One admission verdict. Exactly one of `admitted` / rejection holds;
+/// `queued` refines an admitted verdict (the mine will wait in the
+/// engine's pool behind `max_inflight` runners).
+struct AdmissionDecision {
+  bool admitted = false;
+  bool queued = false;
+  /// Rejections only: the backoff hint for the `err busy` line.
+  std::uint64_t retry_after_ms = 0;
+  /// Rejections only: "global" | "client" | "injected" (admit.reject).
+  const char* reason = "";
+};
+
+/// Thread-safe admission state shared by every connection of one
+/// transport. See file comment.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Asks for a mine slot on behalf of `client`. An admitted caller MUST
+  /// eventually call Release(client) exactly once (the server does so when
+  /// the session's response has been emitted).
+  AdmissionDecision TryAdmit(const std::string& client);
+
+  /// Returns an admitted slot.
+  void Release(const std::string& client);
+
+  /// Drops the per-client record once its connections are gone (no-op
+  /// while the client still holds slots).
+  void ForgetClient(const std::string& client);
+
+  /// Stamps config defaults (currently the default deadline) onto an
+  /// admitted request. Requests that already carry a deadline keep it.
+  void ApplyDefaults(engine::MineRequest* request) const;
+
+  /// The pure hint arithmetic, exposed for tests: base << streak, capped.
+  std::uint64_t RetryAfterHint(std::uint32_t reject_streak) const;
+
+  struct ClientStats {
+    std::string client;
+    std::uint32_t active = 0;      ///< slots currently held
+    std::uint64_t admitted = 0;    ///< lifetime admissions
+    std::uint64_t rejected = 0;    ///< lifetime rejections
+  };
+  struct Stats {
+    std::uint32_t active = 0;      ///< slots running (<= max_inflight)
+    std::uint32_t queued = 0;      ///< admitted beyond the running cap
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::vector<ClientStats> clients;  ///< sorted by client id
+  };
+  /// Point-in-time snapshot (stat framing, tests).
+  Stats snapshot() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct ClientState {
+    std::uint32_t active = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  AdmissionDecision Reject(ClientState* client, const char* reason);
+
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::uint32_t total_active_ = 0;      // guarded by mu_
+  std::uint32_t reject_streak_ = 0;     // consecutive rejections, guarded by mu_
+  std::uint64_t admitted_total_ = 0;    // guarded by mu_
+  std::uint64_t rejected_total_ = 0;    // guarded by mu_
+  std::map<std::string, ClientState> clients_;  // guarded by mu_
+};
+
+}  // namespace server
+}  // namespace disc
+
+#endif  // DISC_SERVER_ADMISSION_H_

@@ -78,30 +78,48 @@ struct Server::LineQueue {
   }
 };
 
-Server::Server(engine::Engine* engine, std::istream& in, std::ostream& out)
+Server::Server(engine::Engine* engine, std::istream& in, std::ostream& out,
+               ServerOptions options)
     : engine_(engine),
       in_(in),
       out_(out),
+      options_(std::move(options)),
       queue_(std::make_shared<LineQueue>()) {}
 
 Server::~Server() {
   if (!queue_->reader.joinable()) return;
-  // A reader parked in getline on an interactive stdin may never return —
-  // detach it; std::cin outlives the process and the thread only touches
-  // the co-owned LineQueue. Every other stream is caller-owned and may be
-  // destroyed right after Run() returns (a quit command exits the serve
-  // loop before the reader observes EOF), so its reader MUST be joined;
-  // such streams (string buffers, files, closed pipes) always reach EOF.
   bool eof;
   {
     std::lock_guard<std::mutex> lock(queue_->mu);
     eof = queue_->eof;
   }
-  if (&in_ == &std::cin && !eof) {
+  if (!eof && options_.unblock_reader) {
+    // Transport-provided escape hatch: shutdown(SHUT_RD) (or equivalent)
+    // turns the parked getline into EOF, so the reader is always joinable.
+    options_.unblock_reader();
+  } else if (&in_ == &std::cin && !eof) {
+    // The sole documented exception: a reader parked in getline on an
+    // interactive stdin may never return — detach it; std::cin outlives
+    // the process and the thread only touches the co-owned LineQueue.
     queue_->reader.detach();
-  } else {
-    queue_->reader.join();
+    return;
   }
+  // Every other stream is caller-owned and may be destroyed right after
+  // Run() returns (a quit command exits the serve loop before the reader
+  // observes EOF), so its reader MUST be joined; such streams (string
+  // buffers, files, closed pipes, shutdown sockets) always reach EOF.
+  queue_->reader.join();
+}
+
+bool Server::Draining() const {
+  return options_.drain != nullptr &&
+         options_.drain->load(std::memory_order_acquire);
+}
+
+void Server::ReleaseSlot() {
+  if (!holding_slot_) return;
+  holding_slot_ = false;
+  options_.admission->Release(options_.client_id);
 }
 
 int Server::Run() {
@@ -116,7 +134,14 @@ int Server::Run() {
   });
 
   while (!quit_) {
+    if (Draining()) break;
     if (inflight_ != nullptr) {
+      // A disconnected socket client must not keep the engine mining for
+      // nobody: its session is cancelled the moment input hits EOF (the
+      // partial response below is written into the void harmlessly).
+      if (options_.cancel_inflight_on_eof && queue_->AtEof()) {
+        inflight_->Cancel();
+      }
       // Answer interruptive commands while the mine runs; park the rest.
       std::string line;
       if (queue_->TryPop(&line)) {
@@ -138,9 +163,20 @@ int Server::Run() {
   }
 
   if (inflight_ != nullptr) {
+    // Drain cancels cooperatively; the client still receives its
+    // byte-prefix partial result (only the read side is down).
+    if (Draining()) inflight_->Cancel();
     inflight_->Wait();
     EmitMineResponse();
   }
+  // Under drain, work parked behind the in-flight mine is refused, not
+  // silently dropped: each deferred command gets an in-band answer.
+  if (Draining()) {
+    for (std::size_t i = 0; i < deferred_.size(); ++i) {
+      out_ << "error draining: command rejected" << std::endl;
+    }
+  }
+  deferred_.clear();
   out_ << "ok quit" << std::endl;
   return 0;
 }
@@ -220,8 +256,23 @@ void Server::DoMine(const Command& cmd) {
     request.cancel_after = cmd.mine.cancel_after;
   }
 
+  if (options_.admission != nullptr) {
+    // Load shedding: an over-limit request is told so immediately, with a
+    // backoff hint, instead of queueing unboundedly (docs/SERVER.md).
+    const AdmissionDecision decision =
+        options_.admission->TryAdmit(options_.client_id);
+    if (!decision.admitted) {
+      out_ << "err busy retry-after-ms=" << decision.retry_after_ms
+           << " reason=" << decision.reason << std::endl;
+      return;
+    }
+    holding_slot_ = true;
+    options_.admission->ApplyDefaults(&request);
+  }
+
   auto session = engine_->Submit(request);
   if (!session.ok()) {
+    ReleaseSlot();
     out_ << "error mine: " << session.status().message() << std::endl;
     return;
   }
@@ -235,6 +286,7 @@ void Server::EmitMineResponse() {
 
   if (!r.status.ok() && !r.partial()) {
     out_ << "error mine: " << r.status.ToString() << std::endl;
+    ReleaseSlot();
     return;
   }
 
@@ -249,6 +301,7 @@ void Server::EmitMineResponse() {
        << " wall_ms=" << FormatMs(r.wall_ms) << "\n";
   out_ << ToSpmfPatternString(r.patterns);
   out_ << "end" << std::endl;
+  ReleaseSlot();
 }
 
 void Server::DoStop() {
@@ -267,7 +320,25 @@ void Server::DoStat() {
        << "\n";
   out_ << "info cache hits=" << engine_->cache().hits()
        << " misses=" << engine_->cache().misses()
-       << " bytes=" << engine_->cache().bytes() << "\n";
+       << " bytes=" << engine_->cache().bytes()
+       << " slots=" << engine_->cache().slots()
+       << " capacity=" << engine_->cache().capacity()
+       << " evictions=" << engine_->cache().evictions() << "\n";
+  if (options_.admission != nullptr) {
+    const AdmissionController::Stats admit = options_.admission->snapshot();
+    const AdmissionConfig& cfg = options_.admission->config();
+    out_ << "info admit active=" << admit.active
+         << " queued=" << admit.queued << " admitted=" << admit.admitted
+         << " rejected=" << admit.rejected
+         << " max_inflight=" << cfg.max_inflight
+         << " max_pending=" << cfg.max_pending
+         << " per_client=" << cfg.per_client << "\n";
+    for (const AdmissionController::ClientStats& client : admit.clients) {
+      out_ << "info client id=" << client.client
+           << " active=" << client.active << " admitted=" << client.admitted
+           << " rejected=" << client.rejected << "\n";
+    }
+  }
   // Live runs come from the process-global registry (obs/progress.h);
   // empty when the registry is disabled or compiled out.
   for (const obs::ProgressSnapshot& run :

@@ -23,26 +23,60 @@
 #ifndef DISC_SERVER_SERVER_H_
 #define DISC_SERVER_SERVER_H_
 
+#include <atomic>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <string>
 
 #include "disc/engine/engine.h"
+#include "disc/server/admission.h"
 #include "disc/server/protocol.h"
 
 namespace disc {
 namespace server {
 
+/// Per-session knobs the transport layer (server/transport.h) threads into
+/// each connection's Server. Defaults reproduce the PR-8 stdin behavior:
+/// no admission control, no drain flag, EOF finishes in-flight work.
+struct ServerOptions {
+  /// Client identity for admission accounting and `stat` framing (the peer
+  /// uid/IP for sockets, "stdin" for the local session).
+  std::string client_id = "stdin";
+  /// Shared admission state; nullptr = every mine is admitted. When set,
+  /// over-limit `mine` commands are shed with an immediate
+  /// `err busy retry-after-ms=<hint> reason=<r>` line.
+  AdmissionController* admission = nullptr;
+  /// Transport drain flag; when it flips true the serve loop stops taking
+  /// commands, cancels its in-flight mine (the client still receives the
+  /// byte-prefix partial response), answers deferred commands with
+  /// `error draining`, and exits.
+  std::atomic<bool>* drain = nullptr;
+  /// Unblocks a reader parked in getline (e.g. socket shutdown(SHUT_RD))
+  /// so the destructor can always join it. Without this, only an
+  /// interactive std::cin reader may be left parked — it is detached, the
+  /// sole documented exception to "readers are joinable".
+  std::function<void()> unblock_reader;
+  /// Cancel an in-flight mine the moment input hits EOF — a disconnected
+  /// socket client must not keep the engine mining for nobody. Off for
+  /// stdin/scripted sessions, where EOF means "finish queued work, then
+  /// quit".
+  bool cancel_inflight_on_eof = false;
+};
+
 /// One protocol session over a stream pair. See file comment.
 class Server {
  public:
   /// `engine` must outlive Run(); the streams must outlive the Server.
-  /// The destructor joins the reader thread — except for a std::cin reader
-  /// left parked by a `quit` on an interactive terminal, which is detached
-  /// (std::cin outlives the process). Any other input stream must reach
-  /// EOF eventually (string buffers, files, and closed pipes all do), or
-  /// the destructor would block.
-  Server(engine::Engine* engine, std::istream& in, std::ostream& out);
+  /// The destructor joins the reader thread — via options.unblock_reader
+  /// when provided — except for a std::cin reader left parked by a `quit`
+  /// on an interactive terminal, which is detached (std::cin outlives the
+  /// process). Any other input stream must reach EOF eventually (string
+  /// buffers, files, and closed pipes all do) or supply unblock_reader,
+  /// or the destructor would block.
+  Server(engine::Engine* engine, std::istream& in, std::ostream& out,
+         ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -64,13 +98,17 @@ class Server {
   void DoStat();
   void DoHelp();
   void EmitMineResponse();
+  void ReleaseSlot();
+  bool Draining() const;
 
   engine::Engine* const engine_;
   std::istream& in_;
   std::ostream& out_;
+  const ServerOptions options_;
   std::shared_ptr<LineQueue> queue_;
 
   std::shared_ptr<engine::Session> inflight_;
+  bool holding_slot_ = false;     // an admission slot awaiting ReleaseSlot
   std::deque<Command> deferred_;  // load/mine/quit parked behind inflight_
   bool quit_ = false;
 };

@@ -1,0 +1,531 @@
+#include "disc/server/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "disc/common/check.h"
+#include "disc/common/failpoint.h"
+#include "disc/obs/metrics.h"
+#include "disc/server/server.h"
+
+namespace disc {
+namespace server {
+
+DISC_OBS_COUNTER(g_conns_accepted, "server.connections.accepted");
+DISC_OBS_COUNTER(g_conns_refused, "server.connections.refused");
+DISC_OBS_GAUGE(g_conns_active, "server.connections.active");
+DISC_OBS_COUNTER(g_read_timeouts, "server.read.timeouts");
+DISC_OBS_COUNTER(g_write_failures, "server.write.failures");
+
+namespace {
+
+constexpr std::size_t kStreamBufSize = 4096;
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+// Writes never raise SIGPIPE: MSG_NOSIGNAL where the fd is a socket, and
+// the process-wide disposition is set to ignore (Listen/DialAddress) for
+// the pipe/regular-fd fallback path.
+void IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+// poll() one fd for `events`; 0 timeout = wait forever. Returns 1 ready,
+// 0 timeout, -1 error. EINTR retries with the remaining budget.
+int PollFd(int fd, short events, std::uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms != 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      wait = left > 0 ? static_cast<int>(left) : 0;
+    }
+    struct pollfd pfd{fd, events, 0};
+    const int r = ::poll(&pfd, 1, wait);
+    if (r >= 0) return r > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+  }
+}
+
+}  // namespace
+
+// --- FdStreamBuf ------------------------------------------------------------
+
+FdStreamBuf::FdStreamBuf(int fd, std::uint64_t read_timeout_ms,
+                         std::uint64_t write_timeout_ms)
+    : fd_(fd),
+      read_timeout_ms_(read_timeout_ms),
+      write_timeout_ms_(write_timeout_ms),
+      in_buf_(kStreamBufSize),
+      out_buf_(kStreamBufSize) {
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data());
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+}
+
+FdStreamBuf::~FdStreamBuf() { FlushOut(); }
+
+void FdStreamBuf::ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
+
+void FdStreamBuf::ShutdownBoth() { ::shutdown(fd_, SHUT_RDWR); }
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  if (DISC_FAILPOINT("net.read") == failpoint::Action::kError) {
+    return traits_type::eof();
+  }
+  const int ready = PollFd(fd_, POLLIN, read_timeout_ms_);
+  if (ready < 0) return traits_type::eof();
+  if (ready == 0) {
+    // Idle/read timeout: the connection is treated as gone. The server
+    // closes it instead of parking a thread on a silent peer.
+    DISC_OBS_INC(g_read_timeouts);
+    return traits_type::eof();
+  }
+  ssize_t n;
+  do {
+    n = ::read(fd_, in_buf_.data(), in_buf_.size());
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data() + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+std::ptrdiff_t FdStreamBuf::WriteSome(const char* data, std::size_t n) {
+  const int ready = PollFd(fd_, POLLOUT, write_timeout_ms_);
+  if (ready <= 0) return -1;  // timeout or poll failure: connection is dead
+  ssize_t written;
+  do {
+    written = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (written < 0 && errno == ENOTSOCK) {
+      written = ::write(fd_, data, n);  // pipes/files in tests
+    }
+  } while (written < 0 && errno == EINTR);
+  return written;
+}
+
+bool FdStreamBuf::FlushOut() {
+  const char* p = pbase();
+  const std::size_t pending = static_cast<std::size_t>(pptr() - pbase());
+  if (pending == 0) return true;
+  if (DISC_FAILPOINT("net.write") == failpoint::Action::kError) {
+    DISC_OBS_INC(g_write_failures);
+    setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+    return false;
+  }
+  std::size_t done = 0;
+  while (done < pending) {
+    const std::ptrdiff_t n = WriteSome(p + done, pending - done);
+    if (n <= 0) {
+      DISC_OBS_INC(g_write_failures);
+      setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!FlushOut()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return FlushOut() ? 0 : -1; }
+
+FdStream::FdStream(int fd, std::uint64_t read_timeout_ms,
+                   std::uint64_t write_timeout_ms)
+    : std::iostream(nullptr), buf_(fd, read_timeout_ms, write_timeout_ms) {
+  rdbuf(&buf_);
+}
+
+FdStream::~FdStream() {
+  buf_.pubsync();
+  ::close(buf_.fd());
+}
+
+// --- DialAddress ------------------------------------------------------------
+
+StatusOr<int> DialAddress(const std::string& address) {
+  IgnoreSigpipe();
+  if (address.rfind("unix:", 0) == 0) {
+    const std::string path = address.substr(5);
+    struct sockaddr_un sun{};
+    if (path.empty() || path.size() >= sizeof(sun.sun_path)) {
+      return Status::InvalidArgument("bad unix socket path '" + path + "'");
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return ErrnoStatus("socket");
+    sun.sun_family = AF_UNIX;
+    std::memcpy(sun.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&sun),
+                  sizeof(sun)) != 0) {
+      const Status status = ErrnoStatus("connect " + path);
+      ::close(fd);
+      return status;
+    }
+    return fd;
+  }
+
+  std::string rest = address;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    return Status::InvalidArgument(
+        "bad address '" + address + "' (want unix:<path> or <host>:<port>)");
+  }
+  const std::string host = rest.substr(0, colon);
+  const std::string port = rest.substr(colon + 1);
+
+  struct addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0) {
+    return Status::IoError("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  Status last = Status::IoError("connect " + address + ": no addresses");
+  for (struct addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd =
+        ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(results);
+      return fd;
+    }
+    last = ErrnoStatus("connect " + address);
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  return last;
+}
+
+// --- SocketTransport --------------------------------------------------------
+
+// One accepted connection: its streams, serving thread, and completion
+// flag. Heap-allocated so its address stays stable in conns_. The input
+// and output streams are DISTINCT objects over one shared FdStreamBuf:
+// the reader thread's getline hitting EOF (disconnect, drain shutdown)
+// sets failbit on `in` only, so the serving thread can still write the
+// in-flight mine's byte-prefix partial response through `out`.
+struct SocketTransport::Connection {
+  Connection(int conn_fd, const TransportOptions& options)
+      : fd(conn_fd),
+        buf(conn_fd, options.idle_timeout_ms, options.write_timeout_ms),
+        in(&buf),
+        out(&buf) {}
+  ~Connection() {
+    buf.pubsync();
+    ::close(fd);
+  }
+
+  const int fd;
+  std::string client;
+  FdStreamBuf buf;
+  std::istream in;
+  std::ostream out;
+  std::atomic<bool> done{false};
+  std::thread thread;
+};
+
+SocketTransport::SocketTransport(engine::Engine* engine,
+                                 const TransportOptions& options)
+    : engine_(engine), options_(options), admission_(options.admission) {}
+
+SocketTransport::~SocketTransport() {
+  RequestDrain();
+  ReapFinished(/*join_all=*/true);
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status SocketTransport::Listen() {
+  IgnoreSigpipe();
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "no listener configured (set unix_path and/or tcp_port)");
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) != 0) {
+    return ErrnoStatus("pipe2");
+  }
+
+  if (!options_.unix_path.empty()) {
+    struct sockaddr_un sun{};
+    if (options_.unix_path.size() >= sizeof(sun.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_path);
+    }
+    ::unlink(options_.unix_path.c_str());  // replace a stale socket file
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (unix_fd_ < 0) return ErrnoStatus("socket(unix)");
+    sun.sun_family = AF_UNIX;
+    std::memcpy(sun.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    if (::bind(unix_fd_, reinterpret_cast<struct sockaddr*>(&sun),
+               sizeof(sun)) != 0) {
+      return ErrnoStatus("bind " + options_.unix_path);
+    }
+    if (::listen(unix_fd_, 64) != 0) {
+      return ErrnoStatus("listen " + options_.unix_path);
+    }
+  }
+
+  if (options_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (tcp_fd_ < 0) return ErrnoStatus("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &sin.sin_addr) != 1) {
+      return Status::InvalidArgument("bad tcp_host '" + options_.tcp_host +
+                                     "' (want an IPv4 address)");
+    }
+    if (::bind(tcp_fd_, reinterpret_cast<struct sockaddr*>(&sin),
+               sizeof(sin)) != 0) {
+      return ErrnoStatus("bind " + options_.tcp_host + ":" +
+                         std::to_string(options_.tcp_port));
+    }
+    if (::listen(tcp_fd_, 64) != 0) return ErrnoStatus("listen(tcp)");
+    struct sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcp_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                      &len) == 0) {
+      resolved_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+  return Status::Ok();
+}
+
+void SocketTransport::RequestDrain() {
+  drain_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    // Async-signal-safe wake-up; a full pipe is fine (the byte only has
+    // to exist, not arrive N times).
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void SocketTransport::AcceptOn(int listen_fd, bool is_unix) {
+  struct sockaddr_storage addr{};
+  socklen_t addr_len = sizeof(addr);
+  const int fd = ::accept4(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                           &addr_len, SOCK_CLOEXEC);
+  if (fd < 0) return;  // transient (EAGAIN/ECONNABORTED): keep serving
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  DISC_OBS_INC(g_conns_accepted);
+  if (DISC_FAILPOINT("net.accept") == failpoint::Action::kError) {
+    // Injected accept failure: the client sees a closed connection; the
+    // serving process carries on.
+    ::close(fd);
+    DISC_OBS_INC(g_conns_refused);
+    return;
+  }
+
+  // Client identity for per-client admission limits: the peer uid on unix
+  // sockets, the peer IP on TCP — stable across many connections from the
+  // same client, unlike the connection id.
+  std::string client;
+  if (is_unix) {
+    struct ucred cred{};
+    socklen_t cred_len = sizeof(cred);
+    if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED, &cred, &cred_len) == 0) {
+      client = "uid:" + std::to_string(cred.uid);
+    } else {
+      client = "unix:anon";
+    }
+  } else {
+    char buf[INET6_ADDRSTRLEN] = "?";
+    if (addr.ss_family == AF_INET) {
+      const auto* sin = reinterpret_cast<struct sockaddr_in*>(&addr);
+      ::inet_ntop(AF_INET, &sin->sin_addr, buf, sizeof(buf));
+    } else if (addr.ss_family == AF_INET6) {
+      const auto* sin6 = reinterpret_cast<struct sockaddr_in6*>(&addr);
+      ::inet_ntop(AF_INET6, &sin6->sin6_addr, buf, sizeof(buf));
+    }
+    client = std::string("ip:") + buf;
+  }
+
+  auto conn = std::make_unique<Connection>(fd, options_);
+  conn->client = client;
+  Connection* c = conn.get();
+  active_.fetch_add(1, std::memory_order_relaxed);
+  DISC_OBS_SET(g_conns_active,
+               static_cast<double>(active_.load(std::memory_order_relaxed)));
+  conn->thread = std::thread([this, c] {
+    {
+      ServerOptions opts;
+      opts.client_id = c->client;
+      opts.admission = &admission_;
+      opts.drain = &drain_;
+      opts.cancel_inflight_on_eof = true;
+      opts.unblock_reader = [c] { c->buf.ShutdownRead(); };
+      Server server(engine_, c->in, c->out, std::move(opts));
+      server.Run();
+    }  // ~Server joins the connection reader (unblocked via ShutdownRead)
+    admission_.ForgetClient(c->client);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    DISC_OBS_SET(g_conns_active,
+                 static_cast<double>(active_.load(std::memory_order_relaxed)));
+    c->done.store(true, std::memory_order_release);
+  });
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.push_back(std::move(conn));
+}
+
+void SocketTransport::ReapFinished(bool join_all) {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto keep = conns_.begin();
+    for (auto& conn : conns_) {
+      if (join_all || conn->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(conn));
+      } else {
+        *keep++ = std::move(conn);
+      }
+    }
+    conns_.erase(keep, conns_.end());
+  }
+  // Joins happen outside the lock: a connection thread finishing right now
+  // must not deadlock against us holding conns_mu_.
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+int SocketTransport::Serve() {
+  DISC_CHECK_MSG(unix_fd_ >= 0 || tcp_fd_ >= 0, "Serve() before Listen()");
+  while (!drain_.load(std::memory_order_acquire)) {
+    struct pollfd fds[3];
+    int n = 0;
+    fds[n++] = {wake_pipe_[0], POLLIN, 0};
+    int unix_idx = -1, tcp_idx = -1;
+    if (unix_fd_ >= 0) {
+      unix_idx = n;
+      fds[n++] = {unix_fd_, POLLIN, 0};
+    }
+    if (tcp_fd_ >= 0) {
+      tcp_idx = n;
+      fds[n++] = {tcp_fd_, POLLIN, 0};
+    }
+    // Wake at least every 500 ms to reap finished connection threads.
+    const int r = ::poll(fds, static_cast<nfds_t>(n), 500);
+    if (r < 0 && errno != EINTR) break;
+    if (r > 0) {
+      if (fds[0].revents & POLLIN) {
+        char buf[16];
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+      }
+      if (unix_idx >= 0 && (fds[unix_idx].revents & POLLIN)) {
+        AcceptOn(unix_fd_, /*is_unix=*/true);
+      }
+      if (tcp_idx >= 0 && (fds[tcp_idx].revents & POLLIN)) {
+        AcceptOn(tcp_fd_, /*is_unix=*/false);
+      }
+    }
+    ReapFinished(/*join_all=*/false);
+  }
+  DrainAndJoin();
+  return 0;
+}
+
+void SocketTransport::DrainAndJoin() {
+  drain_.store(true, std::memory_order_release);
+  // Stop accepting first: close the listeners and remove the socket file,
+  // so new clients fail fast instead of queueing behind a dying server.
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+    if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  // Unblock every parked connection reader; each serving loop then sees
+  // the drain flag, cancels its in-flight mine, and still *writes* the
+  // byte-prefix partial result (only the read side is down).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->buf.ShutdownRead();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.drain_deadline_ms);
+  for (;;) {
+    bool all_done = true;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& conn : conns_) {
+        if (!conn->done.load(std::memory_order_acquire)) all_done = false;
+      }
+    }
+    if (all_done || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Deadline stragglers lose their connection outright; their sessions are
+  // already cancelled, so the serving threads unwind promptly.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      if (!conn->done.load(std::memory_order_acquire)) {
+        conn->buf.ShutdownBoth();
+      }
+    }
+  }
+  ReapFinished(/*join_all=*/true);
+}
+
+namespace {
+std::atomic<SocketTransport*> g_signal_transport{nullptr};
+
+void DrainSignalHandler(int /*signum*/) {
+  SocketTransport* transport =
+      g_signal_transport.load(std::memory_order_acquire);
+  if (transport != nullptr) transport->RequestDrain();
+}
+}  // namespace
+
+void InstallDrainSignalHandlers(SocketTransport* transport) {
+  g_signal_transport.store(transport, std::memory_order_release);
+  struct sigaction sa{};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sa.sa_handler = transport != nullptr ? DrainSignalHandler : SIG_DFL;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace server
+}  // namespace disc

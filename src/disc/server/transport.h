@@ -1,0 +1,208 @@
+// Socket transport for seqmined: many clients, one resident engine.
+//
+// PR 8 left the `Server(istream, ostream)` seam transport-agnostic by
+// construction; this layer supplies the transport. A SocketTransport
+// listens on a unix socket and/or a loopback TCP port, accepts
+// connections, and serves each over an FdStream — a std::iostream whose
+// streambuf reads and writes the socket with poll-based timeouts, so a
+// dead or stalled client can never park a connection thread forever. Each
+// connection runs its own protocol Server sharing the engine and one
+// AdmissionController (server/admission.h); client identity is the peer
+// uid for unix sockets and the peer IP for TCP, so per-client limits see
+// through multiple connections from the same client.
+//
+// Robustness contract:
+//   * every connection reader is joinable — shutdown(2) on the socket
+//     unblocks a parked read, so no thread is ever leaked (the detached
+//     interactive-stdin reader of server/server.h remains the documented
+//     sole exception, and it only exists outside this transport);
+//   * a client that disconnects mid-mine has its session cancelled
+//     (cooperatively, via the session CancelToken) instead of mining for
+//     nobody; the engine and admission slots are always released;
+//   * SIGTERM/SIGINT trigger *drain*: stop accepting, cancel in-flight
+//     mines so every connected client still receives its byte-prefix
+//     partial result, then exit 0 within `drain_deadline_ms` (stragglers
+//     are force-disconnected at the deadline);
+//   * the `net.accept` / `net.read` / `net.write` fail points
+//     (docs/ROBUSTNESS.md) inject faults at each syscall boundary, and
+//     the chaos smoke (tools/check_server.sh --socket) proves none of
+//     them can wedge the engine or leak a session.
+#ifndef DISC_SERVER_TRANSPORT_H_
+#define DISC_SERVER_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "disc/common/status.h"
+#include "disc/engine/engine.h"
+#include "disc/server/admission.h"
+
+namespace disc {
+namespace server {
+
+/// std::streambuf over a socket/pipe fd. Reads poll with a timeout (0 =
+/// block forever) and hit the `net.read` fail point; writes poll for
+/// writability with their own timeout and hit `net.write`. A timeout,
+/// injected fault, or peer reset surfaces as EOF / a failed flush — the
+/// stream goes bad, never blocks indefinitely, and never raises SIGPIPE
+/// (writes use MSG_NOSIGNAL where the fd is a socket).
+class FdStreamBuf : public std::streambuf {
+ public:
+  FdStreamBuf(int fd, std::uint64_t read_timeout_ms,
+              std::uint64_t write_timeout_ms);
+  ~FdStreamBuf() override;
+
+  FdStreamBuf(const FdStreamBuf&) = delete;
+  FdStreamBuf& operator=(const FdStreamBuf&) = delete;
+
+  int fd() const { return fd_; }
+  /// Unblocks a parked read (shutdown SHUT_RD): the reader sees EOF.
+  void ShutdownRead();
+  /// Forces both directions down: parked reads and writes both fail.
+  void ShutdownBoth();
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool FlushOut();
+  std::ptrdiff_t WriteSome(const char* data, std::size_t n);
+
+  const int fd_;
+  const std::uint64_t read_timeout_ms_;
+  const std::uint64_t write_timeout_ms_;
+  std::vector<char> in_buf_;
+  std::vector<char> out_buf_;
+};
+
+/// An owning iostream over a connected fd; closes the fd on destruction.
+class FdStream : public std::iostream {
+ public:
+  explicit FdStream(int fd, std::uint64_t read_timeout_ms = 0,
+                    std::uint64_t write_timeout_ms = 0);
+  ~FdStream() override;
+
+  int fd() const { return buf_.fd(); }
+  void ShutdownRead() { buf_.ShutdownRead(); }
+  void ShutdownBoth() { buf_.ShutdownBoth(); }
+
+ private:
+  FdStreamBuf buf_;
+};
+
+/// Connects to "unix:<path>" or "<host>:<port>" (also "tcp:<host>:<port>").
+/// Returns the connected fd, or kIoError / kInvalidArgument. The caller
+/// owns the fd (wrap it in an FdStream).
+StatusOr<int> DialAddress(const std::string& address);
+
+/// Listener + per-connection knobs for one serving process.
+struct TransportOptions {
+  /// Unix-socket path to listen on; empty = no unix listener. An existing
+  /// stale socket file is replaced.
+  std::string unix_path;
+  /// TCP port to listen on; -1 = no TCP listener, 0 = ephemeral (resolved
+  /// port available via SocketTransport::tcp_port() after Listen()).
+  int tcp_port = -1;
+  /// TCP bind address. Loopback by default: this server authenticates
+  /// nobody, so exposing it wider is an explicit decision.
+  std::string tcp_host = "127.0.0.1";
+  /// Per-connection read/idle timeout: a connection with no complete
+  /// command for this long is dropped (0 = never).
+  std::uint64_t idle_timeout_ms = 300000;
+  /// Per-connection write timeout: a client that stops reading its
+  /// responses for this long loses the connection instead of blocking a
+  /// serving thread (0 = block forever).
+  std::uint64_t write_timeout_ms = 10000;
+  /// Drain budget: after SIGTERM/SIGINT, in-flight mines get this long to
+  /// cancel and deliver their partial results before connections are
+  /// force-closed.
+  std::uint64_t drain_deadline_ms = 5000;
+  /// Admission budgets shared by every connection.
+  AdmissionConfig admission;
+};
+
+/// The accept loop and connection lifecycle. See file comment. Typical
+/// use (examples/seqmined.cpp):
+///
+///   SocketTransport transport(&engine, options);
+///   DISC_RETURN_IF_ERROR(transport.Listen());
+///   InstallDrainSignalHandlers(&transport);   // SIGTERM/SIGINT -> drain
+///   return transport.Serve();                 // 0 on clean drain
+class SocketTransport {
+ public:
+  SocketTransport(engine::Engine* engine, const TransportOptions& options);
+  ~SocketTransport();
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Binds and listens on the configured sockets. kInvalidArgument when
+  /// neither listener is configured; kIoError on any socket failure.
+  Status Listen();
+
+  /// Accepts and serves until RequestDrain(); then drains (cancel
+  /// in-flight mines, deliver partial results, close connections within
+  /// the drain deadline) and returns the process exit code (0 = clean).
+  int Serve();
+
+  /// Begins drain mode. Thread-safe and async-signal-safe (an atomic
+  /// store plus a self-pipe write), so signal handlers may call it
+  /// directly. Idempotent.
+  void RequestDrain();
+
+  /// Resolved TCP port (after Listen(); 0 when no TCP listener).
+  int tcp_port() const { return resolved_tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  AdmissionController& admission() { return admission_; }
+
+  /// Lifetime connection counts (mirrors "server.connections.*").
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void AcceptOn(int listen_fd, bool is_unix);
+  void ReapFinished(bool join_all);
+  void DrainAndJoin();
+
+  engine::Engine* const engine_;
+  const TransportOptions options_;
+  AdmissionController admission_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int resolved_tcp_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: RequestDrain -> Serve poll
+
+  std::atomic<bool> drain_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::uint64_t next_conn_id_ = 1;  // Serve loop only
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;  // guarded by conns_mu_
+};
+
+/// Installs SIGTERM/SIGINT handlers that RequestDrain() `transport`
+/// (process-wide; the latest installed transport wins). Passing nullptr
+/// restores the default disposition.
+void InstallDrainSignalHandlers(SocketTransport* transport);
+
+}  // namespace server
+}  // namespace disc
+
+#endif  // DISC_SERVER_TRANSPORT_H_

@@ -1,0 +1,167 @@
+// AdmissionController tests (server/admission.h): the cap/queue/shed
+// state machine (global window, queued refinement, per-client limits),
+// the retry-after backoff-hint arithmetic, default-deadline stamping, the
+// `admit.reject` fail point, and snapshot accounting.
+#include "disc/server/admission.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "disc/common/failpoint.h"
+
+namespace disc {
+namespace server {
+namespace {
+
+AdmissionConfig SmallConfig() {
+  AdmissionConfig config;
+  config.max_inflight = 2;
+  config.max_pending = 1;
+  config.per_client = 2;
+  config.retry_after_base_ms = 100;
+  config.retry_after_max_ms = 5000;
+  return config;
+}
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::Reset(); }
+};
+
+TEST_F(AdmissionTest, AdmitsUpToTheWindowThenShedsGlobally) {
+  AdmissionController admission(SmallConfig());
+  // Window = max_inflight (2) + max_pending (1) = 3, spread over two
+  // clients so the per-client limit (2) never interferes.
+  EXPECT_TRUE(admission.TryAdmit("a").admitted);
+  EXPECT_TRUE(admission.TryAdmit("a").admitted);
+  EXPECT_TRUE(admission.TryAdmit("b").admitted);
+
+  const AdmissionDecision shed = admission.TryAdmit("b");
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_STREQ(shed.reason, "global");
+  EXPECT_GT(shed.retry_after_ms, 0u);
+}
+
+TEST_F(AdmissionTest, QueuedRefinesAdmissionBeyondTheInflightCap) {
+  AdmissionController admission(SmallConfig());
+  EXPECT_FALSE(admission.TryAdmit("a").queued) << "slot 1 of 2 runs";
+  EXPECT_FALSE(admission.TryAdmit("b").queued) << "slot 2 of 2 runs";
+  const AdmissionDecision third = admission.TryAdmit("c");
+  EXPECT_TRUE(third.admitted);
+  EXPECT_TRUE(third.queued) << "beyond max_inflight waits in the pool";
+}
+
+TEST_F(AdmissionTest, PerClientLimitShedsBeforeTheGlobalWindow) {
+  AdmissionController admission(SmallConfig());
+  EXPECT_TRUE(admission.TryAdmit("greedy").admitted);
+  EXPECT_TRUE(admission.TryAdmit("greedy").admitted);
+  const AdmissionDecision shed = admission.TryAdmit("greedy");
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_STREQ(shed.reason, "client");
+  // The window still has room for everyone else.
+  EXPECT_TRUE(admission.TryAdmit("polite").admitted);
+}
+
+TEST_F(AdmissionTest, ReleaseFreesTheSlotForReadmission) {
+  AdmissionConfig config = SmallConfig();
+  config.per_client = 1;
+  AdmissionController admission(config);
+  EXPECT_TRUE(admission.TryAdmit("a").admitted);
+  EXPECT_FALSE(admission.TryAdmit("a").admitted);
+  admission.Release("a");
+  EXPECT_TRUE(admission.TryAdmit("a").admitted);
+}
+
+TEST_F(AdmissionTest, RetryAfterHintDoublesPerStreakAndSaturates) {
+  AdmissionController admission(SmallConfig());
+  EXPECT_EQ(admission.RetryAfterHint(0), 100u);
+  EXPECT_EQ(admission.RetryAfterHint(1), 200u);
+  EXPECT_EQ(admission.RetryAfterHint(2), 400u);
+  EXPECT_EQ(admission.RetryAfterHint(5), 3200u);
+  EXPECT_EQ(admission.RetryAfterHint(6), 5000u) << "capped at the ceiling";
+  EXPECT_EQ(admission.RetryAfterHint(60), 5000u)
+      << "pathological streaks must not wrap the shift";
+}
+
+TEST_F(AdmissionTest, ConsecutiveRejectionsGrowTheHintUntilProgress) {
+  AdmissionConfig config = SmallConfig();
+  config.max_inflight = 1;
+  config.max_pending = 0;
+  config.per_client = 1;
+  AdmissionController admission(config);
+  ASSERT_TRUE(admission.TryAdmit("holder").admitted);
+
+  EXPECT_EQ(admission.TryAdmit("x").retry_after_ms, 100u);
+  EXPECT_EQ(admission.TryAdmit("y").retry_after_ms, 200u);
+  EXPECT_EQ(admission.TryAdmit("z").retry_after_ms, 400u);
+
+  // A freed slot is progress: the streak resets to the base hint.
+  admission.Release("holder");
+  ASSERT_TRUE(admission.TryAdmit("x").admitted);
+  EXPECT_EQ(admission.TryAdmit("y").retry_after_ms, 100u);
+}
+
+TEST_F(AdmissionTest, ApplyDefaultsStampsOnlyMissingDeadlines) {
+  AdmissionConfig config = SmallConfig();
+  config.default_deadline_ms = 750;
+  AdmissionController admission(config);
+
+  engine::MineRequest bare;
+  admission.ApplyDefaults(&bare);
+  EXPECT_EQ(bare.options.deadline_ms, 750u);
+
+  engine::MineRequest explicit_deadline;
+  explicit_deadline.options.deadline_ms = 50;
+  admission.ApplyDefaults(&explicit_deadline);
+  EXPECT_EQ(explicit_deadline.options.deadline_ms, 50u)
+      << "a caller-provided deadline must win";
+}
+
+TEST_F(AdmissionTest, InjectedRejectionViaFailPoint) {
+  AdmissionController admission(SmallConfig());
+  ASSERT_TRUE(failpoint::Configure("admit.reject=error").ok());
+  const AdmissionDecision shed = admission.TryAdmit("anyone");
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_STREQ(shed.reason, "injected");
+  failpoint::Reset();
+  EXPECT_TRUE(admission.TryAdmit("anyone").admitted);
+}
+
+TEST_F(AdmissionTest, SnapshotTracksGlobalAndPerClientCounts) {
+  AdmissionController admission(SmallConfig());
+  admission.TryAdmit("a");
+  admission.TryAdmit("a");
+  admission.TryAdmit("b");
+  admission.TryAdmit("b");  // rejected: window full
+
+  AdmissionController::Stats stats = admission.snapshot();
+  EXPECT_EQ(stats.active, 2u);
+  EXPECT_EQ(stats.queued, 1u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  ASSERT_EQ(stats.clients.size(), 2u);
+  EXPECT_EQ(stats.clients[0].client, "a");
+  EXPECT_EQ(stats.clients[0].active, 2u);
+  EXPECT_EQ(stats.clients[1].client, "b");
+  EXPECT_EQ(stats.clients[1].rejected, 1u);
+
+  admission.Release("a");
+  admission.Release("a");
+  admission.Release("b");
+  stats = admission.snapshot();
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.queued, 0u);
+
+  // ForgetClient drops only idle records.
+  admission.TryAdmit("a");
+  admission.ForgetClient("a");
+  admission.ForgetClient("b");
+  stats = admission.snapshot();
+  ASSERT_EQ(stats.clients.size(), 1u);
+  EXPECT_EQ(stats.clients[0].client, "a");
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace disc

@@ -1,6 +1,7 @@
-// Engine-layer tests (engine/engine.h): query-cache lifecycle, the
-// byte-identity contract between cached and uncached mining across miners
-// and thread counts, load invalidation, submit validation, and the
+// Engine-layer tests (engine/engine.h): query-cache lifecycle (LRU
+// retention, eviction, the content-hash fingerprint), the byte-identity
+// contract between cached and uncached mining across miners and thread
+// counts, load/fingerprint isolation, submit validation, and the
 // cancel/deadline partial-result (byte-prefix) guarantee through a
 // session — the engine-path regression next to CancelDeterminism
 // (parallel_determinism_test.cc).
@@ -153,7 +154,7 @@ TEST(EngineTest, SecondQueryHitsRegardlessOfThreshold) {
   EXPECT_EQ(engine.cache().hits(), 1u);
 }
 
-TEST(EngineTest, LoadInvalidatesCache) {
+TEST(EngineTest, LoadNeverServesStaleStateAndKeepsWarmSlots) {
   engine::Engine engine;
   engine.LoadDatabase(EngineDb());
   EXPECT_EQ(engine.Mine(Request("disc-all", 0.2)).cache,
@@ -164,8 +165,81 @@ TEST(EngineTest, LoadInvalidatesCache) {
   engine.LoadDatabase(testutil::MakeRandomDb());
   EXPECT_EQ(engine.Mine(Request("disc-all", 0.2)).cache,
             engine::CacheOutcome::kMiss)
-      << "a load must invalidate the previous first-level state";
+      << "the new database's fingerprint must never match stale state";
   EXPECT_EQ(engine.loads(), 2u);
+
+  // The LRU keeps the first database's slot warm: loading it back hits.
+  engine.LoadDatabase(EngineDb());
+  EXPECT_EQ(engine.Mine(Request("disc-all", 0.2)).cache,
+            engine::CacheOutcome::kHit)
+      << "re-loading a cached database must reuse its first-level state";
+  EXPECT_EQ(engine.cache().slots(), 2u);
+  EXPECT_EQ(engine.cache().evictions(), 0u);
+}
+
+TEST(QueryCacheTest, LruEvictsTheColdestSlotAtCapacity) {
+  engine::QueryCache cache(/*capacity=*/2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const SequenceDatabase a = testutil::RandomDatabase(1);
+  const SequenceDatabase b = testutil::RandomDatabase(2);
+  const SequenceDatabase c = testutil::RandomDatabase(3);
+
+  bool hit = true;
+  cache.GetOrBuild(a, &hit);
+  cache.GetOrBuild(b, &hit);
+  EXPECT_EQ(cache.slots(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  cache.GetOrBuild(a, &hit);  // touch a: b becomes the LRU victim
+  EXPECT_TRUE(hit);
+  cache.GetOrBuild(c, &hit);  // full: evicts b
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.slots(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  cache.GetOrBuild(a, &hit);
+  EXPECT_TRUE(hit) << "the recently-touched slot must survive the eviction";
+  cache.GetOrBuild(b, &hit);
+  EXPECT_FALSE(hit) << "the LRU slot must have been evicted";
+  EXPECT_EQ(cache.evictions(), 2u) << "re-inserting b evicts again";
+}
+
+TEST(QueryCacheTest, BytesSumAcrossSlots) {
+  engine::QueryCache cache(/*capacity=*/4);
+  const SequenceDatabase a = testutil::RandomDatabase(1);
+  const SequenceDatabase b = testutil::RandomDatabase(2);
+  const auto state_a = cache.GetOrBuild(a);
+  EXPECT_EQ(cache.bytes(), state_a->SizeBytes());
+  const auto state_b = cache.GetOrBuild(b);
+  EXPECT_EQ(cache.bytes(), state_a->SizeBytes() + state_b->SizeBytes());
+  cache.Invalidate();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.slots(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u)
+      << "an explicit reset is not capacity pressure";
+}
+
+TEST(QueryCacheTest, ShapeCollisionsAreSeparatedByContentHash) {
+  // Two different databases engineered to share every shape aggregate
+  // (sequences, total items, max item): without the content hash these
+  // would alias one slot and serve each other's state.
+  SequenceDatabase x;
+  x.Add(Sequence({Itemset({1, 3})}));
+  SequenceDatabase y;
+  y.Add(Sequence({Itemset({2, 3})}));
+  ASSERT_EQ(x.size(), y.size());
+  ASSERT_EQ(x.TotalItems(), y.TotalItems());
+  ASSERT_EQ(x.max_item(), y.max_item());
+
+  engine::QueryCache cache(/*capacity=*/4);
+  bool hit = true;
+  const auto state_x = cache.GetOrBuild(x, &hit);
+  EXPECT_FALSE(hit);
+  const auto state_y = cache.GetOrBuild(y, &hit);
+  EXPECT_FALSE(hit) << "same shape, different content must not collide";
+  EXPECT_NE(state_x.get(), state_y.get());
+  EXPECT_TRUE(state_x->Matches(x));
+  EXPECT_FALSE(state_x->Matches(y));
 }
 
 TEST(EngineTest, NonConsumerMinerReportsNoCache) {

@@ -3,8 +3,9 @@
 # bugs in the arena/view pipeline), TSan (data races in the parallel
 # partition scheduler), the fail-point CLI smoke (exit-code convention
 # under injected faults), the live-telemetry CLI smoke (progress ticker,
-# event log, exposition), the seqmined line-protocol smoke (cache hits,
-# byte-identical repeats, stop/cancel byte-prefix), the SIMD determinism
+# event log, exposition), the seqmined line-protocol + socket smoke
+# (cache hits, byte-identical repeats, stop/cancel/drain byte-prefix,
+# load shedding, net.* chaos loop), the SIMD determinism
 # gate (identical patterns at every mismatch-scan tier, under ASan), then
 # the benchmark regression gate for the encoded-order kernels. Each check uses its own build
 # directory, so repeat runs are incremental.
@@ -18,7 +19,7 @@ cd "$(dirname "$0")"
 ./check_tsan.sh
 ./check_failpoints.sh ../build-asan/examples/seqmine
 ./check_obs.sh ../build-asan/examples/seqmine
-./check_server.sh ../build-asan/examples/seqmined
+./check_server.sh ../build-asan/examples/seqmined ../build-asan/examples/seqmine
 ./check_simd.sh ../build-asan/examples/seqmine
 ./check_perf.sh
 

@@ -19,7 +19,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   disc_all_test parallel_determinism_test status_test failpoint_test \
   encoded_order_test order_property_test ksorted_test \
   simd_test candidate_bound_test \
-  engine_test server_protocol_test \
+  engine_test server_protocol_test admission_test server_transport_test \
   bench_parallel seqmine seqmined
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
@@ -40,10 +40,12 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 # bound test pins skip-path byte-identity under sanitizers too.
 "$BUILD_DIR/tests/simd_test"
 "$BUILD_DIR/tests/candidate_bound_test"
-# The engine/server layer juggles shared_ptr snapshots, a detached reader
-# thread, and cancelled partial results — lifetime territory.
+# The engine/server layer juggles shared_ptr snapshots, reader threads,
+# socket streambufs, and cancelled partial results — lifetime territory.
 "$BUILD_DIR/tests/engine_test"
 "$BUILD_DIR/tests/server_protocol_test"
+"$BUILD_DIR/tests/admission_test"
+"$BUILD_DIR/tests/server_transport_test"
 # A tiny end-to-end parallel mine through the bench driver (exercises the
 # per-worker scratch arenas under real partition scheduling).
 "$BUILD_DIR/bench/bench_parallel" --ncust=200 --minsup=0.05 \
