@@ -1,0 +1,163 @@
+// Storage benchmark — .dsa mmap load vs SPMF parse on the Figure 8
+// workload: the cost a resident server pays to get a corpus into memory.
+// The same generated database is written both ways, then loaded
+// repeatedly through both paths, interleaved, best-of-N per side; the
+// ratio is the "bench.storage.load_speedup" gauge in the JSON report
+// (runs "storage.parse" and "storage.mmap").
+//
+// Correctness gate, not just timing: the binary exits non-zero if the
+// mapped database is not byte-identical to the parsed one (ToSpmfString),
+// or if mining the two at the same delta diverges — the speed claim is
+// only meaningful for a load path that changes nothing.
+//
+// --min-load-speedup=X turns the ratio into a hard floor (the
+// tools/check_perf.sh gate runs with 10): exit non-zero below it.
+//
+// Scaled-down default (20K customers; the paper sweeps 50K-500K on this
+// workload); --full for 100K, smoke sizes via --ncust.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "disc/algo/miner.h"
+#include "disc/algo/pattern_io.h"
+#include "disc/benchlib/report.h"
+#include "disc/benchlib/workload.h"
+#include "disc/common/flags.h"
+#include "disc/common/table.h"
+#include "disc/seq/io.h"
+#include "disc/seq/storage.h"
+
+using namespace disc;
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (PrintBenchUsage(flags, "bench_storage",
+                      "[--ncust=N] [--reps=N] [--minsup=F] [--workdir=DIR]\n"
+                      "  [--min-load-speedup=X] [--seed=N] [--full]")) {
+    return 0;
+  }
+  const bool full = flags.GetBool("full", false);
+  const std::uint32_t ncust = static_cast<std::uint32_t>(
+      flags.GetInt("ncust", full ? 100000 : 20000));
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+  const double minsup = flags.GetDouble("minsup", 0.05);
+  const double min_speedup = flags.GetDouble("min-load-speedup", 0.0);
+  const std::string workdir = flags.GetString("workdir", "/tmp");
+
+  QuestParams params = Fig8Params(ncust);
+  params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const SequenceDatabase db = GenerateQuestDatabase(params);
+
+  ObsSession obs("storage", flags);
+  obs.SetWorkload(MakeWorkloadInfo(db, "quest:fig8"));
+  PrintBanner(".dsa mmap load vs SPMF parse",
+              "Figure 8 workload; " + DescribeDatabase(db), !full);
+
+  const std::string spmf_path = workdir + "/bench_storage.spmf";
+  const std::string dsa_path = workdir + "/bench_storage.dsa";
+  if (!SaveSpmf(db, spmf_path)) {
+    std::fprintf(stderr, "bench_storage: cannot write %s\n",
+                 spmf_path.c_str());
+    return 1;
+  }
+  if (Status s = SaveDsa(db, dsa_path); !s.ok()) {
+    std::fprintf(stderr, "bench_storage: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Interleaved best-of-N: each rep loads through both paths back to
+  // back, so page cache state and machine load hit both sides alike.
+  double best_parse = 0.0;
+  double best_mmap = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    double t0 = Now();
+    auto parsed = TryLoadSpmf(spmf_path);
+    const double parse_s = Now() - t0;
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_storage: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    t0 = Now();
+    auto mapped = TryLoadDsa(dsa_path);
+    const double mmap_s = Now() - t0;
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "bench_storage: %s\n",
+                   mapped.status().ToString().c_str());
+      return 1;
+    }
+    if (best_parse == 0.0 || parse_s < best_parse) best_parse = parse_s;
+    if (best_mmap == 0.0 || mmap_s < best_mmap) best_mmap = mmap_s;
+
+    if (rep == 0) {
+      // Identity gate, once (it dwarfs the load times themselves).
+      if (ToSpmfString(*mapped) != ToSpmfString(*parsed)) {
+        std::fprintf(stderr,
+                     "bench_storage: FAIL: mapped database differs from "
+                     "parsed database\n");
+        return 1;
+      }
+      MineOptions options;
+      options.min_support_count =
+          MineOptions::CountForFraction(parsed->size(), minsup);
+      MineResult a = CreateMiner("disc-all")->TryMine(*parsed, options);
+      MineResult b = CreateMiner("disc-all")->TryMine(*mapped, options);
+      if (!a.status.ok() || !b.status.ok() ||
+          ToSpmfPatternString(a.patterns) != ToSpmfPatternString(b.patterns)) {
+        std::fprintf(stderr,
+                     "bench_storage: FAIL: mining the mapped database "
+                     "diverges from the parsed one\n");
+        return 1;
+      }
+      std::printf("  identity: ok (%zu patterns at delta %u)\n",
+                  a.patterns.size(), options.min_support_count);
+    }
+    std::printf("  [rep %d] parse %.4fs  mmap %.6fs\n", rep + 1, parse_s,
+                mmap_s);
+    std::fflush(stdout);
+  }
+
+  const double speedup = best_mmap > 0.0 ? best_parse / best_mmap : 0.0;
+
+  obs::MineStats parse_stats;
+  parse_stats.miner = "storage.parse";
+  parse_stats.wall_seconds = best_parse;
+  parse_stats.db_sequences = db.size();
+  obs.Record(parse_stats);
+
+  obs::MineStats mmap_stats;
+  mmap_stats.miner = "storage.mmap";
+  mmap_stats.wall_seconds = best_mmap;
+  mmap_stats.db_sequences = db.size();
+  mmap_stats.gauges.push_back({"bench.storage.load_speedup", speedup});
+  obs.Record(mmap_stats);
+
+  TablePrinter table({"path", "best (s)", "speedup"});
+  table.AddRow({"spmf parse", TablePrinter::Num(best_parse), "1.00"});
+  table.AddRow({".dsa mmap", TablePrinter::Num(best_mmap),
+                TablePrinter::Num(speedup)});
+  table.Print();
+
+  std::remove(spmf_path.c_str());
+  std::remove(dsa_path.c_str());
+
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "bench_storage: FAIL: load speedup %.2fx below the %.2fx "
+                 "floor\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return obs.Finish() ? 0 : 1;
+}

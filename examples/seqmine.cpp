@@ -14,6 +14,15 @@
 //               [--simd=off|sse2|avx2|auto]
 //   $ ./seqmine --serve [input.spmf] [--permissive] [--serve-threads=N]
 //   $ ./seqmine --connect=ADDR [input.spmf] [--minsup=F | --delta=N] ...
+//   $ ./seqmine input.spmf --pack=out.dsa [--shards=N]
+//   $ ./seqmine --mine-shards=BASE --shards=N [mine options]
+//
+// The positional input may be SPMF text or a packed .dsa arena file
+// (docs/STORAGE.md) — .dsa loads mmap in O(1) instead of parsing.
+// --pack converts the input to a .dsa file (or, with --shards=N, to N
+// λ-range shard files next to the output base); --mine-shards mines a
+// packed shard set one shard at a time (out-of-core: peak memory is one
+// shard) and merges — byte-identical to mining the corpus unsharded.
 //
 // --stats prints the per-run work counters, --trace-out writes a
 // chrome://tracing span file, --json-out a machine-readable report.
@@ -84,6 +93,8 @@ int Usage() {
       "               [mine options] [--retries=N] [--retry-base-ms=MS]\n"
       "               [--retry-max-ms=MS]  (ADDR: unix:<path> | "
       "<host>:<port>)\n"
+      "       seqmine <input.spmf|.dsa> --pack=OUT.dsa [--shards=N]\n"
+      "       seqmine --mine-shards=BASE --shards=N [mine options]\n"
       "algorithms:");
   for (const std::string& name : disc::AllMinerNames()) {
     std::fprintf(stderr, " %s", name.c_str());
@@ -104,7 +115,7 @@ int Serve(const disc::Flags& flags) {
   config.session_threads = static_cast<std::uint32_t>(serve_threads);
   disc::engine::Engine engine(config);
   if (!flags.positional().empty()) {
-    auto info = engine.LoadSpmf(flags.positional()[0],
+    auto info = engine.LoadPath(flags.positional()[0],
                                 flags.GetBool("permissive", false)
                                     ? disc::ParseOptions::Permissive()
                                     : disc::ParseOptions::Strict());
@@ -253,6 +264,142 @@ int Connect(const disc::Flags& flags) {
   return partial ? kExitStopped : kExitOk;
 }
 
+// Loads the positional input as either format (--pack / --mine-shards
+// helpers go straight through seq/io + seq/storage, no engine needed).
+disc::StatusOr<disc::SequenceDatabase> LoadInput(const disc::Flags& flags) {
+  const std::string& path = flags.positional()[0];
+  if (disc::IsDsaPath(path)) return disc::TryLoadDsa(path);
+  return disc::TryLoadSpmf(path, flags.GetBool("permissive", false)
+                                     ? disc::ParseOptions::Permissive()
+                                     : disc::ParseOptions::Strict());
+}
+
+// --pack=OUT.dsa [--shards=N]: convert the input to the on-disk arena
+// format, optionally split into λ-range shards (docs/STORAGE.md).
+int Pack(const disc::Flags& flags) {
+  if (flags.positional().size() != 1) return Usage();
+  const std::string out = flags.GetString("pack", "");
+  const long long shards = flags.GetInt("shards", 1);
+  if (out.empty() || shards < 1) {
+    std::fprintf(stderr,
+                 "seqmine: --pack needs an output path and --shards >= 1\n");
+    return kExitUsage;
+  }
+  auto db = LoadInput(flags);
+  if (!db.ok()) {
+    std::fprintf(stderr, "seqmine: %s\n", db.status().ToString().c_str());
+    return kExitDataError;
+  }
+  const bool quiet = flags.GetBool("quiet", false);
+  if (shards == 1) {
+    if (const disc::Status s = disc::SaveDsa(*db, out); !s.ok()) {
+      std::fprintf(stderr, "seqmine: %s\n", s.ToString().c_str());
+      return kExitDataError;
+    }
+    if (!quiet) {
+      std::printf("packed %zu sequences (%llu items) -> %s\n", db->size(),
+                  static_cast<unsigned long long>(db->TotalItems()),
+                  out.c_str());
+    }
+    return kExitOk;
+  }
+  std::vector<std::string> paths;
+  const disc::Status s = disc::PackShards(
+      *db, out, static_cast<std::uint32_t>(shards), &paths);
+  if (!s.ok()) {
+    std::fprintf(stderr, "seqmine: %s\n", s.ToString().c_str());
+    return kExitDataError;
+  }
+  if (!quiet) {
+    std::printf("packed %zu sequences into %zu shard%s:\n", db->size(),
+                paths.size(), paths.size() == 1 ? "" : "s");
+    for (const std::string& p : paths) std::printf("  %s\n", p.c_str());
+  }
+  return kExitOk;
+}
+
+// --mine-shards=BASE --shards=N: out-of-core mine over a packed shard
+// set, one mapped shard at a time, merged byte-identically.
+int MineShards(const disc::Flags& flags) {
+  if (!flags.positional().empty()) return Usage();
+  const std::string base = flags.GetString("mine-shards", "");
+  const long long shards = flags.GetInt("shards", 0);
+  if (base.empty() || shards < 1) {
+    std::fprintf(stderr, "seqmine: --mine-shards needs --shards=N (>= 1)\n");
+    return kExitUsage;
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(shards);
+  std::vector<std::string> paths;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    paths.push_back(disc::ShardPath(base, i, n));
+  }
+
+  const std::string algo = flags.GetString("algo", "disc-all");
+  disc::MineOptions options;
+  if (flags.Has("delta")) {
+    const long long delta = flags.GetInt("delta", 2);
+    if (delta < 1) {
+      std::fprintf(stderr, "seqmine: --delta must be >= 1\n");
+      return kExitUsage;
+    }
+    options.min_support_count = static_cast<std::uint32_t>(delta);
+  } else {
+    // A fraction resolves against the *unsharded* corpus size, which every
+    // shard header records.
+    const double minsup = flags.GetDouble("minsup", 0.01);
+    if (minsup <= 0.0 || minsup > 1.0) {
+      std::fprintf(stderr, "seqmine: --minsup must be in (0, 1]\n");
+      return kExitUsage;
+    }
+    auto info = disc::ReadDsaInfo(paths[0]);
+    if (!info.ok()) {
+      std::fprintf(stderr, "seqmine: %s\n", info.status().ToString().c_str());
+      return kExitDataError;
+    }
+    options.min_support_count = disc::MineOptions::CountForFraction(
+        static_cast<std::size_t>(info->shard.total_customers), minsup);
+  }
+  options.max_length = static_cast<std::uint32_t>(flags.GetInt("max-length", 0));
+  options.threads = disc::ThreadsFromFlags(flags);
+  const long long deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (deadline_ms < 0) {
+    std::fprintf(stderr, "seqmine: --deadline-ms must be >= 0\n");
+    return kExitUsage;
+  }
+  options.deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+
+  disc::Timer mine_timer;
+  disc::MineResult result = disc::MineShardFiles(paths, algo, options);
+  const bool quiet = flags.GetBool("quiet", false);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "seqmine: %s\n", result.status.ToString().c_str());
+  }
+  if (!quiet) {
+    std::printf("%s over %u shards: %zu patterns, delta %u, %.3fs\n",
+                algo.c_str(), n, result.patterns.size(),
+                options.min_support_count, mine_timer.Seconds());
+  }
+  int exit_code = kExitOk;
+  if (flags.Has("out")) {
+    const std::string out_path = flags.GetString("out", "");
+    if (!disc::SavePatterns(result.patterns, out_path)) {
+      std::fprintf(stderr, "seqmine: cannot write %s\n", out_path.c_str());
+      exit_code = kExitDataError;
+    } else if (!quiet) {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  } else if (quiet) {
+    std::fputs(disc::ToSpmfPatternString(result.patterns).c_str(), stdout);
+  }
+  if (exit_code == kExitOk && !result.status.ok()) {
+    exit_code = (result.status.code() == disc::StatusCode::kCancelled ||
+                 result.status.code() == disc::StatusCode::kDeadlineExceeded)
+                    ? kExitStopped
+                    : kExitDataError;
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,7 +410,11 @@ int main(int argc, char** argv) {
   }
   const bool serve = flags.GetBool("serve", false);
   const bool connect = flags.Has("connect");
-  if (flags.positional().empty() && !serve && !connect) return Usage();
+  const bool pack = flags.Has("pack");
+  const bool mine_shards = flags.Has("mine-shards");
+  if (flags.positional().empty() && !serve && !connect && !mine_shards) {
+    return Usage();
+  }
 
   if (flags.Has("simd") &&
       !disc::ConfigureSimd(flags.GetString("simd", "auto"))) {
@@ -287,6 +438,8 @@ int main(int argc, char** argv) {
 
   if (serve) return Serve(flags);
   if (connect) return Connect(flags);
+  if (pack) return Pack(flags);
+  if (mine_shards) return MineShards(flags);
 
   disc::engine::MineRequest request;
   if (flags.Has("delta")) {
@@ -326,7 +479,7 @@ int main(int argc, char** argv) {
 
   disc::ObsSession obs("seqmine", flags);
   disc::Timer total;
-  auto load = engine.LoadSpmf(flags.positional()[0],
+  auto load = engine.LoadPath(flags.positional()[0],
                               flags.GetBool("permissive", false)
                                   ? disc::ParseOptions::Permissive()
                                   : disc::ParseOptions::Strict());
@@ -335,8 +488,9 @@ int main(int argc, char** argv) {
     return kExitDataError;
   }
   const std::shared_ptr<const disc::SequenceDatabase> db = engine.database();
-  obs.SetWorkload(
-      disc::MakeWorkloadInfo(*db, "spmf:" + flags.positional()[0]));
+  obs.SetWorkload(disc::MakeWorkloadInfo(
+      *db, (disc::IsDsaPath(flags.positional()[0]) ? "dsa:" : "spmf:") +
+               flags.positional()[0]));
   const bool quiet = flags.GetBool("quiet", false);
   if (load->skipped > 0) {
     std::fprintf(stderr,

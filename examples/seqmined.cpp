@@ -7,7 +7,8 @@
 //   stdin/stdout (default) — one trusted client; pipe a script in, or
 //   drive it interactively:
 //
-//     $ ./seqmined [input.spmf] [--permissive] [--serve-threads=N]
+//     $ ./seqmined [input.spmf | --db=input.dsa] [--permissive]
+//                  [--serve-threads=N]
 //     info seqmined ready
 //     load data.spmf
 //     ok load sequences=1000 items=8234 max_item=100 skipped=0
@@ -36,7 +37,10 @@
 //   --drain-deadline-ms.
 //
 // The optional positional argument preloads a database (same as a first
-// `load` command); --permissive applies to the preload AND sets nothing
+// `load` command); --db=PATH is the same preload spelled as a flag —
+// natural for packed .dsa arena files (docs/STORAGE.md), which mmap in
+// O(1) instead of parsing; either spelling accepts either format.
+// --permissive applies to the preload AND sets nothing
 // else — per-command parse mode is `load ... --permissive`.
 // --serve-threads sizes the engine's session pool: how many queries can
 // run concurrently, independent of each query's own --threads.
@@ -62,8 +66,8 @@ constexpr int kExitDataError = 3;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: seqmined [input.spmf] [--permissive] [--serve-threads=N]\n"
-      "                [--cache-slots=N]\n"
+      "usage: seqmined [input.spmf | --db=input.dsa] [--permissive]\n"
+      "                [--serve-threads=N] [--cache-slots=N]\n"
       "                [--listen-unix=PATH] [--listen-tcp=PORT (0=ephemeral)]\n"
       "                [--listen-host=ADDR] [--max-inflight=N] "
       "[--max-pending=N]\n"
@@ -101,17 +105,25 @@ int main(int argc, char** argv) {
   config.cache_slots = static_cast<std::uint32_t>(cache_slots);
   disc::engine::Engine engine(config);
 
+  std::string preload = flags.GetString("db", "");
   if (!flags.positional().empty()) {
-    auto info = engine.LoadSpmf(flags.positional()[0],
-                                flags.GetBool("permissive", false)
-                                    ? disc::ParseOptions::Permissive()
-                                    : disc::ParseOptions::Strict());
+    if (!preload.empty()) {
+      std::fprintf(stderr,
+                   "seqmined: give a positional input or --db, not both\n");
+      return kExitUsage;
+    }
+    preload = flags.positional()[0];
+  }
+  if (!preload.empty()) {
+    auto info = engine.LoadPath(preload, flags.GetBool("permissive", false)
+                                             ? disc::ParseOptions::Permissive()
+                                             : disc::ParseOptions::Strict());
     if (!info.ok()) {
       std::fprintf(stderr, "seqmined: %s\n", info.status().message().c_str());
       return kExitDataError;
     }
     std::fprintf(stderr, "seqmined: preloaded %zu sequences from %s\n",
-                 info->sequences, flags.positional()[0].c_str());
+                 info->sequences, preload.c_str());
   }
 
   const bool socket_mode = flags.Has("listen-unix") || flags.Has("listen-tcp");

@@ -24,6 +24,7 @@
 #include "disc/seq/containment.h"  // IWYU pragma: export
 #include "disc/seq/extension.h"    // IWYU pragma: export
 #include "disc/seq/index.h"        // IWYU pragma: export
+#include "disc/seq/storage.h"      // IWYU pragma: export
 
 // The comparative order (and the SIMD tier knobs for its scan kernels).
 #include "disc/order/compare.h"  // IWYU pragma: export
@@ -42,6 +43,7 @@
 #include "disc/core/discovery.h"         // IWYU pragma: export
 #include "disc/core/first_level.h"       // IWYU pragma: export
 #include "disc/core/nrr.h"               // IWYU pragma: export
+#include "disc/core/shard.h"             // IWYU pragma: export
 #include "disc/core/weighted.h"          // IWYU pragma: export
 
 // The engine layer (resident database + query cache + sessions), the

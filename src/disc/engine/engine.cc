@@ -5,6 +5,7 @@
 #include "disc/common/check.h"
 #include "disc/core/first_level.h"
 #include "disc/obs/metrics.h"
+#include "disc/seq/storage.h"
 
 namespace disc {
 namespace engine {
@@ -73,6 +74,14 @@ StatusOr<LoadInfo> Engine::LoadSpmf(const std::string& path,
   LoadInfo info = Install(std::move(*db), report.skipped);
   info.first_error = report.first_error;
   return info;
+}
+
+StatusOr<LoadInfo> Engine::LoadPath(const std::string& path,
+                                    const ParseOptions& options) {
+  if (!IsDsaPath(path)) return LoadSpmf(path, options);
+  auto db = TryLoadDsa(path);
+  if (!db.ok()) return db.status();
+  return Install(std::move(*db), 0);
 }
 
 LoadInfo Engine::LoadDatabase(SequenceDatabase db) {

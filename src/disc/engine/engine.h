@@ -175,6 +175,14 @@ class Engine {
   StatusOr<LoadInfo> LoadSpmf(const std::string& path,
                               const ParseOptions& options = {});
 
+  /// Loads either on-disk format by path: ".dsa" arena files are mapped
+  /// through seq/storage.h (validated, O(1) in database size, and the
+  /// file's verified content hash pre-warms the QueryCache fingerprint);
+  /// anything else parses as SPMF text. `options` applies to the SPMF
+  /// path only — a .dsa file is all-or-nothing.
+  StatusOr<LoadInfo> LoadPath(const std::string& path,
+                              const ParseOptions& options = {});
+
   /// Installs an already-built database (tests, generators).
   LoadInfo LoadDatabase(SequenceDatabase db);
 

@@ -15,16 +15,24 @@
 // Sequence i's view is {items_.data(), &txn_offsets_[seq_offsets_[i]],
 // seq_offsets_[i+1] - seq_offsets_[i]}.
 //
-// Two roles: the immutable backing store of SequenceDatabase, and the
+// Three roles: the immutable backing store of SequenceDatabase, the
 // per-worker reduction scratch reused across partitions (Clear() keeps
 // capacity, so a warm worker appends reduced sequences with zero
-// allocation). Growth invalidates outstanding views, exactly like vector
-// iterators — collect views only once a build phase is done.
+// allocation), and — via AdoptExternal — a read-only facade over CSR
+// sections that live elsewhere (an mmap'ed .dsa arena file, seq/storage.h):
+// the three pointers then aim straight into the mapped pages and the
+// keepalive shared_ptr pins the mapping for as long as any database copy
+// is alive. Growth invalidates outstanding views, exactly like vector
+// iterators — collect views only once a build phase is done; debug builds
+// enforce this with a generation counter (stale views DISC_DCHECK-fail on
+// dereference, see view.h).
 #ifndef DISC_SEQ_ARENA_H_
 #define DISC_SEQ_ARENA_H_
 
 #include <cstdint>
 #include <iterator>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "disc/common/check.h"
@@ -40,13 +48,18 @@ class SequenceArena {
 
   /// --- Read access ---
 
-  std::size_t size() const { return seq_offsets_.size() - 1; }
+  std::size_t size() const { return NumSeqOffsets() - 1; }
   bool empty() const { return size() == 0; }
 
   SequenceView operator[](std::size_t i) const {
     DISC_DCHECK(i < size());
-    return SequenceView(items_.data(), txn_offsets_.data() + seq_offsets_[i],
-                        seq_offsets_[i + 1] - seq_offsets_[i]);
+    const std::uint32_t* seq = SeqOffsetsData();
+    SequenceView v(ItemsData(), TxnOffsetsData() + seq[i],
+                   seq[i + 1] - seq[i]);
+#if DISC_VIEW_GENERATION
+    v.AttachGeneration(&generation_, generation_);
+#endif
+    return v;
   }
 
   /// View of the most recently completed sequence.
@@ -85,25 +98,70 @@ class SequenceArena {
 
   /// --- Totals (all O(1)) ---
 
-  std::uint64_t TotalItems() const { return items_.size(); }
-  std::uint64_t TotalTransactions() const { return txn_offsets_.size() - 1; }
+  std::uint64_t TotalItems() const { return NumItems(); }
+  std::uint64_t TotalTransactions() const { return NumTxnOffsets() - 1; }
 
   /// Bytes currently holding data / currently reserved. The gap between the
   /// two is what scratch reuse saves (disc.arena.bytes reports capacity).
   std::size_t SizeBytes() const {
-    return items_.size() * sizeof(Item) +
-           (txn_offsets_.size() + seq_offsets_.size()) * sizeof(std::uint32_t);
+    return NumItems() * sizeof(Item) +
+           (NumTxnOffsets() + NumSeqOffsets()) * sizeof(std::uint32_t);
   }
   std::size_t CapacityBytes() const {
+    if (mapped_) return SizeBytes();
     return items_.capacity() * sizeof(Item) +
            (txn_offsets_.capacity() + seq_offsets_.capacity()) *
                sizeof(std::uint32_t);
   }
 
+  /// --- Raw CSR sections (seq/storage.cc serialization; read-only) ---
+
+  /// TotalItems() entries.
+  const Item* RawItems() const { return ItemsData(); }
+  /// TotalTransactions()+1 global item positions, starting at 0.
+  const std::uint32_t* RawTxnOffsets() const { return TxnOffsetsData(); }
+  /// size()+1 indices into the transaction offsets, starting at 0.
+  const std::uint32_t* RawSeqOffsets() const { return SeqOffsetsData(); }
+
+  /// --- External (mapped) backing ---
+
+  /// Turns this arena into a read-only facade over CSR sections owned
+  /// elsewhere (the mmap'ed .dsa loader, seq/storage.h). `keepalive` pins
+  /// the backing storage for the arena's lifetime (and the lifetime of any
+  /// copy). The arena must still be empty; every build-API call afterwards
+  /// is a DISC_CHECK failure. The caller has already validated the
+  /// sections (offsets monotone, items well-formed) — the arena trusts
+  /// them exactly like its own vectors.
+  void AdoptExternal(std::shared_ptr<const void> keepalive, const Item* items,
+                     std::size_t num_items, const std::uint32_t* txn_offsets,
+                     std::size_t num_txn_offsets,
+                     const std::uint32_t* seq_offsets,
+                     std::size_t num_seq_offsets) {
+    DISC_CHECK_MSG(!mapped_ && items_.empty() && seq_offsets_.size() == 1,
+                   "AdoptExternal requires a fresh arena");
+    DISC_CHECK(num_txn_offsets >= 1 && num_seq_offsets >= 1);
+    backing_ = std::move(keepalive);
+    ext_items_ = items;
+    ext_num_items_ = num_items;
+    ext_txn_offsets_ = txn_offsets;
+    ext_num_txn_offsets_ = num_txn_offsets;
+    ext_seq_offsets_ = seq_offsets;
+    ext_num_seq_offsets_ = num_seq_offsets;
+    mapped_ = true;
+  }
+
+  /// True when the arena reads from an external (mmap) backing and the
+  /// build API is disabled.
+  bool mapped() const { return mapped_; }
+
   /// --- Build ---
 
   /// Drops every sequence but keeps the allocations (warm scratch reuse).
   void Clear() {
+    DISC_CHECK_MSG(!mapped_, "mapped arena is read-only");
+#if DISC_VIEW_GENERATION
+    ++generation_;  // outstanding views now point at dropped data
+#endif
     items_.clear();
     txn_offsets_.clear();
     txn_offsets_.push_back(0);
@@ -115,6 +173,12 @@ class SequenceArena {
   /// Bulk-reserves the three buffers (ingestion pre-pass; avoids regrow
   /// churn while streaming a whole database in).
   void Reserve(std::size_t items, std::size_t txns, std::size_t seqs) {
+    DISC_CHECK_MSG(!mapped_, "mapped arena is read-only");
+#if DISC_VIEW_GENERATION
+    if (items > items_.capacity() || txns + 1 > txn_offsets_.capacity()) {
+      ++generation_;  // reallocation moves the buffers views point into
+    }
+#endif
     items_.reserve(items);
     txn_offsets_.reserve(txns + 1);
     seq_offsets_.reserve(seqs + 1);
@@ -129,6 +193,7 @@ class SequenceArena {
   /// DISC_DCHECK — this is the mining hot path; ingestion front ends
   /// (seq/io.cc) validate untrusted input with always-on CHECKs first.
   void BeginSequence() {
+    DISC_CHECK_MSG(!mapped_, "mapped arena is read-only");
     DISC_DCHECK(!seq_open_);
     seq_open_ = true;
   }
@@ -137,12 +202,18 @@ class SequenceArena {
     DISC_DCHECK(seq_open_);
     DISC_DCHECK(x != kNoItem);
     DISC_DCHECK(items_.size() == txn_offsets_.back() || items_.back() < x);
+#if DISC_VIEW_GENERATION
+    if (items_.size() == items_.capacity()) ++generation_;
+#endif
     items_.push_back(x);
   }
 
   void EndTransaction() {
     DISC_DCHECK(seq_open_);
     DISC_DCHECK(items_.size() > txn_offsets_.back());  // non-empty txn
+#if DISC_VIEW_GENERATION
+    if (txn_offsets_.size() == txn_offsets_.capacity()) ++generation_;
+#endif
     txn_offsets_.push_back(static_cast<std::uint32_t>(items_.size()));
   }
 
@@ -158,6 +229,12 @@ class SequenceArena {
   /// growth would invalidate it mid-copy).
   void AppendCopy(SequenceView v) {
     BeginSequence();
+#if DISC_VIEW_GENERATION
+    if (items_.size() + v.Length() > items_.capacity() ||
+        txn_offsets_.size() + v.NumTransactions() > txn_offsets_.capacity()) {
+      ++generation_;
+    }
+#endif
     for (std::uint32_t t = 0; t < v.NumTransactions(); ++t) {
       items_.insert(items_.end(), v.TxnBegin(t), v.TxnEnd(t));
       txn_offsets_.push_back(static_cast<std::uint32_t>(items_.size()));
@@ -168,18 +245,60 @@ class SequenceArena {
   /// Removes the last completed sequence (reduction rollback: a reduced
   /// sequence that came out too short to matter is popped right back off).
   void PopBack() {
+    DISC_CHECK_MSG(!mapped_, "mapped arena is read-only");
     DISC_DCHECK(!seq_open_);
     DISC_DCHECK(!empty());
+#if DISC_VIEW_GENERATION
+    ++generation_;  // a view of the popped sequence now reads freed slots
+#endif
     seq_offsets_.pop_back();
     txn_offsets_.resize(seq_offsets_.back() + 1);
     items_.resize(txn_offsets_.back());
   }
 
  private:
+  const Item* ItemsData() const {
+    return mapped_ ? ext_items_ : items_.data();
+  }
+  const std::uint32_t* TxnOffsetsData() const {
+    return mapped_ ? ext_txn_offsets_ : txn_offsets_.data();
+  }
+  const std::uint32_t* SeqOffsetsData() const {
+    return mapped_ ? ext_seq_offsets_ : seq_offsets_.data();
+  }
+  std::size_t NumItems() const {
+    return mapped_ ? ext_num_items_ : items_.size();
+  }
+  std::size_t NumTxnOffsets() const {
+    return mapped_ ? ext_num_txn_offsets_ : txn_offsets_.size();
+  }
+  std::size_t NumSeqOffsets() const {
+    return mapped_ ? ext_num_seq_offsets_ : seq_offsets_.size();
+  }
+
   std::vector<Item> items_;
   std::vector<std::uint32_t> txn_offsets_;  // global positions; starts {0}
   std::vector<std::uint32_t> seq_offsets_;  // into txn_offsets_; starts {0}
   bool seq_open_ = false;
+
+  // External backing (AdoptExternal): the keepalive owns the bytes the
+  // three section pointers read from; copies of the arena share it.
+  bool mapped_ = false;
+  std::shared_ptr<const void> backing_;
+  const Item* ext_items_ = nullptr;
+  std::size_t ext_num_items_ = 0;
+  const std::uint32_t* ext_txn_offsets_ = nullptr;
+  std::size_t ext_num_txn_offsets_ = 0;
+  const std::uint32_t* ext_seq_offsets_ = nullptr;
+  std::size_t ext_num_seq_offsets_ = 0;
+
+#if DISC_VIEW_GENERATION
+  // Bumped whenever outstanding views are invalidated: buffer reallocation
+  // (growth past capacity), Clear, PopBack. Views capture the value at
+  // creation and DISC_DCHECK it on dereference (view.h). Mapped arenas
+  // never bump — mapped views stay valid for the backing's lifetime.
+  std::uint64_t generation_ = 0;
+#endif
 };
 
 }  // namespace disc

@@ -6,6 +6,7 @@ namespace disc {
 
 Cid SequenceDatabase::Add(SequenceView seq) {
   DISC_DCHECK(seq.IsWellFormed());
+  has_content_hash_ = false;  // mutation invalidates a loader-cached hash
   for (const Item x : seq.items()) {
     if (x > max_item_) max_item_ = x;
   }

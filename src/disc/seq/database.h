@@ -9,6 +9,8 @@
 #define DISC_SEQ_DATABASE_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "disc/seq/arena.h"
 #include "disc/seq/types.h"
@@ -32,7 +34,10 @@ class SequenceDatabase {
   /// EndSequence returns the new CID. Same invariants as
   /// SequenceArena's build API; callers feeding untrusted input must
   /// validate first (see seq/io.cc).
-  void BeginSequence() { arena_.BeginSequence(); }
+  void BeginSequence() {
+    has_content_hash_ = false;  // mutation invalidates a loader-cached hash
+    arena_.BeginSequence();
+  }
   void AppendItem(Item x) {
     if (x > max_item_) max_item_ = x;
     arena_.AppendItem(x);
@@ -79,9 +84,42 @@ class SequenceDatabase {
   /// Average items per transaction. O(1).
   double AvgItemsPerTransaction() const;
 
+  /// --- Mapped backing (seq/storage.h loader seam) ---
+
+  /// Installs read-only external CSR sections as this database's contents
+  /// (see SequenceArena::AdoptExternal). `max_item` is the largest item in
+  /// the sections — the loader has already validated it. The database must
+  /// still be empty; the streaming build API is disabled afterwards.
+  void AdoptExternal(std::shared_ptr<const void> keepalive, const Item* items,
+                     std::size_t num_items, const std::uint32_t* txn_offsets,
+                     std::size_t num_txn_offsets,
+                     const std::uint32_t* seq_offsets,
+                     std::size_t num_seq_offsets, Item max_item) {
+    arena_.AdoptExternal(std::move(keepalive), items, num_items, txn_offsets,
+                         num_txn_offsets, seq_offsets, num_seq_offsets);
+    max_item_ = max_item;
+  }
+
+  /// True when the contents are backed by an external mapping (read-only).
+  bool mapped() const { return arena_.mapped(); }
+
+  /// --- Cached content hash ---
+  ///
+  /// The .dsa loader stores the file's verified content hash here, so
+  /// FirstLevelState::ContentHash (and through it the engine QueryCache
+  /// fingerprint) never rescans a mapped database. Cleared by any mutation.
+  void SetCachedContentHash(std::uint64_t hash) {
+    content_hash_ = hash;
+    has_content_hash_ = true;
+  }
+  bool has_cached_content_hash() const { return has_content_hash_; }
+  std::uint64_t cached_content_hash() const { return content_hash_; }
+
  private:
   SequenceArena arena_;
   Item max_item_ = 0;
+  bool has_content_hash_ = false;
+  std::uint64_t content_hash_ = 0;
 };
 
 }  // namespace disc

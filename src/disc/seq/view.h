@@ -20,9 +20,21 @@
 #include <cstdint>
 #include <string>
 
+#include "disc/common/check.h"
 #include "disc/seq/itemset.h"
 #include "disc/seq/sequence.h"
 #include "disc/seq/types.h"
+
+// Debug builds tag every arena-produced view with the arena's generation
+// counter (arena.h), turning a stale-view dereference — reading through a
+// view after the arena reallocated, cleared, or popped — into a
+// DISC_DCHECK failure instead of silent UB. Release builds compile the
+// fields and checks away entirely (views stay 16-24 bytes).
+#if !defined(NDEBUG)
+#define DISC_VIEW_GENERATION 1
+#else
+#define DISC_VIEW_GENERATION 0
+#endif
 
 namespace disc {
 
@@ -73,41 +85,73 @@ class SequenceView {
                std::uint32_t num_txns)
       : base_(base), offsets_(offsets), num_txns_(num_txns) {}
 
+#if DISC_VIEW_GENERATION
+  /// Arena internal: stamps the view with the producing arena's generation
+  /// cell. A later mismatch (the arena reallocated, cleared, or popped)
+  /// makes every pointer-dereferencing accessor DISC_DCHECK-fail.
+  void AttachGeneration(const std::uint64_t* cell, std::uint64_t value) {
+    gen_cell_ = cell;
+    gen_ = value;
+  }
+#endif
+
   /// --- Size ---
 
-  std::uint32_t Length() const { return offsets_[num_txns_] - offsets_[0]; }
+  std::uint32_t Length() const {
+    CheckFresh();
+    return offsets_[num_txns_] - offsets_[0];
+  }
   bool Empty() const { return Length() == 0; }
   std::uint32_t NumTransactions() const { return num_txns_; }
 
   /// --- Flattened access (positions relative to the sequence start) ---
 
-  Item ItemAt(std::uint32_t pos) const { return base_[offsets_[0] + pos]; }
+  Item ItemAt(std::uint32_t pos) const {
+    CheckFresh();
+    return base_[offsets_[0] + pos];
+  }
 
   /// Transaction index (0-based) of flattened position pos. O(log T).
   std::uint32_t TxnOf(std::uint32_t pos) const {
+    CheckFresh();
     const auto it = std::upper_bound(offsets_, offsets_ + num_txns_ + 1,
                                      offsets_[0] + pos);
     return static_cast<std::uint32_t>(it - offsets_) - 1;
   }
 
-  const Item* ItemsBegin() const { return base_ + offsets_[0]; }
-  const Item* ItemsEnd() const { return base_ + offsets_[num_txns_]; }
+  const Item* ItemsBegin() const {
+    CheckFresh();
+    return base_ + offsets_[0];
+  }
+  const Item* ItemsEnd() const {
+    CheckFresh();
+    return base_ + offsets_[num_txns_];
+  }
   ItemSpan items() const { return ItemSpan(ItemsBegin(), ItemsEnd()); }
 
   /// --- Transaction access ---
 
-  const Item* TxnBegin(std::uint32_t t) const { return base_ + offsets_[t]; }
-  const Item* TxnEnd(std::uint32_t t) const { return base_ + offsets_[t + 1]; }
+  const Item* TxnBegin(std::uint32_t t) const {
+    CheckFresh();
+    return base_ + offsets_[t];
+  }
+  const Item* TxnEnd(std::uint32_t t) const {
+    CheckFresh();
+    return base_ + offsets_[t + 1];
+  }
   std::uint32_t TxnSize(std::uint32_t t) const {
+    CheckFresh();
     return offsets_[t + 1] - offsets_[t];
   }
 
   /// First/one-past-last flattened position of transaction t, relative to
   /// the sequence start (what positionwise scans key their cursors on).
   std::uint32_t TxnStartPos(std::uint32_t t) const {
+    CheckFresh();
     return offsets_[t] - offsets_[0];
   }
   std::uint32_t TxnEndPos(std::uint32_t t) const {
+    CheckFresh();
     return offsets_[t + 1] - offsets_[0];
   }
 
@@ -131,9 +175,19 @@ class SequenceView {
   bool IsWellFormed() const;
 
  private:
+  void CheckFresh() const {
+#if DISC_VIEW_GENERATION
+    DISC_DCHECK(gen_cell_ == nullptr || *gen_cell_ == gen_);
+#endif
+  }
+
   const Item* base_;
   const std::uint32_t* offsets_;  // num_txns_ + 1 absolute positions
   std::uint32_t num_txns_;
+#if DISC_VIEW_GENERATION
+  const std::uint64_t* gen_cell_ = nullptr;  // producing arena's counter
+  std::uint64_t gen_ = 0;                    // counter value at creation
+#endif
 };
 
 /// Content equality: same items under the same transaction structure.

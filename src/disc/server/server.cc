@@ -228,7 +228,10 @@ void Server::Execute(const Command& cmd) {
 }
 
 void Server::DoLoad(const Command& cmd) {
-  auto info = engine_->LoadSpmf(cmd.path, cmd.permissive
+  // LoadPath dispatches on the suffix: .dsa arena files mmap in O(1)
+  // (permissive is meaningless there — the format is all-or-nothing),
+  // anything else parses as SPMF.
+  auto info = engine_->LoadPath(cmd.path, cmd.permissive
                                               ? ParseOptions::Permissive()
                                               : ParseOptions::Strict());
   if (!info.ok()) {

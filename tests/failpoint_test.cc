@@ -12,6 +12,7 @@
 #include "disc/obs/metrics.h"
 #include "disc/seq/io.h"
 #include "disc/seq/parse.h"
+#include "disc/seq/storage.h"
 
 namespace disc {
 namespace {
@@ -133,6 +134,50 @@ TEST(Failpoint, IoWriteFailureLeavesPreviousFileIntact) {
   std::string line;
   ASSERT_TRUE(std::getline(in, line));
   EXPECT_EQ(line, "good contents");
+  std::remove(path.c_str());
+}
+
+TEST(Failpoint, IoMmapFailureFailsDsaLoadCleanly) {
+  FailpointGuard guard;
+  const std::string path = testing::TempDir() + "/failpoint_mmap.dsa";
+  const SequenceDatabase db = MakeDatabase({"(a)(b)", "(b,c)"});
+  ASSERT_TRUE(SaveDsa(db, path).ok());
+  ASSERT_TRUE(TryLoadDsa(path).ok());
+  ASSERT_TRUE(failpoint::Configure("io.mmap=error").ok());
+  const auto result = TryLoadDsa(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("io.mmap"), std::string::npos);
+  failpoint::Reset();
+  // The file itself is untouched by the injected mapping failure.
+  EXPECT_TRUE(TryLoadDsa(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Failpoint, IoWriteFailureMidPackLeavesNoPartialDsa) {
+  FailpointGuard guard;
+  const std::string path = testing::TempDir() + "/failpoint_pack.dsa";
+  std::remove(path.c_str());
+  const SequenceDatabase db = MakeDatabase({"(a)(b)(c)", "(a,c)"});
+  // Crash-atomicity from a cold start: the failed pack must not leave a
+  // partial .dsa where none existed.
+  ASSERT_TRUE(failpoint::Configure("io.write=error").ok());
+  EXPECT_EQ(SaveDsa(db, path).code(), StatusCode::kIoError);
+  failpoint::Reset();
+  EXPECT_FALSE(std::ifstream(path).is_open())
+      << "failed pack left a partial file behind";
+  // And when a valid file already exists, a failed re-pack preserves it
+  // bit for bit (WriteFileAtomic renames over, never writes in place).
+  ASSERT_TRUE(SaveDsa(db, path).ok());
+  const SequenceDatabase bigger = MakeDatabase({"(a)(b)(c)", "(a,c)", "(b)"});
+  ASSERT_TRUE(failpoint::Configure("io.write=error").ok());
+  EXPECT_EQ(SaveDsa(bigger, path).code(), StatusCode::kIoError);
+  failpoint::Reset();
+  auto survived = TryLoadDsa(path);
+  ASSERT_TRUE(survived.ok()) << survived.status().ToString();
+  EXPECT_EQ(survived->size(), db.size());  // the old pack, not the new one
+  ASSERT_TRUE(SaveDsa(bigger, path).ok());  // re-pack succeeds once disarmed
+  EXPECT_EQ(TryLoadDsa(path)->size(), bigger.size());
   std::remove(path.c_str());
 }
 

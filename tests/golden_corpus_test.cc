@@ -19,6 +19,7 @@
 #include "disc/algo/miner.h"
 #include "disc/algo/pattern_io.h"
 #include "disc/seq/io.h"
+#include "disc/seq/storage.h"
 
 namespace disc {
 namespace {
@@ -62,6 +63,35 @@ TEST(GoldenCorpus, EveryMinerMatchesGoldenAtOneAndFourThreads) {
         const PatternSet patterns = CreateMiner(name)->Mine(db, options);
         EXPECT_EQ(ToSpmfPatternString(patterns), golden);
       }
+    }
+  }
+}
+
+// Packed variant: each corpus pushed through the .dsa arena format
+// (SaveDsa -> mmap TryLoadDsa) must mine to the same goldens. This is the
+// end-to-end storage guarantee — a mapped database is not merely
+// "equal", it produces byte-identical mining output.
+TEST(GoldenCorpus, PackedDatabasesMatchGolden) {
+  for (const Corpus& corpus : kCorpora) {
+    SCOPED_TRACE(corpus.db);
+    const SequenceDatabase db = LoadSpmf(DataPath(corpus.db));
+    const std::string golden = ReadFileOrDie(DataPath(corpus.golden));
+    ASSERT_FALSE(golden.empty());
+
+    const std::string packed =
+        ::testing::TempDir() + "/golden_packed_" + corpus.db + ".dsa";
+    ASSERT_TRUE(SaveDsa(db, packed).ok());
+    auto mapped = TryLoadDsa(packed);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    ASSERT_TRUE(mapped->mapped());
+
+    MineOptions options;
+    options.min_support_count = corpus.delta;
+    for (const std::string& name : {std::string("disc-all"),
+                                    std::string("dynamic-disc-all")}) {
+      SCOPED_TRACE(name);
+      const PatternSet patterns = CreateMiner(name)->Mine(*mapped, options);
+      EXPECT_EQ(ToSpmfPatternString(patterns), golden);
     }
   }
 }

@@ -201,5 +201,136 @@ TEST(SequenceArena, EmptySequencesRoundTrip) {
   ExpectViewMatchesSequence(arena[0], Sequence());
 }
 
+// Pins the three CSR sections an adopted arena reads from (what the .dsa
+// loader's mmap keepalive does, without the file).
+struct Backing {
+  std::vector<Item> items;
+  std::vector<std::uint32_t> txn_offsets;
+  std::vector<std::uint32_t> seq_offsets;
+};
+
+std::shared_ptr<Backing> CopySections(const SequenceArena& src) {
+  auto b = std::make_shared<Backing>();
+  b->items.assign(src.RawItems(), src.RawItems() + src.TotalItems());
+  b->txn_offsets.assign(src.RawTxnOffsets(),
+                        src.RawTxnOffsets() + src.TotalTransactions() + 1);
+  b->seq_offsets.assign(src.RawSeqOffsets(),
+                        src.RawSeqOffsets() + src.size() + 1);
+  return b;
+}
+
+void AdoptFrom(SequenceArena* arena, const std::shared_ptr<Backing>& b) {
+  arena->AdoptExternal(b, b->items.data(), b->items.size(),
+                       b->txn_offsets.data(), b->txn_offsets.size(),
+                       b->seq_offsets.data(), b->seq_offsets.size());
+}
+
+TEST(SequenceArena, MappedFacadeReadsExternalSectionsVerbatim) {
+  const SequenceDatabase db = testutil::Table1Database();
+  const auto backing = CopySections(db.arena());
+  SequenceArena arena;
+  ASSERT_FALSE(arena.mapped());
+  AdoptFrom(&arena, backing);
+  EXPECT_TRUE(arena.mapped());
+  ASSERT_EQ(arena.size(), db.size());
+  EXPECT_EQ(arena.TotalItems(), db.TotalItems());
+  EXPECT_EQ(arena.TotalTransactions(), db.TotalTransactions());
+  // A mapped arena holds no allocations of its own: capacity == size.
+  EXPECT_EQ(arena.CapacityBytes(), arena.SizeBytes());
+  for (Cid cid = 0; cid < db.size(); ++cid) {
+    EXPECT_TRUE(arena[cid] == db[cid]) << "cid=" << cid;
+    ExpectViewMatchesSequence(arena[cid], MaterializeSequence(db[cid]));
+  }
+}
+
+TEST(SequenceArena, MappedViewsSurviveArenaCopies) {
+  const SequenceDatabase db = testutil::Table1Database();
+  const auto backing = CopySections(db.arena());
+  SequenceArena copy;
+  {
+    SequenceArena arena;
+    AdoptFrom(&arena, backing);
+    copy = arena;  // shares the keepalive
+  }
+  ASSERT_EQ(copy.size(), db.size());
+  EXPECT_TRUE(copy[0] == db[0]);
+}
+
+using SequenceArenaDeathTest = ::testing::Test;
+
+TEST(SequenceArenaDeathTest, MappedArenaRejectsEveryBuildCall) {
+  const SequenceDatabase db = testutil::Table1Database();
+  const auto backing = CopySections(db.arena());
+  SequenceArena arena;
+  AdoptFrom(&arena, backing);
+  // The build API is disabled outright — always-on CHECKs, not DCHECKs:
+  // writing through mapped (possibly PROT_READ) pages must never compile
+  // down to a no-op in release builds.
+  EXPECT_DEATH(arena.Clear(), "read-only");
+  EXPECT_DEATH(arena.BeginSequence(), "read-only");
+  EXPECT_DEATH(arena.PopBack(), "read-only");
+  EXPECT_DEATH(arena.Reserve(1, 1, 1), "read-only");
+  EXPECT_DEATH(arena.AppendCopy(SequenceView(testutil::Seq("(a)"))),
+               "read-only");
+}
+
+TEST(SequenceArenaDeathTest, AdoptExternalRequiresFreshArena) {
+  const SequenceDatabase db = testutil::Table1Database();
+  const auto backing = CopySections(db.arena());
+  SequenceArena arena;
+  arena.AppendCopy(SequenceView(testutil::Seq("(a)")));
+  EXPECT_DEATH(AdoptFrom(&arena, backing), "fresh arena");
+}
+
+#if !defined(NDEBUG)
+// Debug builds stamp arena views with a generation counter (view.h): a
+// view dereferenced after the arena invalidated it (realloc, Clear,
+// PopBack) is a DISC_DCHECK failure, not silent UB. Release builds
+// compile the checks out, so these tests only exist when !NDEBUG.
+
+TEST(SequenceArenaDeathTest, StaleViewAfterClearDies) {
+  SequenceArena arena;
+  arena.AppendCopy(SequenceView(testutil::Seq("(a)(b,c)")));
+  const SequenceView stale = arena.back();
+  arena.Clear();
+  EXPECT_DEATH((void)stale.Length(), "");
+}
+
+TEST(SequenceArenaDeathTest, StaleViewAfterPopBackDies) {
+  SequenceArena arena;
+  arena.AppendCopy(SequenceView(testutil::Seq("(a)")));
+  arena.AppendCopy(SequenceView(testutil::Seq("(b)(c)")));
+  const SequenceView stale = arena.back();
+  arena.PopBack();
+  EXPECT_DEATH((void)stale.ItemAt(0), "");
+}
+
+TEST(SequenceArenaDeathTest, StaleViewAfterReallocDies) {
+  SequenceArena arena;
+  const Sequence s = testutil::Seq("(a,b)(c)");
+  // Fill exactly to capacity, view, then grow: the next append must
+  // reallocate, which invalidates the view.
+  arena.Reserve(s.Length(), s.NumTransactions(), 1);
+  arena.AppendCopy(SequenceView(s));
+  const SequenceView stale = arena[0];
+  arena.AppendCopy(SequenceView(s));
+  EXPECT_DEATH((void)stale.Length(), "");
+}
+
+TEST(SequenceArena, ReserveFirstViewsStayFreshThroughInCapacityAppends) {
+  SequenceArena arena;
+  const Sequence s = testutil::Seq("(a,b)(c)");
+  arena.Reserve(10 * s.Length(), 10 * s.NumTransactions(), 10);
+  arena.AppendCopy(SequenceView(s));
+  const SequenceView v = arena[0];
+  for (int i = 0; i < 9; ++i) arena.AppendCopy(SequenceView(s));
+  // No reallocation happened, so the early view is still dereferenceable
+  // and correct — the legitimate collect-after-build pattern never trips
+  // the generation check.
+  EXPECT_EQ(v.Length(), s.Length());
+  EXPECT_TRUE(v == arena[0]);
+}
+#endif  // !defined(NDEBUG)
+
 }  // namespace
 }  // namespace disc

@@ -6,9 +6,11 @@
 # event log, exposition), the seqmined line-protocol + socket smoke
 # (cache hits, byte-identical repeats, stop/cancel/drain byte-prefix,
 # load shedding, net.* chaos loop), the SIMD determinism
-# gate (identical patterns at every mismatch-scan tier, under ASan), then
-# the benchmark regression gate for the encoded-order kernels. Each check uses its own build
-# directory, so repeat runs are incremental.
+# gate (identical patterns at every mismatch-scan tier, under ASan), the
+# storage CLI smoke (.dsa pack/shard round trips, corruption exit codes,
+# pack atomicity — under ASan), then the benchmark regression gate for the
+# encoded-order kernels and the .dsa load path. Each check uses its own
+# build directory, so repeat runs are incremental.
 #
 #   $ tools/check_all.sh
 set -euo pipefail
@@ -21,6 +23,7 @@ cd "$(dirname "$0")"
 ./check_obs.sh ../build-asan/examples/seqmine
 ./check_server.sh ../build-asan/examples/seqmined ../build-asan/examples/seqmine
 ./check_simd.sh ../build-asan/examples/seqmine
+./check_storage.sh ../build-asan/examples/seqmine ../build-asan/examples/seqmined
 ./check_perf.sh
 
 echo "all checks passed"

@@ -19,6 +19,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
   disc_all_test parallel_determinism_test status_test failpoint_test \
   encoded_order_test order_property_test ksorted_test \
   simd_test candidate_bound_test \
+  storage_format_test shard_merge_test \
   engine_test server_protocol_test admission_test server_transport_test \
   bench_parallel seqmine seqmined
 
@@ -40,6 +41,12 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 # bound test pins skip-path byte-identity under sanitizers too.
 "$BUILD_DIR/tests/simd_test"
 "$BUILD_DIR/tests/candidate_bound_test"
+# The .dsa hostile-input battery reads attacker-controlled bytes through
+# the mmap adoption path — every fuzzed flip must fail cleanly, not read
+# out of bounds; the shard merge suite exercises the masked first-level
+# injection and per-shard mapped lifetimes.
+"$BUILD_DIR/tests/storage_format_test"
+"$BUILD_DIR/tests/shard_merge_test"
 # The engine/server layer juggles shared_ptr snapshots, reader threads,
 # socket streambufs, and cancelled partial results — lifetime territory.
 "$BUILD_DIR/tests/engine_test"

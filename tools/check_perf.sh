@@ -10,6 +10,11 @@
 #   lcp          : 1.5x  (DISC_PERF_FLOOR_LCP)   SIMD scan vs scalar scan
 #   mine         : 1.15x (DISC_PERF_FLOOR_MINE)  encoded+SIMD+bound vs legacy
 #
+# It also gates the storage layer: bench/bench_storage (Figure 8 workload)
+# must load a .dsa arena via mmap at least 10x faster than parsing the
+# same corpus from SPMF (DISC_PERF_FLOOR_STORAGE), and must not regress
+# >10% against the committed BENCH_storage.json baseline ratio.
+#
 # Override the env knobs for noisy machines. A failing full run is retried
 # up to twice before the gate reports failure: end-to-end mining ratios
 # wobble a few percent across processes (ASLR / code-layout effects, bursty
@@ -55,12 +60,22 @@ while [[ $# -gt 0 ]]; do
 done
 
 BIN="$BUILD_DIR/bench/bench_kernels"
-if [[ ! -x "$BIN" ]]; then
+STORAGE_BIN="$BUILD_DIR/bench/bench_storage"
+if [[ ! -x "$BIN" || ! -x "$STORAGE_BIN" ]]; then
   cmake -B "$BUILD_DIR" -S . >/dev/null
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_kernels
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_kernels bench_storage
 fi
 
 OUT="$BUILD_DIR/BENCH_kernels.json"
+STORAGE_BASELINE=BENCH_storage.json
+STORAGE_OUT="$BUILD_DIR/BENCH_storage.json"
+
+# parse-over-mmap wall-time ratio of a bench_storage report.
+storage_speedup() {
+  jq -r '
+    ([.runs[] | select(.miner == "storage.parse")] | last | .wall_seconds) /
+    ([.runs[] | select(.miner == "storage.mmap")] | last | .wall_seconds)' "$1"
+}
 
 if [[ "$SMOKE" == 1 ]]; then
   # Tiny workloads: asserts the gate pipeline runs end to end (binary, JSON
@@ -78,7 +93,19 @@ if [[ "$SMOKE" == 1 ]]; then
       || { echo "check_perf.sh: smoke run missing $miner in $OUT" >&2
            exit 1; }
   done
-  echo "perf gate smoke: ok ($OUT)"
+  # Same pipeline check for the storage bench: tiny corpus, both runs in
+  # the report, identity gate enforced by the binary itself; the speedup
+  # is noise at this size and is not gated.
+  "$STORAGE_BIN" --ncust=300 --reps=2 --workdir="$BUILD_DIR" \
+    --json-out="$STORAGE_OUT" >/dev/null
+  for run in storage.parse storage.mmap; do
+    jq -e --arg m "$run" \
+      '.runs[] | select(.miner == $m) | .wall_seconds > 0' \
+      "$STORAGE_OUT" >/dev/null \
+      || { echo "check_perf.sh: smoke run missing $run in $STORAGE_OUT" >&2
+           exit 1; }
+  done
+  echo "perf gate smoke: ok ($OUT, $STORAGE_OUT)"
   exit 0
 fi
 
@@ -89,6 +116,7 @@ fi
 FLOOR="${DISC_PERF_FLOOR:-1.3}"
 FLOOR_LCP="${DISC_PERF_FLOOR_LCP:-1.5}"
 FLOOR_MINE="${DISC_PERF_FLOOR_MINE:-1.15}"
+FLOOR_STORAGE="${DISC_PERF_FLOOR_STORAGE:-10}"
 REPS="${DISC_PERF_REPS:-7}"
 
 if [[ "$UPDATE" == 1 ]]; then
@@ -105,7 +133,9 @@ if [[ "$UPDATE" == 1 ]]; then
   # refreshed speedups instead (docs/BENCHMARKS.md).
   "$BIN" --reps="$REPS" --json-out="$OUT"
   cp "$OUT" "$BASELINE"
-  echo "check_perf.sh: baseline refreshed: $BASELINE"
+  "$STORAGE_BIN" --reps="$REPS" --json-out="$STORAGE_OUT"
+  cp "$STORAGE_OUT" "$STORAGE_BASELINE"
+  echo "check_perf.sh: baselines refreshed: $BASELINE, $STORAGE_BASELINE"
   exit 0
 fi
 
@@ -155,6 +185,43 @@ for kernel in compare kms lcp mine; do
     STATUS=1
   fi
 done
+
+# Storage gate: the mmap-vs-parse ratio, same retry policy as the kernel
+# run (the binary enforces the absolute floor and byte-identity; the
+# baseline comparison below enforces no->10% regression).
+storage_run() {
+  "$STORAGE_BIN" --reps="$REPS" --min-load-speedup="$FLOOR_STORAGE" \
+    --json-out="$STORAGE_OUT"
+}
+attempt=1
+until storage_run; do
+  if [[ "$attempt" -ge 3 ]]; then
+    echo "check_perf.sh: storage run failed $attempt times — treating as a" \
+         "real regression, not noise" >&2
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+  echo "check_perf.sh: storage run failed (attempt $((attempt - 1)));" \
+       "retrying" >&2
+done
+
+if [[ ! -f "$STORAGE_BASELINE" ]]; then
+  echo "check_perf.sh: no baseline at $STORAGE_BASELINE; run" \
+       "tools/check_perf.sh --update" >&2
+  exit 1
+fi
+fresh="$(storage_speedup "$STORAGE_OUT")"
+base="$(storage_speedup "$STORAGE_BASELINE")"
+if ! awk -v f="$fresh" -v b="$base" 'BEGIN {
+      lim = 0.9 * b
+      printf "storage.load: speedup %.1fx (baseline %.1fx, limit %.1fx)\n", \
+             f, b, lim
+      exit !(f >= lim)
+    }'; then
+  echo "check_perf.sh: storage load speedup regressed >10% vs" \
+       "$STORAGE_BASELINE" >&2
+  STATUS=1
+fi
 
 [[ "$STATUS" == 0 ]] && echo "perf gate: ok"
 exit "$STATUS"

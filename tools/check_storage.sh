@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Storage CLI smoke check: drives the seqmine --pack / --mine-shards
+# surface and the .dsa load path end to end over the golden-corpus
+# dataset, asserting the storage contract (docs/STORAGE.md):
+#
+#   * packing an SPMF corpus to .dsa and mining the packed file yields a
+#     byte-identical pattern block to mining the text corpus;
+#   * packing into λ-range shards and mining them out-of-core
+#     (--mine-shards) is byte-identical too, for both DISC miners;
+#   * a corrupted .dsa (flipped byte, truncation) is a clean data error:
+#     exit 3 with a diagnostic, never a crash or a wrong answer;
+#   * an injected io.write fault mid-pack leaves no partial .dsa behind
+#     (and leaves a pre-existing pack intact);
+#   * when a seqmined binary is given, it preloads a .dsa via --db= and
+#     serves a mine from it.
+#
+#   $ tools/check_storage.sh [path/to/seqmine] [path/to/seqmined]
+#   # defaults: build/examples/seqmine, no seqmined
+set -euo pipefail
+
+SEQMINE="${1:-}"
+SEQMINED="${2:-}"
+cd "$(dirname "$0")/.."
+
+if [[ -z "$SEQMINE" ]]; then
+  SEQMINE=build/examples/seqmine
+  if [[ ! -x "$SEQMINE" ]]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target seqmine >/dev/null
+  fi
+fi
+if [[ ! -x "$SEQMINE" ]]; then
+  echo "check_storage.sh: no seqmine binary at $SEQMINE" >&2
+  exit 2
+fi
+
+DATA=tests/data/quest_mid.spmf
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/disc_storage.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+fail() {
+  echo "check_storage.sh: FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# --- pack + single-file round trip ---------------------------------------
+"$SEQMINE" "$DATA" --pack="$WORK/corpus.dsa" >/dev/null \
+  || fail "--pack exited $? (expected 0)"
+[[ -f "$WORK/corpus.dsa" ]] || fail "--pack did not write the .dsa file"
+
+"$SEQMINE" "$DATA" --minsup 0.05 --quiet > "$WORK/spmf.txt" \
+  || fail "mining the SPMF corpus exited $?"
+"$SEQMINE" "$WORK/corpus.dsa" --minsup 0.05 --quiet > "$WORK/dsa.txt" \
+  || fail "mining the packed corpus exited $?"
+[[ -s "$WORK/spmf.txt" ]] || fail "SPMF mine produced no patterns"
+cmp -s "$WORK/spmf.txt" "$WORK/dsa.txt" \
+  || fail "packed mine is not byte-identical to the SPMF mine"
+
+# --- sharded pack + out-of-core mine, both DISC miners -------------------
+"$SEQMINE" "$DATA" --pack="$WORK/sharded.dsa" --shards=4 >/dev/null \
+  || fail "--pack --shards=4 exited $?"
+for i in 0 1 2 3; do
+  [[ -f "$WORK/sharded.shard${i}of4.dsa" ]] \
+    || fail "missing shard file sharded.shard${i}of4.dsa"
+done
+for algo in disc-all dynamic-disc-all; do
+  "$SEQMINE" "$DATA" --minsup 0.05 --algo="$algo" --quiet \
+    > "$WORK/unsharded_$algo.txt" \
+    || fail "$algo unsharded mine exited $?"
+  "$SEQMINE" --mine-shards="$WORK/sharded.dsa" --shards=4 --minsup 0.05 \
+    --algo="$algo" --quiet > "$WORK/sharded_$algo.txt" \
+    || fail "$algo --mine-shards exited $?"
+  cmp -s "$WORK/unsharded_$algo.txt" "$WORK/sharded_$algo.txt" \
+    || fail "$algo sharded mine is not byte-identical to unsharded"
+done
+
+# --- corruption: clean exit 3, never a crash or a silent wrong answer ----
+cp "$WORK/corpus.dsa" "$WORK/corrupt.dsa"
+# Flip one byte in the middle of the item section.
+size=$(wc -c < "$WORK/corrupt.dsa")
+printf '\xff' | dd of="$WORK/corrupt.dsa" bs=1 seek=$((size / 2)) \
+  conv=notrunc 2>/dev/null
+rc=0
+"$SEQMINE" "$WORK/corrupt.dsa" --minsup 0.05 --quiet \
+  > /dev/null 2> "$WORK/corrupt_err.txt" || rc=$?
+[[ "$rc" -eq 3 ]] || fail "corrupted .dsa exited $rc (expected 3)"
+[[ -s "$WORK/corrupt_err.txt" ]] \
+  || fail "corrupted .dsa produced no diagnostic"
+
+head -c 40 "$WORK/corpus.dsa" > "$WORK/truncated.dsa"
+rc=0
+"$SEQMINE" "$WORK/truncated.dsa" --minsup 0.05 --quiet >/dev/null 2>&1 || rc=$?
+[[ "$rc" -eq 3 ]] || fail "truncated .dsa exited $rc (expected 3)"
+
+# --- crash atomicity: io.write mid-pack leaves nothing partial -----------
+rc=0
+DISC_FAILPOINTS=io.write=error \
+  "$SEQMINE" "$DATA" --pack="$WORK/never.dsa" >/dev/null 2>&1 || rc=$?
+[[ "$rc" -eq 3 ]] || fail "failed pack exited $rc (expected 3)"
+[[ ! -e "$WORK/never.dsa" ]] \
+  || fail "failed pack left a partial $WORK/never.dsa behind"
+
+cp "$WORK/corpus.dsa" "$WORK/stable.dsa"
+rc=0
+DISC_FAILPOINTS=io.write=error \
+  "$SEQMINE" "$DATA" --pack="$WORK/stable.dsa" >/dev/null 2>&1 || rc=$?
+[[ "$rc" -eq 3 ]] || fail "failed re-pack exited $rc (expected 3)"
+cmp -s "$WORK/stable.dsa" "$WORK/corpus.dsa" \
+  || fail "failed re-pack did not leave the previous .dsa intact"
+
+# --- seqmined --db preload (optional) ------------------------------------
+seqmined_ran=0
+if [[ -n "$SEQMINED" && -x "$SEQMINED" ]]; then
+  seqmined_ran=1
+  printf 'mine --minsup 0.05\nquit\n' \
+    | "$SEQMINED" --db="$WORK/corpus.dsa" > "$WORK/served.txt" \
+    || fail "seqmined --db=.dsa session exited $?"
+  grep -q '^ok mine ' "$WORK/served.txt" \
+    || fail "seqmined did not serve a mine from the preloaded .dsa"
+  # The served pattern block matches the one-shot CLI block.
+  awk '/^ok mine /{inblk=1;next} /^end$/{if(inblk)exit} inblk' \
+    "$WORK/served.txt" > "$WORK/served_block.txt"
+  cmp -s "$WORK/served_block.txt" "$WORK/spmf.txt" \
+    || fail "seqmined .dsa mine differs from the one-shot CLI mine"
+fi
+
+if [[ "$failures" -gt 0 ]]; then
+  echo "check_storage.sh: $failures check(s) failed" >&2
+  exit 1
+fi
+if [[ "$seqmined_ran" -eq 1 ]]; then
+  echo "storage cli smoke: ok ($(wc -l < "$WORK/spmf.txt") patterns, \
+pack + shards + corruption + atomicity + seqmined preload)"
+else
+  echo "storage cli smoke: ok ($(wc -l < "$WORK/spmf.txt") patterns, \
+pack + shards + corruption + atomicity)"
+fi
